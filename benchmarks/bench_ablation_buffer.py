@@ -1,0 +1,56 @@
+"""Ablation: write-buffer size (the paper adds a write-back buffer to
+FlashSim without sizing it).
+
+Sweeps the buffer on a write-heavy workload: a larger buffer absorbs
+more rewrites of hot pages, cutting flash programs and hence GC.
+"""
+
+from conftest import write_table
+
+from repro.analysis.experiments import SystemExperimentConfig
+from repro.baselines.systems import SystemConfig, build_system
+from repro.sim.engine import SimulationEngine
+from repro.traces.workloads import make_workload
+
+
+def _run_sweep(shared_policy):
+    config = SystemExperimentConfig(n_blocks=256, n_requests=20_000)
+    ssd_config = config.ssd_config()
+    workload = make_workload("prj-1", ssd_config.logical_pages)
+    trace = workload.generate(config.n_requests, seed=1)
+    out = {}
+    for buffer_pages in (0, 64, 512, 2048):
+        system_config = SystemConfig(
+            ssd=ssd_config,
+            footprint_pages=workload.footprint_pages,
+            buffer_pages=buffer_pages,
+        )
+        system = build_system("flexlevel", system_config, level_adjust=shared_policy)
+        result = SimulationEngine(system, warmup_fraction=0.25).run(trace, "prj-1")
+        out[buffer_pages] = {
+            "mean_response_us": result.mean_response_us(),
+            "flash_programs": result.stats["total_program_pages"],
+            "erases": result.stats["erase_blocks"],
+            "buffer_hits": result.stats["buffer_hits"],
+        }
+    return out
+
+
+def test_ablation_buffer_size(benchmark, results_dir, shared_policy):
+    results = benchmark.pedantic(
+        _run_sweep, args=(shared_policy,), rounds=1, iterations=1
+    )
+
+    lines = ["buffer (pages)  response (us)  flash programs  erases  read hits"]
+    for pages, row in sorted(results.items()):
+        lines.append(
+            f"{pages:14d}  {row['mean_response_us']:13.1f}  "
+            f"{row['flash_programs']:14.0f}  {row['erases']:6.0f}  "
+            f"{row['buffer_hits']:9.0f}"
+        )
+    write_table(results_dir, "ablation_buffer", lines)
+
+    # A bigger buffer absorbs rewrites: flash programs fall monotonically.
+    programs = [results[p]["flash_programs"] for p in sorted(results)]
+    assert programs == sorted(programs, reverse=True)
+    assert results[2048]["flash_programs"] < results[0]["flash_programs"]

@@ -1,0 +1,60 @@
+"""Ablation: ReducedCell pool size (the capacity/performance dial).
+
+The paper fixes the pool at 64 GB of 256 GB (25 %).  This bench sweeps
+the pool fraction on a read-heavy workload: a larger pool buys lower
+mean sensing levels at a proportional capacity cost, saturating once
+the HLO set fits.
+"""
+
+from conftest import write_table
+
+from repro.analysis.experiments import SystemExperimentConfig
+from repro.baselines.systems import SystemConfig, build_system
+from repro.sim.engine import SimulationEngine
+from repro.traces.workloads import make_workload
+
+
+def _run_sweep(shared_policy):
+    config = SystemExperimentConfig(n_blocks=256, n_requests=20_000)
+    ssd_config = config.ssd_config()
+    workload = make_workload("fin-2", ssd_config.logical_pages)
+    trace = workload.generate(config.n_requests, seed=1)
+    out = {}
+    for fraction in (0.0, 0.05, 0.15, 0.25):
+        system_config = SystemConfig(
+            ssd=ssd_config,
+            footprint_pages=workload.footprint_pages,
+            buffer_pages=config.buffer_pages,
+            reduced_pool_fraction=fraction,
+        )
+        system = build_system("flexlevel", system_config, level_adjust=shared_policy)
+        result = SimulationEngine(system, warmup_fraction=0.25).run(trace, "fin-2")
+        out[fraction] = {
+            "mean_response_us": result.mean_response_us(),
+            "mean_extra_levels": result.stats["mean_extra_levels"],
+            "capacity_loss": 0.25 * result.stats["reduced_logical_pages"]
+            / ssd_config.logical_pages,
+        }
+    return out
+
+
+def test_ablation_pool_size(benchmark, results_dir, shared_policy):
+    results = benchmark.pedantic(
+        _run_sweep, args=(shared_policy,), rounds=1, iterations=1
+    )
+
+    lines = ["pool fraction  mean response (us)  mean extra levels  capacity loss"]
+    for fraction, row in sorted(results.items()):
+        lines.append(
+            f"{fraction:13.2f}  {row['mean_response_us']:18.1f}  "
+            f"{row['mean_extra_levels']:17.2f}  {row['capacity_loss']:12.2%}"
+        )
+    write_table(results_dir, "ablation_pool_size", lines)
+
+    # No pool = plain LDPC-in-SSD behaviour; growing the pool lowers the
+    # sensing burden and raises the capacity cost monotonically.
+    levels = [results[f]["mean_extra_levels"] for f in sorted(results)]
+    assert levels[0] == max(levels)
+    losses = [results[f]["capacity_loss"] for f in sorted(results)]
+    assert losses == sorted(losses)
+    assert results[0.25]["mean_extra_levels"] < results[0.0]["mean_extra_levels"]

@@ -1,0 +1,50 @@
+"""§5's capacity claim: AccessEval bounds the reduced-state footprint.
+
+Paper claims: limiting LevelAdjust to a 64 GB pool of a 256 GB system
+(25 % of capacity) turns the raw 25 % density loss into ~6 % of total
+capacity; the observed loss per workload is at most that bound.
+"""
+
+from conftest import write_table
+
+from repro.analysis.experiments import run_capacity_loss
+from repro.traces.workloads import workload_names
+
+
+def _capacity_report(matrix, logical_pages):
+    report = {}
+    for run in matrix:
+        if run.system != "flexlevel":
+            continue
+        reduced = run.stats["reduced_logical_pages"]
+        report[run.workload] = {
+            "reduced_fraction": reduced / logical_pages,
+            "capacity_loss_fraction": 0.25 * reduced / logical_pages,
+        }
+    return report
+
+
+def test_capacity_loss(benchmark, results_dir, matrix_6000, experiment_config):
+    logical = experiment_config.ssd_config().logical_pages
+    report = benchmark.pedantic(
+        _capacity_report, args=(matrix_6000, logical), rounds=1, iterations=1
+    )
+
+    bound = 0.25 * 0.25  # full pool at 25 % density loss = 6.25 %
+    lines = ["workload  reduced fraction  capacity loss (25% of it)"]
+    for workload in workload_names():
+        row = report[workload]
+        lines.append(
+            f"{workload:8s}  {row['reduced_fraction']:16.3f}  "
+            f"{row['capacity_loss_fraction']:16.3%}"
+        )
+    lines.append("")
+    lines.append(f"worst-case bound (pool full): {bound:.2%}  (paper: ~6%)")
+    lines.append("raw LevelAdjust-only loss: 25.00%")
+    write_table(results_dir, "capacity_loss", lines)
+
+    for workload in workload_names():
+        loss = report[workload]["capacity_loss_fraction"]
+        assert 0.0 <= loss <= bound + 1e-9
+        # AccessEval's whole point: far below the raw 25 % loss
+        assert loss < 0.25

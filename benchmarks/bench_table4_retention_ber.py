@@ -1,0 +1,67 @@
+"""Table 4: retention BER under the three NUNMA configurations.
+
+Paper claims: average retention-BER reductions of 2x / 5x / 9x for
+NUNMA 1 / 2 / 3 vs the baseline MLC cell, across P/E 2000-6000 and
+storage times of 1 day to 1 month.
+"""
+
+import numpy as np
+from conftest import write_table
+
+from repro.analysis.experiments import (
+    PAPER_TABLE4_BASELINE,
+    TIME_GRID,
+    run_table4_retention_ber,
+)
+
+
+def test_table4_retention_ber(benchmark, results_dir):
+    results = benchmark.pedantic(
+        run_table4_retention_ber, rounds=1, iterations=1
+    )
+
+    header = "P/E    scheme    " + "  ".join(f"{label:>9s}" for _, label in TIME_GRID)
+    lines = [header]
+    for pe in (2000, 3000, 4000, 5000, 6000):
+        for scheme in ("baseline", "nunma1", "nunma2", "nunma3"):
+            row = "  ".join(
+                f"{results[scheme][(pe, hours)]:.3e}" for hours, _ in TIME_GRID
+            )
+            lines.append(f"{pe:5d}  {scheme:9s} {row}")
+    # comparison against the paper's baseline rows
+    ratios = [
+        results["baseline"][key] / paper
+        for key, paper in PAPER_TABLE4_BASELINE.items()
+    ]
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    reductions = {}
+    for scheme in ("nunma1", "nunma2", "nunma3"):
+        ratio = [
+            results["baseline"][key] / results[scheme][key]
+            for key in results[scheme]
+        ]
+        reductions[scheme] = float(np.exp(np.mean(np.log(ratio))))
+    lines.append("")
+    lines.append(f"baseline-vs-paper geomean ratio: {geomean:.2f} (target ~1)")
+    lines.append(
+        "avg BER reduction vs baseline: "
+        + ", ".join(f"{s}={r:.1f}x" for s, r in reductions.items())
+        + "   (paper: nunma1 2x, nunma2 5x, nunma3 9x)"
+    )
+    write_table(results_dir, "table4_retention_ber", lines)
+
+    assert 0.5 < geomean < 2.0
+    assert 1.0 < reductions["nunma1"] < reductions["nunma2"] < reductions["nunma3"]
+
+
+def test_table4_monotone_in_wear_and_time(benchmark, results_dir):
+    """Every scheme's BER grows with both P/E count and storage time."""
+    results = benchmark.pedantic(
+        run_table4_retention_ber, rounds=1, iterations=1,
+        kwargs={"pe_grid": (2000, 4000, 6000)},
+    )
+    for scheme, table in results.items():
+        for hours in (24.0, 720.0):
+            assert table[(2000, hours)] <= table[(4000, hours)] <= table[(6000, hours)]
+        for pe in (2000, 4000, 6000):
+            assert table[(pe, 24.0)] <= table[(pe, 720.0)]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy experiment results (the trace-simulation matrices) are computed
+once per session and shared across benches; every bench also writes its
+paper-style table to ``benchmarks/results/`` so the numbers survive the
+run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import (
+    SystemExperimentConfig,
+    run_workload_matrix,
+)
+from repro.core.level_adjust import LevelAdjustPolicy
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(results_dir: Path, name: str, lines: list[str]) -> None:
+    """Persist a bench's output table and echo it to stdout."""
+    text = "\n".join(lines)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> SystemExperimentConfig:
+    """The standard system-experiment scale used by the figure benches."""
+    return SystemExperimentConfig(n_blocks=256, n_requests=40_000)
+
+
+@pytest.fixture(scope="session")
+def shared_policy() -> LevelAdjustPolicy:
+    """One BER oracle shared by all system benches (evals are cached)."""
+    return LevelAdjustPolicy()
+
+
+@pytest.fixture(scope="session")
+def matrix_6000(experiment_config, shared_policy):
+    """The 7-workload x 4-system matrix at 6000 P/E (Figs. 6a and 7)."""
+    return run_workload_matrix(experiment_config, policy=shared_policy)

@@ -1,0 +1,64 @@
+"""LDPC playground: the ECC substrate on its own.
+
+Constructs a regular Gallager code, pushes frames through the NAND
+soft-sensing channel at several raw BERs and sensing-level counts, and
+prints frame success rates and decoder iterations — the measurements
+behind the sensing-level ladder.  Also contrasts BCH for scale.
+
+Run:  python examples/ldpc_playground.py
+"""
+
+import numpy as np
+
+from repro.ecc.bch import BchCode
+from repro.ecc.ldpc.channel import NandReadChannel
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.decoder import MinSumDecoder
+from repro.errors import DecodingFailure
+
+
+def frame_success_rate(code, decoder, channel, rng, n_frames=30):
+    """(success fraction, mean iterations on successes)."""
+    successes, iterations = 0, []
+    for _ in range(n_frames):
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(message)
+        llrs = channel.read(codeword, rng)
+        try:
+            result = decoder.decode(llrs)
+        except DecodingFailure:
+            continue
+        if np.array_equal(result.codeword, codeword):
+            successes += 1
+            iterations.append(result.iterations)
+    mean_iters = float(np.mean(iterations)) if iterations else float("nan")
+    return successes / n_frames, mean_iters
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    code = LdpcCode.regular(n=1026, wc=3, wr=9, seed=13)
+    decoder = MinSumDecoder(code, max_iterations=40)
+    print(f"LDPC({code.n}, {code.k}), rate {code.rate:.3f}, min-sum decoding")
+    print()
+    print("raw BER   extra levels   frame success   mean iterations")
+    for raw_ber in (0.005, 0.02, 0.04):
+        for extra_levels in (0, 2, 5):
+            channel = NandReadChannel(raw_ber, extra_levels=extra_levels)
+            rate, iters = frame_success_rate(code, decoder, channel, rng)
+            print(f"{raw_ber:7.3f}   {extra_levels:12d}   {rate:13.0%}   {iters:15.1f}")
+    print()
+    print("takeaway: at high BER, hard decisions (0 extra levels) fail where")
+    print("finer sensing succeeds — but each level costs sensing+transfer time.")
+
+    print()
+    bch = BchCode(m=10, t=16, shortened_k=512)
+    print(
+        f"for contrast, BCH(m=10, t=16) shortened to k=512: rate {bch.rate:.3f}, "
+        f"corrects {bch.t} bit errors per {bch.codeword_length}-bit codeword "
+        f"(raw BER capability ~{bch.t / bch.codeword_length:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

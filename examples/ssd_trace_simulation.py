@@ -1,0 +1,67 @@
+"""System-level comparison on a trace (paper §6.2 workflow).
+
+Builds the four storage systems on the same worn SSD, replays one of
+the seven synthetic paper workloads against each, and prints the
+Fig. 6(a)-style comparison plus the endurance counters of Fig. 7.
+
+Run:  python examples/ssd_trace_simulation.py [workload] [n_requests]
+"""
+
+import sys
+
+from repro.baselines import SystemConfig, build_system, system_names
+from repro.core.level_adjust import LevelAdjustPolicy
+from repro.ftl import SsdConfig
+from repro.sim import SimulationEngine
+from repro.traces import make_workload, workload_names
+
+
+def main(workload_name: str = "fin-2", n_requests: int = 30_000) -> None:
+    if workload_name not in workload_names():
+        raise SystemExit(f"unknown workload {workload_name!r}; pick from {workload_names()}")
+
+    ssd_config = SsdConfig(n_blocks=256, pages_per_block=64, initial_pe_cycles=6000)
+    workload = make_workload(workload_name, ssd_config.logical_pages)
+    trace = workload.generate(n_requests, seed=1)
+    policy = LevelAdjustPolicy()  # shared BER oracle; evaluations are cached
+
+    print(
+        f"workload {workload_name}: {n_requests} requests, "
+        f"{workload.footprint_pages} hot pages of {ssd_config.logical_pages} logical "
+        f"({ssd_config.logical_capacity_bytes / 2**30:.1f} GiB drive at 6000 P/E)"
+    )
+    print()
+    header = (
+        f"{'system':16s} {'mean resp (us)':>15s} {'read resp':>10s} "
+        f"{'extra lvls':>10s} {'WA':>5s} {'erases':>7s} {'promos':>7s}"
+    )
+    print(header)
+
+    baseline_mean = None
+    for name in system_names():
+        config = SystemConfig(
+            ssd=ssd_config,
+            footprint_pages=workload.footprint_pages,
+            buffer_pages=512,
+        )
+        system = build_system(name, config, level_adjust=policy)
+        result = SimulationEngine(system, warmup_fraction=0.25).run(trace, workload_name)
+        mean = result.mean_response_us()
+        if baseline_mean is None:
+            baseline_mean = mean
+        print(
+            f"{name:16s} {mean:12.1f} ({mean / baseline_mean:4.2f}x) "
+            f"{result.mean_read_response_us():10.1f} "
+            f"{result.stats['mean_extra_levels']:10.2f} "
+            f"{result.stats['write_amplification']:5.2f} "
+            f"{result.stats['erase_blocks']:7.0f} "
+            f"{result.stats['promotions']:7.0f}"
+        )
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        workload_name=args[0] if args else "fin-2",
+        n_requests=int(args[1]) if len(args) > 1 else 30_000,
+    )

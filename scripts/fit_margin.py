@@ -1,0 +1,45 @@
+"""Stage-3 fit: add the baseline-plan margin as a free parameter."""
+import sys
+sys.path.insert(0, '/root/repo/scripts')
+import numpy as np
+from scipy import optimize
+from repro.core import ReduceCodeCoding
+from repro.device import BerAnalyzer, C2cModel
+from repro.device.voltages import VoltagePlan, reduced_plan
+from repro.device.retention import RetentionModel
+from repro.device.wear import WearModel
+from fit_tail import BASE, NUNMA
+
+CODING = ReduceCodeCoding()
+
+def base_plan(margin, sp):
+    refs = tuple(v - margin for v in (2.30, 2.90, 3.50))
+    return VoltagePlan("normal-mlc", (2.30, 2.90, 3.50), refs, vpp=0.20, sigma_p=sp)
+
+def loss(params, verbose=False):
+    kw, aw, kd_s, km_s, sp, tw, ts, margin = params
+    if min(kw,aw,kd_s,km_s,tw,ts)<=0 or sp<0 or tw>1 or not 0.005<=margin<=0.25: return 1e9
+    ret = RetentionModel(kd=4e-4*kd_s, km=2e-6*km_s, tail_weight=tw, tail_scale=ts)
+    wear = WearModel(k_w=kw, a_w=aw)
+    base = BerAnalyzer(base_plan(margin, sp), retention=ret, wear=wear)
+    reduced = {c: BerAnalyzer(reduced_plan(c, sigma_p=sp), coding=CODING, retention=ret,
+                              wear=wear, c2c=C2cModel(level_usage=CODING.level_usage()))
+               for c in NUNMA}
+    err = 0.0
+    tables = [('base', base, BASE)] + [(n, reduced[n], NUNMA[n]) for n in NUNMA]
+    for name, an, table in tables:
+        weight = 2.0 if name == 'base' else 1.0
+        for (pe,t),ref in table.items():
+            b = an.retention_ber(pe,t).total
+            if b<=0: b=1e-9
+            err += weight*(np.log(b/ref))**2
+            if verbose: print(f'{name} pe={pe} t={t:4}: ours={b:.4g} paper={ref:.4g} ratio={b/ref:.2f}')
+    return err
+
+if __name__ == '__main__':
+    x0 = [0.01069, 0.38913, 0.32696, 0.50841, 0.046971, 0.0029185, 0.084975, 0.04]
+    print('initial', loss(x0), flush=True)
+    res = optimize.minimize(loss, x0, method='Nelder-Mead',
+                            options={'maxiter':600,'xatol':2e-4,'fatol':1e-2})
+    print('refined', [float(v) for v in res.x], res.fun, flush=True)
+    loss(res.x, verbose=True)

@@ -1,0 +1,71 @@
+"""Stage-2 fit: exponential-tail retention parameters against all 80
+Table 4 points, holding the stage-1 wear constants fixed."""
+import numpy as np
+from scipy import optimize
+from repro.core import ReduceCodeCoding
+from repro.device import BerAnalyzer, C2cModel, normal_mlc_plan, reduced_plan
+from repro.device.retention import RetentionModel
+from repro.device.wear import WearModel
+
+BASE = {
+ (2000,24):0.000638,(2000,48):0.000715,(2000,168):0.00103,(2000,720):0.00184,
+ (3000,24):0.00146,(3000,48):0.00169,(3000,168):0.00260,(3000,720):0.00459,
+ (4000,24):0.00229,(4000,48):0.00284,(4000,168):0.00456,(4000,720):0.00778,
+ (5000,24):0.00359,(5000,48):0.00457,(5000,168):0.00699,(5000,720):0.0120,
+ (6000,24):0.00484,(6000,48):0.00613,(6000,168):0.00961,(6000,720):0.0161,
+}
+NUNMA = {
+ 'nunma1': {(2000,24):0.000370,(2000,48):0.000453,(2000,168):0.000827,(2000,720):0.00149,
+            (3000,24):0.000677,(3000,48):0.000860,(3000,168):0.00143,(3000,720):0.00249,
+            (4000,24):0.00117,(4000,48):0.00149,(4000,168):0.00240,(4000,720):0.00402,
+            (5000,24):0.00177,(5000,48):0.00233,(5000,168):0.00349,(5000,720):0.00545,
+            (6000,24):0.00218,(6000,48):0.00288,(6000,168):0.00446,(6000,720):0.00672},
+ 'nunma2': {(2000,24):0.000167,(2000,48):0.000173,(2000,168):0.000243,(2000,720):0.000330,
+            (3000,24):0.000343,(3000,48):0.000367,(3000,168):0.000570,(3000,720):0.000807,
+            (4000,24):0.000443,(4000,48):0.000633,(4000,168):0.000820,(4000,720):0.00150,
+            (5000,24):0.000690,(5000,48):0.000853,(5000,168):0.00123,(5000,720):0.00227,
+            (6000,24):0.00100,(6000,48):0.00131,(6000,168):0.00192,(6000,720):0.00324},
+ 'nunma3': {(2000,24):0.000120,(2000,48):0.000133,(2000,168):0.000167,(2000,720):0.000181,
+            (3000,24):0.000237,(3000,48):0.000257,(3000,168):0.000293,(3000,720):0.000390,
+            (4000,24):0.000327,(4000,48):0.000343,(4000,168):0.000457,(4000,720):0.000633,
+            (5000,24):0.000460,(5000,48):0.000540,(5000,168):0.000713,(5000,720):0.00109,
+            (6000,24):0.000623,(6000,48):0.000627,(6000,168):0.000973,(6000,720):0.00151},
+}
+CODING = ReduceCodeCoding()
+
+def loss(params, verbose=False):
+    kw, aw, kd_s, km_s, sp, tw, ts = params
+    if min(kw,aw,kd_s,km_s,tw,ts)<=0 or sp<0 or tw>1: return 1e9
+    ret = RetentionModel(kd=4e-4*kd_s, km=2e-6*km_s, tail_weight=tw, tail_scale=ts)
+    wear = WearModel(k_w=kw, a_w=aw)
+    base = BerAnalyzer(normal_mlc_plan(sigma_p=sp), retention=ret, wear=wear)
+    reduced = {c: BerAnalyzer(reduced_plan(c, sigma_p=sp), coding=CODING, retention=ret,
+                              wear=wear, c2c=C2cModel(level_usage=CODING.level_usage()))
+               for c in NUNMA}
+    err = 0.0
+    tables = [('base', base, BASE)] + [(n, reduced[n], NUNMA[n]) for n in NUNMA]
+    for name, an, table in tables:
+        weight = 3.0 if name == 'base' else 1.0
+        for (pe,t),ref in table.items():
+            b = an.retention_ber(pe,t).total
+            if b<=0: b=1e-9
+            err += weight*(np.log(b/ref))**2
+            if verbose: print(f'{name} pe={pe} t={t:4}: ours={b:.4g} paper={ref:.4g} ratio={b/ref:.2f}')
+    return err
+
+if __name__ == '__main__':
+    # stage-1 constants + tail guesses
+    x0 = [0.0075, 0.447, 0.451, 1.202, 0.0516, 0.002, 0.05]
+    print('initial loss', loss(x0), flush=True)
+    res = optimize.minimize(loss, x0, method='Nelder-Mead',
+                            options={'maxiter':400,'xatol':5e-4,'fatol':2e-1})
+    print('refined', [float(v) for v in res.x], res.fun, flush=True)
+    loss(res.x, verbose=True)
+
+def continue_fit(x0, maxiter=400):
+    from scipy import optimize
+    res = optimize.minimize(loss, x0, method='Nelder-Mead',
+                            options={'maxiter':maxiter,'xatol':2e-4,'fatol':1e-2})
+    print('refined', [float(v) for v in res.x], res.fun, flush=True)
+    loss(res.x, verbose=True)
+    return res

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment has no `wheel` package, so PEP 660
+editable installs fail; `python setup.py develop` works offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+report
+    Generate the full reproduction report (markdown).
+simulate
+    Run the four storage systems on one paper workload and print the
+    comparison table.
+profile
+    Profile a CSV trace file into workload statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import main as report_main
+
+    forwarded = []
+    if args.fast:
+        forwarded.append("--fast")
+    if args.output:
+        forwarded.extend(["--output", args.output])
+    return report_main(forwarded)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.core.level_adjust import LevelAdjustPolicy
+    from repro.ftl import SsdConfig
+    from repro.sim import SimulationEngine
+    from repro.traces import make_workload, workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    ssd_config = SsdConfig(
+        n_blocks=args.blocks, pages_per_block=64, initial_pe_cycles=args.pe
+    )
+    workload = make_workload(args.workload, ssd_config.logical_pages)
+    trace = workload.generate(args.requests, seed=args.seed)
+    policy = LevelAdjustPolicy()
+    rows = []
+    for name in system_names():
+        config = SystemConfig(
+            ssd=ssd_config,
+            footprint_pages=workload.footprint_pages,
+            buffer_pages=512,
+            # Scale the hotness window down for short runs so AccessEval
+            # can warm up within the trace.
+            hotness_window=max(64, min(4096, args.requests // 8)),
+        )
+        system = build_system(name, config, level_adjust=policy)
+        result = SimulationEngine(system, warmup_fraction=0.25).run(
+            trace, args.workload
+        )
+        rows.append(
+            (
+                name,
+                result.mean_response_us(),
+                result.stats["mean_extra_levels"],
+                result.stats["write_amplification"],
+                int(result.stats["erase_blocks"]),
+            )
+        )
+    print(
+        format_table(
+            ["system", "mean response (us)", "extra levels", "WA", "erases"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.traces import profile_trace, read_trace_csv
+
+    profile = profile_trace(read_trace_csv(args.trace))
+    for key, value in profile.summary().items():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="generate the reproduction report")
+    report.add_argument("--fast", action="store_true")
+    report.add_argument("--output", default=None)
+    report.set_defaults(handler=_cmd_report)
+
+    simulate = commands.add_parser("simulate", help="compare the four systems")
+    simulate.add_argument("workload", nargs="?", default="fin-2")
+    simulate.add_argument("--requests", type=int, default=30_000)
+    simulate.add_argument("--blocks", type=int, default=256)
+    simulate.add_argument("--pe", type=float, default=6000.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    profile = commands.add_parser("profile", help="profile a CSV trace")
+    profile.add_argument("trace")
+    profile.set_defaults(handler=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Experiment drivers and calibration for the paper's tables and figures."""
+
+from repro.analysis.calibration import (
+    CALIBRATED_KD,
+    CALIBRATED_KM,
+    CALIBRATED_SIGMA_P,
+    calibrated_analyzer,
+    calibrated_retention,
+)
+
+__all__ = [
+    "CALIBRATED_KD",
+    "CALIBRATED_KM",
+    "CALIBRATED_SIGMA_P",
+    "calibrated_analyzer",
+    "calibrated_retention",
+]

@@ -1,0 +1,134 @@
+"""Calibration sensitivity analysis.
+
+The reproduction hinges on eight fitted constants (see
+:mod:`repro.analysis.calibration`).  A result that only holds at the
+exact fitted point would be fragile; this module perturbs each constant
+by a factor and measures what happens to the Table 5 sensing-level
+matrix — both how many cells move and whether the *structural* claims
+(zero 0-day column, monotonicity in wear and age) survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import calibration
+from repro.device.ber import BerAnalyzer
+from repro.device.c2c import C2cModel
+from repro.device.retention import RetentionModel
+from repro.device.voltages import normal_mlc_plan
+from repro.device.wear import WearModel
+from repro.ecc.ldpc.sensing import SensingLevelPolicy
+from repro.errors import ConfigurationError
+
+#: The perturbable calibration constants.
+CONSTANTS = (
+    "kd",
+    "km",
+    "tail_weight",
+    "tail_scale",
+    "k_w",
+    "a_w",
+    "sigma_p",
+    "margin",
+)
+
+_PE_GRID = (3000, 4000, 5000, 6000)
+_AGE_GRID = (0.0, 24.0, 48.0, 168.0, 720.0)
+
+
+@dataclass(frozen=True)
+class PerturbationResult:
+    """Effect of scaling one constant on the Table 5 matrix."""
+
+    constant: str
+    factor: float
+    cells_changed: int
+    max_level_delta: int
+    zero_day_column_intact: bool
+    monotone: bool
+
+    @property
+    def shape_preserved(self) -> bool:
+        """The structural Table 5 claims survive this perturbation."""
+        return self.zero_day_column_intact and self.monotone
+
+
+def perturbed_analyzer(constant: str, factor: float) -> BerAnalyzer:
+    """The calibrated baseline analyzer with one constant scaled."""
+    if constant not in CONSTANTS:
+        raise ConfigurationError(
+            f"unknown constant {constant!r}; choose from {CONSTANTS}"
+        )
+    if factor <= 0:
+        raise ConfigurationError(f"non-positive factor: {factor}")
+    values = {
+        "kd": calibration.CALIBRATED_KD,
+        "km": calibration.CALIBRATED_KM,
+        "tail_weight": calibration.CALIBRATED_TAIL_WEIGHT,
+        "tail_scale": calibration.CALIBRATED_TAIL_SCALE,
+        "k_w": calibration.CALIBRATED_K_W,
+        "a_w": calibration.CALIBRATED_A_W,
+        "sigma_p": calibration.CALIBRATED_SIGMA_P,
+        "margin": calibration.CALIBRATED_BASE_MARGIN,
+    }
+    values[constant] *= factor
+    retention = RetentionModel(
+        kd=values["kd"],
+        km=values["km"],
+        tail_weight=min(values["tail_weight"], 1.0),
+        tail_scale=values["tail_scale"],
+    )
+    wear = WearModel(k_w=values["k_w"], a_w=values["a_w"])
+    plan = normal_mlc_plan(sigma_p=values["sigma_p"], margin=values["margin"])
+    return BerAnalyzer(plan, c2c=C2cModel(), retention=retention, wear=wear)
+
+
+def table5_matrix(analyzer: BerAnalyzer) -> dict[tuple[int, float], int]:
+    """The Table 5 sensing-level matrix for one analyzer."""
+    policy = SensingLevelPolicy()
+    matrix: dict[tuple[int, float], int] = {}
+    for pe in _PE_GRID:
+        for hours in _AGE_GRID:
+            ber = analyzer.bit_error_rate(
+                pe_cycles=pe, t_hours=hours, include_c2c=False
+            ).total
+            matrix[(pe, hours)] = policy.required_levels(min(ber, 1.0))
+    return matrix
+
+
+def _matrix_structure(matrix: dict[tuple[int, float], int]) -> tuple[bool, bool]:
+    zero_day = all(matrix[(pe, 0.0)] == 0 for pe in _PE_GRID)
+    monotone = True
+    for pe in _PE_GRID:
+        row = [matrix[(pe, hours)] for hours in _AGE_GRID]
+        monotone &= row == sorted(row)
+    for hours in _AGE_GRID:
+        col = [matrix[(pe, hours)] for pe in _PE_GRID]
+        monotone &= col == sorted(col)
+    return zero_day, monotone
+
+
+def run_sensitivity(
+    factors: tuple[float, ...] = (0.8, 1.25),
+    constants: tuple[str, ...] = CONSTANTS,
+) -> list[PerturbationResult]:
+    """Perturb every constant by every factor; compare Table 5 matrices."""
+    baseline = table5_matrix(perturbed_analyzer("kd", 1.0))
+    results: list[PerturbationResult] = []
+    for constant in constants:
+        for factor in factors:
+            matrix = table5_matrix(perturbed_analyzer(constant, factor))
+            deltas = [abs(matrix[key] - baseline[key]) for key in baseline]
+            zero_day, monotone = _matrix_structure(matrix)
+            results.append(
+                PerturbationResult(
+                    constant=constant,
+                    factor=factor,
+                    cells_changed=sum(1 for d in deltas if d),
+                    max_level_delta=max(deltas),
+                    zero_day_column_intact=zero_day,
+                    monotone=monotone,
+                )
+            )
+    return results

@@ -1,0 +1,71 @@
+"""Plain-text table formatting shared by benches, examples and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    min_width: int = 6,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Numbers are right-aligned, strings left-aligned; column widths fit
+    the longest cell.
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(min_width, len(header), *(len(row[i]) for row in rendered))
+        if rendered
+        else max(min_width, len(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for source, row in zip(rows, rendered):
+        cells = []
+        for i, text in enumerate(row):
+            if isinstance(source[i], (int, float)) and not isinstance(source[i], bool):
+                cells.append(text.rjust(widths[i]))
+            else:
+                cells.append(text.ljust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """A compact multiplier string, e.g. ``2.4x``."""
+    return f"{value:.1f}x"
+
+
+def format_percent(value: float, signed: bool = False) -> str:
+    """A percent string; ``signed`` adds an explicit +/-."""
+    if signed:
+        return f"{value:+.1%}"
+    return f"{value:.1%}"
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,45 @@
+"""The four storage systems compared in paper §6.2.
+
+* **baseline** — soft-decision LDPC provisioned for the worst case:
+  every read senses at the retention-end level count.
+* **ldpc-in-ssd** — Zhao et al. (FAST'13): sensing precision tracks
+  each page's actual requirement.
+* **leveladjust-only** — everything stored in reduced-state cells;
+  reads are fast but 25 % of the physical space is gone.
+* **flexlevel** — LevelAdjust + AccessEval: only HLO data lives in
+  reduced-state cells.
+"""
+
+from repro.baselines.systems import (
+    BaselineSystem,
+    FlexLevelSystem,
+    LdpcInSsdSystem,
+    LevelAdjustOnlySystem,
+    StorageSystem,
+    SystemConfig,
+    build_system,
+    system_names,
+)
+from repro.baselines.extensions import (
+    EXTENSION_SYSTEMS,
+    LdpcInSsdProgressiveSystem,
+    RefreshSystem,
+    SlcCacheSystem,
+    build_extension_system,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "FlexLevelSystem",
+    "LdpcInSsdSystem",
+    "LevelAdjustOnlySystem",
+    "StorageSystem",
+    "SystemConfig",
+    "build_system",
+    "system_names",
+    "EXTENSION_SYSTEMS",
+    "LdpcInSsdProgressiveSystem",
+    "RefreshSystem",
+    "SlcCacheSystem",
+    "build_extension_system",
+]

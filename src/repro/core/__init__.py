@@ -1,0 +1,61 @@
+"""FlexLevel's core contribution.
+
+* :mod:`repro.core.reduce_code` — the ReduceCode 3-bits-in-2-cells
+  mapping (paper Table 1),
+* :mod:`repro.core.programming` — the two-step reduced-state program
+  algorithm (paper Table 2),
+* :mod:`repro.core.bitline` — normal and ReduceCode wordline/bitline
+  structures (paper Figs. 1a and 3),
+* :mod:`repro.core.nunma` — non-uniform noise-margin plans (paper §4.2),
+* :mod:`repro.core.level_adjust` — the LevelAdjust state policy,
+* :mod:`repro.core.hotness` — multiple-Bloom-filter read-frequency
+  tracking,
+* :mod:`repro.core.hlo` — the Lf x Lsensing LDPC-overhead rule,
+* :mod:`repro.core.access_eval` — the AccessEval controller and
+  ReducedCell pool.
+"""
+
+from repro.core.reduce_code import (
+    REDUCE_CODE_DECODE,
+    REDUCE_CODE_ENCODE,
+    ReduceCodeCoding,
+    decode_levels,
+    encode_bits,
+)
+from repro.core.programming import TwoStepProgrammer
+from repro.core.bitline import NormalWordline, ReducedWordline
+from repro.core.nunma import basic_reduced_plan, nunma_plan
+from repro.core.pair_code import (
+    build_pair_code,
+    optimize_pair_code,
+    slip_cost,
+    staged_program_plan,
+)
+from repro.core.level_adjust import CellMode, LevelAdjustPolicy
+from repro.core.hotness import MultiBloomHotness
+from repro.core.hlo import HloIdentifier, OverheadRule
+from repro.core.access_eval import AccessEval, ReducedCellPool
+
+__all__ = [
+    "REDUCE_CODE_DECODE",
+    "REDUCE_CODE_ENCODE",
+    "ReduceCodeCoding",
+    "decode_levels",
+    "encode_bits",
+    "TwoStepProgrammer",
+    "NormalWordline",
+    "ReducedWordline",
+    "basic_reduced_plan",
+    "nunma_plan",
+    "build_pair_code",
+    "optimize_pair_code",
+    "slip_cost",
+    "staged_program_plan",
+    "CellMode",
+    "LevelAdjustPolicy",
+    "MultiBloomHotness",
+    "HloIdentifier",
+    "OverheadRule",
+    "AccessEval",
+    "ReducedCellPool",
+]

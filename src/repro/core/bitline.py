@@ -1,0 +1,199 @@
+"""Wordline/page organisation for normal MLC and ReduceCode structures.
+
+Normal MLC (paper Fig. 1a): a wordline holds two page groups selected
+by even/odd bitlines; each group stores a lower page (LSBs) and an
+upper page (MSBs), four pages per wordline in total.
+
+ReduceCode (paper Fig. 3): two neighbouring even cells — or two odd
+cells — form a pair storing 3 bits.  The two LSBs of all even pairs
+form the *lower* page, the two LSBs of all odd pairs the *middle* page
+and the MSBs of all pairs the *upper* page, three pages per wordline.
+All three pages have the same size as a normal page (half the cell
+count in bits), which is how the 25 % density loss materialises.
+
+Both wordline classes operate on a :class:`~repro.device.cell.CellArray`
+and enforce the legal program order (LSB pages before the MSB page;
+a page cannot be reprogrammed without an erase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.programming import TwoStepProgrammer
+from repro.device.cell import CellArray
+from repro.device.coding import GRAY_MLC_MAP
+from repro.device.geometry import NandGeometry
+from repro.errors import ConfigurationError, ProgramError
+
+#: Inverse Gray map: 2-bit (MSB, LSB) value -> Vth level.
+_GRAY_INVERSE = {value: level for level, value in enumerate(GRAY_MLC_MAP)}
+
+
+class NormalWordline:
+    """A normal MLC wordline: four pages over even/odd page groups."""
+
+    PAGES = ("lower-even", "lower-odd", "upper-even", "upper-odd")
+
+    def __init__(self, geometry: NandGeometry):
+        self.geometry = geometry
+        self.array = CellArray(geometry.cells_per_wordline, n_levels=4)
+        self._programmed: set[str] = set()
+
+    @property
+    def page_bits(self) -> int:
+        """Bits per page (one bit per page-group cell)."""
+        return self.geometry.cells_per_page_group
+
+    def program_page(self, page: str, bits: np.ndarray) -> None:
+        """Program one of the four pages.
+
+        Lower pages move cells from erased to an intermediate level
+        (LSB = 0 -> level 1); upper pages then settle each cell on its
+        final Gray-coded level.  The lower page of a group must be
+        programmed before its upper page.
+        """
+        bits = self._check_page(page, bits)
+        cells = self._group_cells(page)
+        if page.startswith("lower"):
+            targets = np.where(bits == 1, 0, 1).astype(np.int8)
+            self.array.program(cells, targets)
+        else:
+            lower_page = "lower" + page[5:]
+            if lower_page not in self._programmed:
+                raise ProgramError(f"{page} programmed before {lower_page}")
+            current = self.array.read(cells)
+            lsb = np.where(current == 0, 1, 0)
+            values = (bits.astype(np.int8) << 1) | lsb
+            targets = np.array([_GRAY_INVERSE[int(v)] for v in values], dtype=np.int8)
+            self.array.program(cells, targets)
+        self._programmed.add(page)
+
+    def read_page(self, page: str) -> np.ndarray:
+        """Read one page's bits from the sensed cell levels."""
+        self._check_page_name(page)
+        cells = self._group_cells(page)
+        levels = self.array.read(cells)
+        values = np.array([GRAY_MLC_MAP[int(lv)] for lv in levels], dtype=np.uint8)
+        if page.startswith("lower"):
+            return values & 1
+        return (values >> 1) & 1
+
+    def erase(self) -> None:
+        """Erase the wordline's cells and clear the page bookkeeping."""
+        self.array.erase()
+        self._programmed.clear()
+
+    def _group_cells(self, page: str) -> np.ndarray:
+        start = 0 if page.endswith("even") else 1
+        return np.arange(start, self.geometry.cells_per_wordline, 2, dtype=np.intp)
+
+    def _check_page_name(self, page: str) -> None:
+        if page not in self.PAGES:
+            raise ConfigurationError(f"unknown page {page!r}; expected one of {self.PAGES}")
+
+    def _check_page(self, page: str, bits: np.ndarray) -> np.ndarray:
+        self._check_page_name(page)
+        if page in self._programmed:
+            raise ProgramError(f"page {page} already programmed; erase first")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.page_bits,):
+            raise ConfigurationError(
+                f"page {page} needs {self.page_bits} bits, got {bits.shape}"
+            )
+        if bits.size and bits.max() > 1:
+            raise ConfigurationError("page bits must be 0/1")
+        return bits
+
+
+class ReducedWordline:
+    """A ReduceCode wordline: lower / middle / upper pages over cell pairs."""
+
+    PAGES = ("lower", "middle", "upper")
+
+    def __init__(self, geometry: NandGeometry):
+        self.geometry = geometry
+        self.array = CellArray(geometry.cells_per_wordline, n_levels=3)
+        self.programmer = TwoStepProgrammer(self.array)
+        self._programmed: set[str] = set()
+
+    @property
+    def page_bits(self) -> int:
+        """Bits per page — identical to a normal page's size."""
+        return self.geometry.cells_per_wordline // 2
+
+    def pair_indices(self, parity: str) -> np.ndarray:
+        """Cell-index pairs for one bitline parity (``"even"``/``"odd"``).
+
+        Even pairs are (0, 2), (4, 6), …; odd pairs are (1, 3), (5, 7), …
+        """
+        if parity not in ("even", "odd"):
+            raise ConfigurationError(f"parity must be 'even' or 'odd', got {parity!r}")
+        offset = 0 if parity == "even" else 1
+        first = np.arange(offset, self.geometry.cells_per_wordline, 4, dtype=np.intp)
+        return np.stack([first, first + 2], axis=1)
+
+    def all_pairs(self) -> np.ndarray:
+        """All pairs on the wordline (even pairs first, then odd)."""
+        return np.concatenate([self.pair_indices("even"), self.pair_indices("odd")])
+
+    def program_page(self, page: str, bits: np.ndarray) -> None:
+        """Program the lower, middle or upper page.
+
+        Lower and middle pages run the first program step on even/odd
+        pairs respectively; the upper page runs the second step on all
+        pairs and must come last.
+        """
+        bits = self._check_page(page, bits)
+        if page == "upper":
+            pairs = self.all_pairs()
+            self.programmer.program_msbs(pairs, bits)
+        else:
+            if "upper" in self._programmed:
+                raise ProgramError(f"{page} page programmed after the upper page")
+            parity = "even" if page == "lower" else "odd"
+            pairs = self.pair_indices(parity)
+            self.programmer.program_lsbs(pairs, bits.reshape(-1, 2))
+        self._programmed.add(page)
+
+    def read_page(self, page: str) -> np.ndarray:
+        """Read one page's bits back from the sensed levels.
+
+        Reads go through the full ReduceCode decode (paper Table 1,
+        including the (1, 2) -> 101 repair), so distorted cells produce
+        exactly the bit errors the BER model predicts.
+        """
+        from repro.core.reduce_code import decode_levels
+
+        self._check_page_name(page)
+        if page == "upper":
+            pairs = self.all_pairs()
+        else:
+            pairs = self.pair_indices("even" if page == "lower" else "odd")
+        levels = self.array.read(pairs.ravel()).reshape(-1, 2)
+        words = decode_levels(levels[:, 0], levels[:, 1]).reshape(-1, 3)
+        if page == "upper":
+            return words[:, 0].copy()
+        return words[:, 1:].reshape(-1).copy()
+
+    def erase(self) -> None:
+        """Erase the wordline's cells and clear the page bookkeeping."""
+        self.array.erase()
+        self._programmed.clear()
+
+    def _check_page_name(self, page: str) -> None:
+        if page not in self.PAGES:
+            raise ConfigurationError(f"unknown page {page!r}; expected one of {self.PAGES}")
+
+    def _check_page(self, page: str, bits: np.ndarray) -> np.ndarray:
+        self._check_page_name(page)
+        if page in self._programmed:
+            raise ProgramError(f"page {page} already programmed; erase first")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.page_bits,):
+            raise ConfigurationError(
+                f"page {page} needs {self.page_bits} bits, got {bits.shape}"
+            )
+        if bits.size and bits.max() > 1:
+            raise ConfigurationError("page bits must be 0/1")
+        return bits

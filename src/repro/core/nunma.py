@@ -1,0 +1,69 @@
+"""Non-uniform noise-margin adjustment (paper §4.2, Table 3).
+
+Retention errors dominate at high P/E counts and hit the high Vth
+levels hardest (their charge loss scales with the programmed voltage).
+NUNMA therefore raises the *verify* voltages — pushing the programmed
+distribution away from the lower read reference — non-uniformly: a
+small retention margin for level 1 (which barely drifts and must not
+creep into level 2's region via interference) and a large one for
+level 2.
+
+The three explored configurations come from paper Table 3 and are
+materialized as :class:`~repro.device.voltages.VoltagePlan` objects by
+:func:`repro.device.voltages.reduced_plan`; this module adds the
+pre-NUNMA *basic LevelAdjust* plan (uniform margins) used to reproduce
+the paper's per-level error-share observation (78 % of retention errors
+at level 2, 15 % at level 1).
+"""
+
+from __future__ import annotations
+
+from repro.device.voltages import NUNMA_CONFIGS, VoltagePlan, reduced_plan
+
+
+def nunma_plan(config: str, sigma_p: float | None = None) -> VoltagePlan:
+    """The Table 3 plan for ``config`` in {"nunma1", "nunma2", "nunma3"}."""
+    if sigma_p is None:
+        return reduced_plan(config)
+    return reduced_plan(config, sigma_p=sigma_p)
+
+
+def basic_reduced_plan(sigma_p: float | None = None) -> VoltagePlan:
+    """Basic LevelAdjust: three levels with *uniform* noise margins.
+
+    Verify voltages sit 50 mV above the read references for both
+    programmed levels (mirroring the baseline MLC plan's margins), with
+    the same read references as the NUNMA configurations so the plans
+    differ only in margin allocation.
+    """
+    kwargs = {} if sigma_p is None else {"sigma_p": sigma_p}
+    return VoltagePlan(
+        name="basic-leveladjust",
+        verify_voltages=(2.70, 3.60),
+        read_references=(2.65, 3.55),
+        vpp=0.15,
+        **kwargs,
+    )
+
+
+def margin_summary(plan: VoltagePlan) -> dict[int, dict[str, float]]:
+    """Retention and interference margins per programmed level.
+
+    The retention margin is verify − lower read reference (how far the
+    distribution can drift down); the interference margin is the upper
+    read reference − (verify + Vpp) (how far it can be pushed up), and
+    is infinite for the top level.
+    """
+    summary: dict[int, dict[str, float]] = {}
+    for level in range(1, plan.n_levels):
+        verify = plan.verify_voltages[level - 1]
+        summary[level] = {
+            "retention_margin": verify - plan.lower_reference(level),
+            "interference_margin": plan.upper_reference(level) - (verify + plan.vpp),
+        }
+    return summary
+
+
+def available_configs() -> tuple[str, ...]:
+    """Names of the Table 3 NUNMA configurations."""
+    return tuple(sorted(NUNMA_CONFIGS))

@@ -1,0 +1,133 @@
+"""The two-step reduced-state program algorithm (paper Table 2).
+
+Under the ReduceCode bitline structure the original MLC two-step
+program no longer works, so FlexLevel programs each cell pair in two
+steps:
+
+1. the two LSBs (the lower page for even pairs, the middle page for
+   odd pairs) move each cell from erased (level 0) to its LSB value
+   (level 0 or 1);
+2. the MSB (the upper page) either leaves the pair untouched (MSB = 0)
+   or advances it per Table 2 (MSB = 1):
+
+   ===== ========= ===========================
+   MSB   two LSBs  target (Vth I, Vth II)
+   ===== ========= ===========================
+   1     00        (2, 2)
+   1     01        (0, 2)
+   1     10        (2, 0)
+   1     11        (2, 1)
+   ===== ========= ===========================
+
+Every transition only raises Vth — the property that makes the mapping
+implementable with ISPP — and the final levels equal the ReduceCode
+encoding of the word ``(MSB, LSB1, LSB2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reduce_code import REDUCE_CODE_ENCODE
+from repro.device.cell import CellArray
+from repro.errors import ConfigurationError, ProgramError
+
+#: Table 2 second-step targets: (lsb1, lsb2) -> (Vth I, Vth II) when MSB = 1.
+SECOND_STEP_TARGETS: dict[tuple[int, int], tuple[int, int]] = {
+    (0, 0): (2, 2),
+    (0, 1): (0, 2),
+    (1, 0): (2, 0),
+    (1, 1): (2, 1),
+}
+
+
+class TwoStepProgrammer:
+    """Programs ReduceCode cell pairs in a :class:`CellArray`.
+
+    The array must use 3 levels.  ``pair_indices`` is an ``(n, 2)``
+    array of cell indices: column 0 is the first cell (Vth I) of each
+    pair, column 1 the second (Vth II).
+    """
+
+    def __init__(self, array: CellArray):
+        if array.n_levels != 3:
+            raise ConfigurationError(
+                f"reduced-state programming needs 3-level cells, got {array.n_levels}"
+            )
+        self.array = array
+
+    def program_lsbs(self, pair_indices: np.ndarray, lsbs: np.ndarray) -> None:
+        """First program step: store the two LSBs of each pair.
+
+        ``lsbs`` is an ``(n, 2)`` 0/1 array; each cell is raised from
+        level 0 to its LSB value.
+        """
+        pair_indices, lsbs = self._check_pairs(pair_indices, lsbs)
+        current = self.array.read(pair_indices.ravel())
+        if np.any(current != 0):
+            raise ProgramError("first program step requires erased cells")
+        self.array.program(pair_indices.ravel(), lsbs.ravel().astype(np.int8))
+
+    def program_msbs(self, pair_indices: np.ndarray, msbs: np.ndarray) -> None:
+        """Second program step: store each pair's MSB.
+
+        MSB = 0 leaves the pair at its LSB levels; MSB = 1 advances the
+        pair per Table 2.  The current levels must be a legal first-step
+        outcome (each cell at level 0 or 1).
+        """
+        pair_indices = np.asarray(pair_indices, dtype=np.intp)
+        msbs = np.asarray(msbs, dtype=np.uint8)
+        if pair_indices.ndim != 2 or pair_indices.shape[1] != 2:
+            raise ConfigurationError("pair_indices must have shape (n, 2)")
+        if msbs.shape != (pair_indices.shape[0],):
+            raise ConfigurationError("msbs must have one bit per pair")
+        if msbs.size and msbs.max() > 1:
+            raise ConfigurationError("msbs must be 0/1")
+        current = self.array.read(pair_indices.ravel()).reshape(-1, 2)
+        if np.any(current > 1):
+            raise ProgramError(
+                "second program step found a cell above level 1 — "
+                "the upper page was already programmed"
+            )
+        targets = current.copy()
+        selected = msbs == 1
+        for row in np.flatnonzero(selected):
+            lsb_pair = (int(current[row, 0]), int(current[row, 1]))
+            targets[row] = SECOND_STEP_TARGETS[lsb_pair]
+        self.array.program(pair_indices.ravel(), targets.ravel().astype(np.int8))
+
+    def program_words(self, pair_indices: np.ndarray, words: np.ndarray) -> None:
+        """Convenience: run both steps for 3-bit words ``(MSB, LSB1, LSB2)``."""
+        words = np.asarray(words)
+        if words.ndim != 1 or (words.size and (words.min() < 0 or words.max() > 7)):
+            raise ConfigurationError("words must be 3-bit values")
+        lsbs = np.stack([(words >> 1) & 1, words & 1], axis=1)
+        msbs = ((words >> 2) & 1).astype(np.uint8)
+        self.program_lsbs(pair_indices, lsbs)
+        self.program_msbs(pair_indices, msbs)
+
+    def verify_against_table1(self, pair_indices: np.ndarray, words: np.ndarray) -> bool:
+        """True if the programmed levels equal the Table 1 encoding."""
+        pair_indices = np.asarray(pair_indices, dtype=np.intp)
+        words = np.asarray(words)
+        levels = self.array.read(pair_indices.ravel()).reshape(-1, 2)
+        for row, word in enumerate(words):
+            if tuple(levels[row]) != REDUCE_CODE_ENCODE[int(word)]:
+                return False
+        return True
+
+    def _check_pairs(
+        self, pair_indices: np.ndarray, bits: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        pair_indices = np.asarray(pair_indices, dtype=np.intp)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if pair_indices.ndim != 2 or pair_indices.shape[1] != 2:
+            raise ConfigurationError("pair_indices must have shape (n, 2)")
+        if bits.shape != pair_indices.shape:
+            raise ConfigurationError("bits must match pair_indices' shape")
+        if bits.size and bits.max() > 1:
+            raise ConfigurationError("bits must be 0/1")
+        flat = pair_indices.ravel()
+        if flat.size != np.unique(flat).size:
+            raise ConfigurationError("pair_indices contain duplicate cells")
+        return pair_indices, bits

@@ -1,0 +1,137 @@
+"""ReduceCode: 3 bits in two 3-level cells (paper Table 1).
+
+A reduced-state cell has three Vth levels, so two cells span nine level
+combinations; ReduceCode uses eight of them to store 3 bits — 1.5 bits
+per cell instead of 1 bit with plain Gray coding, holding the capacity
+loss of level reduction at 25 %.
+
+Like Gray code, the mapping is distortion-minimizing: a single one-level
+Vth slip in either cell changes the decoded word by (almost always) one
+bit.  The only exception involves the unused combination (1, 2): it is
+decoded as 101, which recovers perfectly the most common way of
+reaching it (a retention down-slip of (2,2)->(1,2) costs 1 bit, an
+interference up-slip (0,2)->(1,2) costs 0) and costs two bits only for
+the rare (1,1)->(1,2) up-slip of an already-high second cell.
+
+Bit convention: a 3-bit word ``b2 b1 b0`` has ``b2`` = the MSB (upper
+page) and ``b1 b0`` = the two LSBs (lower/middle page), matching the
+two-step program algorithm of paper Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.coding import TableCoding
+from repro.errors import ConfigurationError
+
+#: Paper Table 1: 3-bit word -> (Vth I, Vth II).
+REDUCE_CODE_ENCODE: dict[int, tuple[int, int]] = {
+    0b000: (0, 0),
+    0b001: (0, 1),
+    0b010: (1, 0),
+    0b011: (1, 1),
+    0b100: (2, 2),
+    0b101: (0, 2),
+    0b110: (2, 0),
+    0b111: (2, 1),
+}
+
+#: Full decode table including the unused combination (1, 2) -> 101.
+REDUCE_CODE_DECODE: dict[tuple[int, int], int] = {
+    levels: word for word, levels in REDUCE_CODE_ENCODE.items()
+}
+REDUCE_CODE_DECODE[(1, 2)] = 0b101
+
+#: Fraction of cells at each Vth level under random data (levels 0/1/2
+#: appear 6/5/5 times across the 16 cell slots of the eight codewords).
+REDUCE_CODE_LEVEL_USAGE: tuple[float, float, float] = (6 / 16, 5 / 16, 5 / 16)
+
+_ENCODE_LUT = np.array([REDUCE_CODE_ENCODE[w] for w in range(8)], dtype=np.int8)
+_DECODE_LUT = np.full((3, 3), -1, dtype=np.int8)
+for _levels, _word in REDUCE_CODE_DECODE.items():
+    _DECODE_LUT[_levels] = _word
+
+
+class ReduceCodeCoding(TableCoding):
+    """ReduceCode as a :class:`~repro.device.coding.CellCoding`."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            encode_table={w: lv for w, lv in REDUCE_CODE_ENCODE.items()},
+            decode_table=dict(REDUCE_CODE_DECODE),
+            n_levels=3,
+        )
+
+
+def encode_bits(bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a bit array (length divisible by 3) into cell-level pairs.
+
+    Bits are consumed three at a time as ``(MSB, LSB1, LSB2)``; the
+    return value is ``(levels_I, levels_II)`` for the first and second
+    cell of each pair.
+    """
+    bits = _as_bits(bits)
+    if bits.size % 3 != 0:
+        raise ConfigurationError(
+            f"bit count {bits.size} not divisible by 3 — ReduceCode packs 3 bits/pair"
+        )
+    groups = bits.reshape(-1, 3)
+    words = (groups[:, 0].astype(np.int16) << 2) | (groups[:, 1] << 1) | groups[:, 2]
+    pairs = _ENCODE_LUT[words]
+    return pairs[:, 0].copy(), pairs[:, 1].copy()
+
+
+def decode_levels(levels_i: np.ndarray, levels_ii: np.ndarray) -> np.ndarray:
+    """Decode cell-level pairs back into a bit array.
+
+    Every combination of levels decodes (the unused (1, 2) maps to 101),
+    so distorted cells still yield a best-effort word for the outer ECC.
+    """
+    levels_i = np.asarray(levels_i, dtype=np.int8)
+    levels_ii = np.asarray(levels_ii, dtype=np.int8)
+    if levels_i.shape != levels_ii.shape or levels_i.ndim != 1:
+        raise ConfigurationError("level arrays must be 1-D and the same length")
+    if levels_i.size and (
+        levels_i.min() < 0
+        or levels_i.max() > 2
+        or levels_ii.min() < 0
+        or levels_ii.max() > 2
+    ):
+        raise ConfigurationError("reduced-state levels must be in {0, 1, 2}")
+    words = _DECODE_LUT[levels_i, levels_ii].astype(np.uint8)
+    bits = np.empty(words.size * 3, dtype=np.uint8)
+    bits[0::3] = (words >> 2) & 1
+    bits[1::3] = (words >> 1) & 1
+    bits[2::3] = words & 1
+    return bits
+
+
+def single_slip_bit_errors() -> dict[tuple[int, int, int], int]:
+    """Bit errors caused by every possible single one-level slip.
+
+    Returns a mapping ``(word, cell_index, new_level) -> bit_errors``
+    covering each used codeword and each +-1 slip of either cell.  Used
+    by the property tests verifying the paper's distortion claim.
+    """
+    outcomes: dict[tuple[int, int, int], int] = {}
+    for word, levels in REDUCE_CODE_ENCODE.items():
+        for cell_index in range(2):
+            for delta in (-1, 1):
+                new_level = levels[cell_index] + delta
+                if not 0 <= new_level <= 2:
+                    continue
+                slipped = list(levels)
+                slipped[cell_index] = new_level
+                decoded = REDUCE_CODE_DECODE[tuple(slipped)]
+                outcomes[(word, cell_index, new_level)] = bin(word ^ decoded).count("1")
+    return outcomes
+
+
+def _as_bits(bits: np.ndarray) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ConfigurationError("bits must be a 1-D array")
+    if bits.size and bits.max() > 1:
+        raise ConfigurationError("bits must be 0/1")
+    return bits

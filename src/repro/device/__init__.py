@@ -1,0 +1,53 @@
+"""NAND device physics substrate.
+
+This subpackage models the analog behaviour of MLC NAND flash cells:
+
+* :mod:`repro.device.distributions` — a grid-based probability engine
+  for threshold-voltage (Vth) distributions,
+* :mod:`repro.device.voltages` — voltage plans (verify / read-reference
+  voltages for normal four-level and reduced three-level cells),
+* :mod:`repro.device.geometry` — block / wordline / even-odd bitline
+  layout,
+* :mod:`repro.device.c2c` — cell-to-cell interference (paper Eq. 2),
+* :mod:`repro.device.retention` — retention charge-loss (paper Eq. 3),
+* :mod:`repro.device.ber` — the analytic + Monte-Carlo BER engine,
+* :mod:`repro.device.uber` — uncorrectable-BER estimation (paper Eq. 1),
+* :mod:`repro.device.cell` — a behavioural cell-array model used by the
+  functional (bit-accurate) simulations.
+"""
+
+from repro.device.distributions import Distribution, VoltageGrid
+from repro.device.voltages import (
+    VoltagePlan,
+    normal_mlc_plan,
+    reduced_plan,
+    slc_plan,
+)
+from repro.device.geometry import NandGeometry
+from repro.device.c2c import CouplingRatios, C2cModel, NeighborProfile
+from repro.device.disturb import ReadDisturbModel, reads_to_failure
+from repro.device.retention import RetentionModel
+from repro.device.wear import WearModel
+from repro.device.ber import BerAnalyzer, BerBreakdown
+from repro.device.uber import uber, required_correctable_bits
+
+__all__ = [
+    "Distribution",
+    "VoltageGrid",
+    "VoltagePlan",
+    "normal_mlc_plan",
+    "reduced_plan",
+    "slc_plan",
+    "NandGeometry",
+    "CouplingRatios",
+    "C2cModel",
+    "NeighborProfile",
+    "RetentionModel",
+    "WearModel",
+    "ReadDisturbModel",
+    "reads_to_failure",
+    "BerAnalyzer",
+    "BerBreakdown",
+    "uber",
+    "required_correctable_bits",
+]

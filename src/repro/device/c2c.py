@@ -1,0 +1,155 @@
+"""Cell-to-cell interference model (paper Eq. 2).
+
+Programming a floating-gate cell couples capacitively into its
+neighbours and raises their Vth:
+
+    dV_c2c = sum_k dVp(k) * gamma(k)
+
+where ``dVp(k)`` is the Vth swing of the interfering (aggressor) cell
+and ``gamma(k)`` the coupling ratio along direction ``k``.  In the
+even/odd bitline structure coupling acts along three directions with
+ratios gamma_x = 0.07 (bitline), gamma_y = 0.09 (wordline) and
+gamma_xy = 0.005 (diagonal) [paper §6.1, ref 17].
+
+A victim cell only suffers interference from aggressors programmed
+*after* it.  With even pages programmed before odd pages on the same
+wordline, an even cell sees both x-neighbours plus the next wordline's
+y and diagonal neighbours, while an odd cell only sees the next
+wordline.  :class:`NeighborProfile` captures the aggressor counts, and
+:class:`C2cModel` turns a voltage plan into the distribution of the
+total interference shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.distributions import Distribution
+from repro.device.voltages import VoltagePlan
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CouplingRatios:
+    """Capacitive coupling ratios along the three directions."""
+
+    gamma_x: float = 0.07
+    gamma_y: float = 0.09
+    gamma_xy: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in ("gamma_x", "gamma_y", "gamma_xy"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"negative coupling ratio {name}")
+
+
+@dataclass(frozen=True)
+class NeighborProfile:
+    """How many later-programmed aggressors a victim cell has per direction."""
+
+    n_x: int
+    n_y: int
+    n_xy: int
+
+    def __post_init__(self) -> None:
+        for name in ("n_x", "n_y", "n_xy"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"negative neighbor count {name}")
+
+
+#: Even-bitline cell: both x-neighbours (odd cells, programmed later),
+#: one y-neighbour on the next wordline, two diagonals.
+EVEN_CELL_PROFILE = NeighborProfile(n_x=2, n_y=1, n_xy=2)
+
+#: Odd-bitline cell: x-neighbours were programmed earlier, so only the
+#: next wordline's y and diagonal neighbours interfere.
+ODD_CELL_PROFILE = NeighborProfile(n_x=0, n_y=1, n_xy=2)
+
+#: Average profile used when a page mixes even and odd cells.
+DEFAULT_PROFILES: tuple[NeighborProfile, ...] = (EVEN_CELL_PROFILE, ODD_CELL_PROFILE)
+
+
+class C2cModel:
+    """Distribution of the total cell-to-cell interference shift.
+
+    Parameters
+    ----------
+    ratios:
+        Coupling ratios per direction.
+    level_usage:
+        Optional probability of each Vth level appearing in aggressor
+        data (defaults to uniform).  ReduceCode's non-uniform level
+        frequencies can be passed here.
+    """
+
+    def __init__(
+        self,
+        ratios: CouplingRatios | None = None,
+        level_usage: tuple[float, ...] | None = None,
+    ):
+        self.ratios = ratios or CouplingRatios()
+        self.level_usage = level_usage
+        self._shift_cache: dict[tuple, Distribution] = {}
+
+    # --- single-aggressor swing ---------------------------------------------------
+
+    def aggressor_swing(self, plan: VoltagePlan) -> Distribution:
+        """Distribution of one aggressor's program-time Vth swing ``dVp``.
+
+        The aggressor starts erased and is programmed to a random data
+        level; programming to level 0 leaves it unchanged (zero swing).
+        The swing to level L is ``programmed(L) - erased``, truncated at
+        zero because ISPP only ever raises Vth.
+        """
+        usage = self._usage(plan)
+        components: list[tuple[float, Distribution]] = []
+        step = plan.grid_step
+        erased_neg = plan.erased_distribution().negate()
+        for level, weight in enumerate(usage):
+            if weight <= 0:
+                continue
+            if level == 0:
+                components.append((weight, Distribution.delta(0.0, step)))
+                continue
+            swing = plan.programmed_distribution(level).convolve(erased_neg)
+            components.append((weight, swing.truncate_below(0.0)))
+        return Distribution.mixture(components)
+
+    # --- total shift ------------------------------------------------------------------
+
+    def shift_distribution(
+        self, plan: VoltagePlan, profile: NeighborProfile
+    ) -> Distribution:
+        """Distribution of the total interference shift on a victim cell."""
+        key = (plan.name, plan.vpp, plan.sigma_p, profile)
+        cached = self._shift_cache.get(key)
+        if cached is not None:
+            return cached
+        swing = self.aggressor_swing(plan)
+        total = Distribution.delta(0.0, plan.grid_step)
+        for gamma, count in (
+            (self.ratios.gamma_x, profile.n_x),
+            (self.ratios.gamma_y, profile.n_y),
+            (self.ratios.gamma_xy, profile.n_xy),
+        ):
+            if gamma <= 0 or count == 0:
+                continue
+            per_aggressor = swing.scale(gamma)
+            for _ in range(count):
+                total = total.convolve(per_aggressor)
+        self._shift_cache[key] = total
+        return total
+
+    def mean_shift(self, plan: VoltagePlan, profile: NeighborProfile) -> float:
+        """Expected total interference shift for one victim cell."""
+        return self.shift_distribution(plan, profile).mean()
+
+    def _usage(self, plan: VoltagePlan) -> tuple[float, ...]:
+        if self.level_usage is None:
+            return tuple([1.0 / plan.n_levels] * plan.n_levels)
+        if len(self.level_usage) != plan.n_levels:
+            raise ConfigurationError(
+                f"level_usage has {len(self.level_usage)} entries for a "
+                f"{plan.n_levels}-level plan"
+            )
+        return self.level_usage

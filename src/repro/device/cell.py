@@ -1,0 +1,116 @@
+"""Behavioural cell-array model.
+
+While :mod:`repro.device.ber` reasons about probability distributions,
+the system-level functional simulations (two-step programming tests,
+ReduceCode round trips, fault-injection tests) need an *operational*
+model: an array of cells holding discrete Vth levels that can be
+programmed, read and erased, with optional level-distortion injection.
+
+The model enforces NAND programming physics at the level abstraction:
+ISPP can only *raise* a cell's level, and a block must be erased before
+its cells can be reprogrammed from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProgramError
+
+
+class CellArray:
+    """An array of NAND cells storing discrete Vth levels.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells in the array (one wordline's worth, typically).
+    n_levels:
+        Number of Vth levels each cell supports (4 normal, 3 reduced).
+    """
+
+    def __init__(self, n_cells: int, n_levels: int):
+        if n_cells <= 0:
+            raise ConfigurationError(f"non-positive cell count: {n_cells}")
+        if n_levels < 2:
+            raise ConfigurationError(f"need at least 2 levels, got {n_levels}")
+        self.n_cells = n_cells
+        self.n_levels = n_levels
+        self.levels = np.zeros(n_cells, dtype=np.int8)
+        self.program_count = 0
+        self.erase_count = 0
+
+    # --- operations -------------------------------------------------------------
+
+    def erase(self) -> None:
+        """Reset every cell to level 0 (the erased state)."""
+        self.levels.fill(0)
+        self.erase_count += 1
+
+    def program(self, indices: np.ndarray, targets: np.ndarray) -> None:
+        """Raise the selected cells to their target levels.
+
+        Raises
+        ------
+        ProgramError
+            If any target is below the cell's current level (ISPP cannot
+            remove charge) or outside the level range.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        targets = np.asarray(targets, dtype=np.int8)
+        if indices.shape != targets.shape:
+            raise ConfigurationError("indices and targets must have the same shape")
+        if indices.size == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.n_cells:
+            raise ProgramError("program index outside the array")
+        if targets.min() < 0 or targets.max() >= self.n_levels:
+            raise ProgramError(
+                f"target level outside [0, {self.n_levels}) in program operation"
+            )
+        current = self.levels[indices]
+        if np.any(targets < current):
+            raise ProgramError(
+                "program would lower a cell's Vth level; erase the block first"
+            )
+        self.levels[indices] = targets
+        self.program_count += 1
+
+    def read(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Sensed level of the selected cells (all cells by default)."""
+        if indices is None:
+            return self.levels.copy()
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_cells):
+            raise ConfigurationError("read index outside the array")
+        return self.levels[indices].copy()
+
+    # --- fault injection ---------------------------------------------------------
+
+    def inject_drift(
+        self,
+        rng: np.random.Generator,
+        downward_rate: float = 0.0,
+        upward_rate: float = 0.0,
+    ) -> int:
+        """Randomly slip cell levels by one, modelling retention (down)
+        and interference (up).  Returns the number of distorted cells.
+
+        Rates are per-cell probabilities; a cell can only drift in one
+        direction per invocation (downward is checked first, matching
+        retention's dominance at high P/E counts).
+        """
+        for name, rate in (("downward_rate", downward_rate), ("upward_rate", upward_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} outside [0, 1]: {rate}")
+        draws = rng.random(self.n_cells)
+        down = (draws < downward_rate) & (self.levels > 0)
+        up = (
+            (draws >= downward_rate)
+            & (draws < downward_rate + upward_rate)
+            & (self.levels < self.n_levels - 1)
+            & (self.levels > 0)  # erased cells gain charge only via programming
+        )
+        self.levels[down] -= 1
+        self.levels[up] += 1
+        return int(down.sum() + up.sum())

@@ -1,0 +1,267 @@
+"""Cell-level bit codings used by the BER engine.
+
+The BER engine works at the granularity of *level misreads* (a cell
+programmed to level ``l`` sensed in the region of level ``m``).  How
+many stored bits such a misread corrupts depends on the bit mapping; a
+:class:`CellCoding` supplies exactly that information:
+
+* how many cells form a coding group and how many bits they store,
+* how frequently each Vth level appears under random data,
+* the expected number of bit errors caused by a single-cell misread.
+
+:class:`GrayMlcCoding` is the standard Gray-coded MLC mapping (11, 10,
+00, 01 on levels 0–3).  :class:`TableCoding` is the generic table-driven
+group coding used by ReduceCode (paper Table 1); the concrete ReduceCode
+tables live in :mod:`repro.core.reduce_code`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+#: Standard Gray mapping for MLC: Vth level -> 2-bit value (MSB, LSB).
+GRAY_MLC_MAP: tuple[int, ...] = (0b11, 0b10, 0b00, 0b01)
+
+
+class CellCoding(ABC):
+    """Interface between a bit mapping and the BER engine."""
+
+    @property
+    @abstractmethod
+    def n_levels(self) -> int:
+        """Number of Vth levels per cell."""
+
+    @property
+    @abstractmethod
+    def cells_per_group(self) -> int:
+        """Cells that jointly encode one group of bits."""
+
+    @property
+    @abstractmethod
+    def bits_per_group(self) -> int:
+        """Bits stored by one coding group."""
+
+    @abstractmethod
+    def level_usage(self) -> tuple[float, ...]:
+        """Probability of each level under uniformly random data."""
+
+    @abstractmethod
+    def bit_error_weight(self, true_level: int, read_level: int) -> float:
+        """Expected bit errors when one cell at ``true_level`` reads as
+        ``read_level`` (averaged over cell positions and partner data,
+        conditioned on the misread cell actually holding ``true_level``).
+        """
+
+    @property
+    def error_rate_scale(self) -> float:
+        """Multiplier converting per-cell misread rates to per-bit BER."""
+        return self.cells_per_group / self.bits_per_group
+
+    def density_bits_per_cell(self) -> float:
+        """Storage density in bits per cell."""
+        return self.bits_per_group / self.cells_per_group
+
+
+class GrayMlcCoding(CellCoding):
+    """Gray-coded four-level MLC (paper §2.1)."""
+
+    @property
+    def n_levels(self) -> int:
+        return 4
+
+    @property
+    def cells_per_group(self) -> int:
+        return 1
+
+    @property
+    def bits_per_group(self) -> int:
+        return 2
+
+    def level_usage(self) -> tuple[float, ...]:
+        return (0.25, 0.25, 0.25, 0.25)
+
+    def bit_error_weight(self, true_level: int, read_level: int) -> float:
+        self._check(true_level)
+        self._check(read_level)
+        diff = GRAY_MLC_MAP[true_level] ^ GRAY_MLC_MAP[read_level]
+        return float(bin(diff).count("1"))
+
+    def _check(self, level: int) -> None:
+        if not 0 <= level < 4:
+            raise ConfigurationError(f"MLC level {level} outside [0, 4)")
+
+
+class GrayCoding(CellCoding):
+    """Reflected-Gray per-cell coding for any power-of-two level count.
+
+    Generalizes :class:`GrayMlcCoding` to TLC (8 levels) and QLC (16):
+    adjacent levels differ in exactly one bit.
+    """
+
+    def __init__(self, n_levels: int):
+        bits = n_levels.bit_length() - 1
+        if n_levels < 2 or (1 << bits) != n_levels:
+            raise ConfigurationError(
+                f"Gray coding needs a power-of-two level count, got {n_levels}"
+            )
+        self._levels = n_levels
+        self._bits = bits
+        self._map = tuple(i ^ (i >> 1) for i in range(n_levels))
+
+    @property
+    def n_levels(self) -> int:
+        return self._levels
+
+    @property
+    def cells_per_group(self) -> int:
+        return 1
+
+    @property
+    def bits_per_group(self) -> int:
+        return self._bits
+
+    def level_usage(self) -> tuple[float, ...]:
+        return tuple([1.0 / self._levels] * self._levels)
+
+    def bit_error_weight(self, true_level: int, read_level: int) -> float:
+        for level in (true_level, read_level):
+            if not 0 <= level < self._levels:
+                raise ConfigurationError(
+                    f"level {level} outside [0, {self._levels})"
+                )
+        return float(bin(self._map[true_level] ^ self._map[read_level]).count("1"))
+
+
+class SlcCoding(CellCoding):
+    """Single-level-cell coding: one bit per two-level cell.
+
+    Used by the SLC-caching extension system — the classic alternative
+    to LevelAdjust that trades *half* the density for reliability.
+    """
+
+    @property
+    def n_levels(self) -> int:
+        return 2
+
+    @property
+    def cells_per_group(self) -> int:
+        return 1
+
+    @property
+    def bits_per_group(self) -> int:
+        return 1
+
+    def level_usage(self) -> tuple[float, ...]:
+        return (0.5, 0.5)
+
+    def bit_error_weight(self, true_level: int, read_level: int) -> float:
+        for level in (true_level, read_level):
+            if not 0 <= level < 2:
+                raise ConfigurationError(f"SLC level {level} outside [0, 2)")
+        return float(true_level != read_level)
+
+
+class TableCoding(CellCoding):
+    """A group coding defined by an explicit codeword table.
+
+    Parameters
+    ----------
+    encode_table:
+        Mapping from bit value (0 .. 2**bits - 1) to the tuple of cell
+        levels representing it.
+    decode_table:
+        Mapping from every possible tuple of cell levels to the decoded
+        bit value (must cover *all* level combinations, including the
+        unused ones that only appear after a misread).
+    n_levels:
+        Number of Vth levels per cell.
+    """
+
+    def __init__(
+        self,
+        encode_table: dict[int, tuple[int, ...]],
+        decode_table: dict[tuple[int, ...], int],
+        n_levels: int,
+    ):
+        if not encode_table:
+            raise ConfigurationError("empty encode table")
+        group_sizes = {len(levels) for levels in encode_table.values()}
+        if len(group_sizes) != 1:
+            raise ConfigurationError("inconsistent group sizes in encode table")
+        self._cells = group_sizes.pop()
+        self._levels = n_levels
+        n_words = len(encode_table)
+        bits = n_words.bit_length() - 1
+        if 1 << bits != n_words:
+            raise ConfigurationError(
+                f"encode table must have a power-of-two size, got {n_words}"
+            )
+        self._bits = bits
+        expected_combos = n_levels**self._cells
+        if len(decode_table) != expected_combos:
+            raise ConfigurationError(
+                f"decode table must cover all {expected_combos} level "
+                f"combinations, got {len(decode_table)}"
+            )
+        for word, levels in encode_table.items():
+            if any(not 0 <= lv < n_levels for lv in levels):
+                raise ConfigurationError(f"encode table level out of range: {levels}")
+            if decode_table[levels] != word:
+                raise ConfigurationError(
+                    f"decode({levels}) = {decode_table[levels]} does not "
+                    f"round-trip encode({word})"
+                )
+        self.encode_table = dict(encode_table)
+        self.decode_table = dict(decode_table)
+
+    @property
+    def n_levels(self) -> int:
+        return self._levels
+
+    @property
+    def cells_per_group(self) -> int:
+        return self._cells
+
+    @property
+    def bits_per_group(self) -> int:
+        return self._bits
+
+    def level_usage(self) -> tuple[float, ...]:
+        counts = [0] * self._levels
+        for levels in self.encode_table.values():
+            for lv in levels:
+                counts[lv] += 1
+        total = sum(counts)
+        return tuple(c / total for c in counts)
+
+    def bit_error_weight(self, true_level: int, read_level: int) -> float:
+        for level in (true_level, read_level):
+            if not 0 <= level < self._levels:
+                raise ConfigurationError(f"level {level} outside [0, {self._levels})")
+        if true_level == read_level:
+            return 0.0
+        total_weight = 0.0
+        total_cases = 0
+        for word, levels in self.encode_table.items():
+            for position, level in enumerate(levels):
+                if level != true_level:
+                    continue
+                misread = list(levels)
+                misread[position] = read_level
+                decoded = self.decode_table[tuple(misread)]
+                total_weight += bin(word ^ decoded).count("1")
+                total_cases += 1
+        if total_cases == 0:
+            # true_level never used by the code; a misread cannot occur.
+            return 0.0
+        return total_weight / total_cases
+
+    def all_level_tuples(self) -> list[tuple[int, ...]]:
+        """Every possible combination of cell levels in a group."""
+        return [
+            tuple(combo)
+            for combo in itertools.product(range(self._levels), repeat=self._cells)
+        ]

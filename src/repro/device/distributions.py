@@ -1,0 +1,247 @@
+"""Grid-based probability engine for threshold-voltage distributions.
+
+Every analog quantity in the device model (programmed Vth, cell-to-cell
+interference shift, retention charge loss) is represented as a discrete
+probability mass function sampled on a uniform voltage grid.  This makes
+convolution (adding independent voltage shifts), scaling (capacitive
+coupling ratios) and tail-mass queries (bit-error probabilities) exact
+up to the grid resolution, without closed-form assumptions.
+
+A :class:`Distribution` carries its own ``origin`` (the voltage of bin
+zero) and ``step`` so distributions with different supports can be
+combined; :meth:`Distribution.convolve` adds origins and convolves mass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Default grid resolution in volts.  2 mV resolves the paper's noise
+#: margins (tens of mV) with ~1 % relative error on tail masses.
+DEFAULT_STEP = 0.002
+
+
+@dataclass(frozen=True)
+class VoltageGrid:
+    """A uniform voltage axis used to discretize distributions.
+
+    Parameters
+    ----------
+    v_min, v_max:
+        Inclusive range of voltages the grid must cover.
+    step:
+        Bin width in volts.
+    """
+
+    v_min: float
+    v_max: float
+    step: float = DEFAULT_STEP
+
+    def __post_init__(self) -> None:
+        if self.v_max <= self.v_min:
+            raise ConfigurationError(
+                f"empty voltage grid: [{self.v_min}, {self.v_max}]"
+            )
+        if self.step <= 0:
+            raise ConfigurationError(f"non-positive grid step: {self.step}")
+
+    @property
+    def size(self) -> int:
+        """Number of bins on the grid."""
+        return int(round((self.v_max - self.v_min) / self.step)) + 1
+
+    def axis(self) -> np.ndarray:
+        """The voltage value of each bin."""
+        return self.v_min + self.step * np.arange(self.size)
+
+
+class Distribution:
+    """A probability mass function over voltage.
+
+    The mass in bin ``i`` represents the probability that the underlying
+    continuous voltage falls within ``step`` of ``origin + i * step``.
+    Total mass is kept at 1 (enforced on construction).
+    """
+
+    __slots__ = ("origin", "step", "pmf")
+
+    def __init__(self, origin: float, step: float, pmf: np.ndarray):
+        pmf = np.asarray(pmf, dtype=float)
+        if pmf.ndim != 1 or pmf.size == 0:
+            raise ConfigurationError("pmf must be a non-empty 1-D array")
+        if np.any(pmf < -1e-12):
+            raise ConfigurationError("pmf has negative mass")
+        total = float(pmf.sum())
+        if total <= 0:
+            raise ConfigurationError("pmf has zero total mass")
+        self.origin = float(origin)
+        self.step = float(step)
+        self.pmf = np.clip(pmf, 0.0, None) / total
+
+    # --- constructors --------------------------------------------------------
+
+    @classmethod
+    def delta(cls, value: float, step: float = DEFAULT_STEP) -> "Distribution":
+        """A point mass at ``value``."""
+        return cls(value, step, np.ones(1))
+
+    @classmethod
+    def gaussian(
+        cls,
+        mean: float,
+        sigma: float,
+        step: float = DEFAULT_STEP,
+        n_sigma: float = 8.0,
+    ) -> "Distribution":
+        """A Gaussian truncated at ``n_sigma`` standard deviations."""
+        if sigma < 0:
+            raise ConfigurationError(f"negative sigma: {sigma}")
+        if sigma < step / 4:
+            return cls.delta(mean, step)
+        half = int(math.ceil(n_sigma * sigma / step))
+        offsets = step * np.arange(-half, half + 1)
+        pmf = np.exp(-0.5 * (offsets / sigma) ** 2)
+        return cls(mean - half * step, step, pmf)
+
+    @classmethod
+    def uniform(
+        cls, low: float, high: float, step: float = DEFAULT_STEP
+    ) -> "Distribution":
+        """A uniform distribution on ``[low, high]``."""
+        if high < low:
+            raise ConfigurationError(f"uniform with high < low: [{low}, {high}]")
+        n = max(1, int(round((high - low) / step)) + 1)
+        return cls(low, step, np.ones(n))
+
+    @classmethod
+    def mixture(
+        cls, components: list[tuple[float, "Distribution"]]
+    ) -> "Distribution":
+        """A weighted mixture of distributions sharing the same step."""
+        if not components:
+            raise ConfigurationError("empty mixture")
+        step = components[0][1].step
+        for _, dist in components:
+            if abs(dist.step - step) > 1e-12:
+                raise ConfigurationError("mixture components must share a step")
+        origin = min(dist.origin for _, dist in components)
+        end = max(dist.origin + (dist.pmf.size - 1) * dist.step for _, dist in components)
+        n = int(round((end - origin) / step)) + 1
+        pmf = np.zeros(n)
+        for weight, dist in components:
+            if weight < 0:
+                raise ConfigurationError(f"negative mixture weight: {weight}")
+            start = int(round((dist.origin - origin) / step))
+            pmf[start : start + dist.pmf.size] += weight * dist.pmf
+        return cls(origin, step, pmf)
+
+    # --- basic properties -----------------------------------------------------
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """Voltage range ``(low, high)`` covered by the pmf bins."""
+        return self.origin, self.origin + (self.pmf.size - 1) * self.step
+
+    def axis(self) -> np.ndarray:
+        """Voltage value of each bin."""
+        return self.origin + self.step * np.arange(self.pmf.size)
+
+    def mean(self) -> float:
+        """Expected voltage."""
+        return float(np.dot(self.axis(), self.pmf))
+
+    def variance(self) -> float:
+        """Variance of the voltage."""
+        axis = self.axis()
+        mu = float(np.dot(axis, self.pmf))
+        return float(np.dot((axis - mu) ** 2, self.pmf))
+
+    def std(self) -> float:
+        """Standard deviation of the voltage."""
+        return math.sqrt(max(self.variance(), 0.0))
+
+    # --- algebra ---------------------------------------------------------------
+
+    def convolve(self, other: "Distribution") -> "Distribution":
+        """Distribution of the sum of two independent voltages."""
+        if abs(self.step - other.step) > 1e-12:
+            raise ConfigurationError("cannot convolve distributions with different steps")
+        pmf = np.convolve(self.pmf, other.pmf)
+        return Distribution(self.origin + other.origin, self.step, pmf)
+
+    def shift(self, delta: float) -> "Distribution":
+        """Distribution of the voltage plus a constant offset."""
+        return Distribution(self.origin + delta, self.step, self.pmf.copy())
+
+    def negate(self) -> "Distribution":
+        """Distribution of the negated voltage."""
+        end = self.origin + (self.pmf.size - 1) * self.step
+        return Distribution(-end, self.step, self.pmf[::-1].copy())
+
+    def scale(self, factor: float) -> "Distribution":
+        """Distribution of the voltage multiplied by ``factor`` ≥ 0.
+
+        The result is resampled back onto the same step so it stays
+        composable with other distributions; mass is preserved.
+        """
+        if factor < 0:
+            raise ConfigurationError(f"negative scale factor: {factor}")
+        if factor == 0:
+            return Distribution.delta(0.0, self.step)
+        src_axis = self.axis() * factor
+        lo, hi = src_axis[0], src_axis[-1]
+        n = max(1, int(round((hi - lo) / self.step)) + 1)
+        pmf = np.zeros(n)
+        idx = np.clip(np.round((src_axis - lo) / self.step).astype(int), 0, n - 1)
+        np.add.at(pmf, idx, self.pmf)
+        return Distribution(lo, self.step, pmf)
+
+    def truncate_below(self, voltage: float) -> "Distribution":
+        """Clamp all mass below ``voltage`` into the first bin at or
+        above it (models ISPP's verify floor: cells are re-pulsed until
+        they pass verify, so no probability can remain below it)."""
+        axis = self.axis()
+        below = axis < voltage
+        if not below.any():
+            return self
+        clamped_mass = float(self.pmf[below].sum())
+        first_keep = int(below.sum())
+        if first_keep >= self.pmf.size:
+            return Distribution.delta(voltage, self.step)
+        pmf = self.pmf[first_keep:].copy()
+        pmf[0] += clamped_mass
+        return Distribution(float(axis[first_keep]), self.step, pmf)
+
+    # --- queries ----------------------------------------------------------------
+
+    def mass_below(self, voltage: float) -> float:
+        """Probability that the voltage is strictly below ``voltage``."""
+        axis = self.axis()
+        return float(self.pmf[axis < voltage].sum())
+
+    def mass_above(self, voltage: float) -> float:
+        """Probability that the voltage is at or above ``voltage``."""
+        return 1.0 - self.mass_below(voltage)
+
+    def mass_between(self, low: float, high: float) -> float:
+        """Probability that ``low <= voltage < high``."""
+        axis = self.axis()
+        return float(self.pmf[(axis >= low) & (axis < high)].sum())
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` voltage samples (bin centres, jittered within a bin)."""
+        bins = rng.choice(self.pmf.size, size=size, p=self.pmf)
+        jitter = rng.uniform(-0.5, 0.5, size=size) * self.step
+        return self.origin + bins * self.step + jitter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.support
+        return (
+            f"Distribution(mean={self.mean():.3f}, std={self.std():.3f}, "
+            f"support=[{lo:.3f}, {hi:.3f}])"
+        )

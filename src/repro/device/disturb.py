@@ -1,0 +1,120 @@
+"""Read-disturb noise model.
+
+Every read of a block applies a weak programming stress to its
+unselected wordlines; over many reads the accumulated charge gain
+pushes Vth upward, eventually across the upper read reference — the
+same failure direction as cell-to-cell interference but driven by read
+*count* rather than neighbour writes.  The classic system response is a
+read-reclaim after a per-block read budget.
+
+The model follows the standard linearized form: after ``n`` reads the
+disturb shift is Gaussian with
+
+    mu    = mu_per_read * n
+    sigma = sigma_per_read * sqrt(n)
+
+which the BER engine can convolve onto a level distribution exactly
+like the other noise sources.  Defaults put the reads-to-failure of a
+worn normal-state MLC block in the hundreds of thousands, the order
+reported for 2x-nm parts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.distributions import Distribution
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReadDisturbModel:
+    """Cumulative read-disturb Vth shift."""
+
+    mu_per_read: float = 2.0e-6
+    sigma_per_read: float = 4.0e-6
+
+    def __post_init__(self) -> None:
+        if self.mu_per_read < 0 or self.sigma_per_read < 0:
+            raise ConfigurationError("disturb constants must be non-negative")
+
+    def mean_shift(self, n_reads: float) -> float:
+        """Expected upward shift after ``n_reads`` block reads."""
+        self._check(n_reads)
+        return self.mu_per_read * n_reads
+
+    def shift_sigma(self, n_reads: float) -> float:
+        """Standard deviation of the shift after ``n_reads`` reads."""
+        self._check(n_reads)
+        return self.sigma_per_read * math.sqrt(n_reads)
+
+    def shift_distribution(self, n_reads: float, step: float) -> Distribution | None:
+        """The shift as a grid distribution (None when reads = 0)."""
+        self._check(n_reads)
+        if n_reads == 0 or (self.mu_per_read == 0 and self.sigma_per_read == 0):
+            return None
+        mu = self.mean_shift(n_reads)
+        sigma = self.shift_sigma(n_reads)
+        dist = Distribution.gaussian(mu, sigma, step=step)
+        # Read disturb only ever adds charge.
+        return dist.truncate_below(0.0)
+
+    def apply(self, dist: Distribution, n_reads: float) -> Distribution:
+        """Convolve the disturb shift onto a Vth distribution."""
+        shift = self.shift_distribution(n_reads, dist.step)
+        if shift is None:
+            return dist
+        return dist.convolve(shift)
+
+    @staticmethod
+    def _check(n_reads: float) -> None:
+        if n_reads < 0:
+            raise ConfigurationError(f"negative read count: {n_reads}")
+
+
+def reads_to_failure(
+    analyzer,
+    disturb: ReadDisturbModel,
+    ber_limit: float = 4.0e-3,
+    pe_cycles: float = 6000.0,
+    max_reads: float = 10_000_000.0,
+) -> float:
+    """Block reads sustainable before disturb pushes BER past the limit.
+
+    Binary-searches the read count at which the analyzer's
+    interference-free BER (programmed + wear + disturb) crosses
+    ``ber_limit`` — the read-reclaim budget a controller would set.
+    Returns ``max_reads`` if the limit is never reached.
+    """
+    if ber_limit <= 0:
+        raise ConfigurationError("BER limit must be positive")
+
+    def ber_at(n_reads: float) -> float:
+        total = 0.0
+        usage = analyzer.coding.level_usage()
+        for profile in analyzer.profiles:
+            for level in range(analyzer.plan.n_levels):
+                if usage[level] <= 0:
+                    continue
+                dist = analyzer.final_distribution(
+                    level, profile, pe_cycles=pe_cycles,
+                    include_c2c=False, include_retention=False,
+                )
+                dist = disturb.apply(dist, n_reads)
+                low, high = analyzer.plan.region(level)
+                miss = 1.0 - dist.mass_between(low, high)
+                total += usage[level] * miss
+        raw = total / len(analyzer.profiles)
+        return raw * analyzer.coding.error_rate_scale
+
+    if ber_at(max_reads) <= ber_limit:
+        return max_reads
+    low, high = 0.0, max_reads
+    for _ in range(40):
+        mid = (low + high) / 2
+        if ber_at(mid) <= ber_limit:
+            low = mid
+        else:
+            high = mid
+    return low

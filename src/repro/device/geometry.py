@@ -1,0 +1,134 @@
+"""NAND array geometry: blocks, wordlines and the even/odd bitline structure.
+
+Paper Fig. 1(a): each wordline holds two *page groups* (even and odd
+bitlines); a page group stores a lower page (the LSBs) and an upper page
+(the MSBs), so a wordline of a normal MLC block carries four pages.
+
+Under the ReduceCode bitline structure (paper Fig. 3) two neighbouring
+even cells (or two odd cells) jointly store 3 bits, so a wordline
+carries three pages: lower (the two LSBs of even pairs), middle (the two
+LSBs of odd pairs) and upper (all MSBs).  The geometry helpers here give
+both layouts a common vocabulary used by the behavioural cell model and
+the FTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class BitlineParity(Enum):
+    """Whether a cell sits on an even or an odd bitline."""
+
+    EVEN = 0
+    ODD = 1
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Physical layout of one NAND block.
+
+    Parameters
+    ----------
+    wordlines_per_block:
+        Number of wordlines in a block.
+    cells_per_wordline:
+        Total number of cells on a wordline (even + odd bitlines).
+        Must be divisible by 4 so the ReduceCode pairing (two even or
+        two odd neighbouring cells) is well formed.
+    """
+
+    wordlines_per_block: int = 64
+    cells_per_wordline: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.wordlines_per_block <= 0:
+            raise ConfigurationError("wordlines_per_block must be positive")
+        if self.cells_per_wordline <= 0 or self.cells_per_wordline % 4 != 0:
+            raise ConfigurationError(
+                "cells_per_wordline must be a positive multiple of 4, got "
+                f"{self.cells_per_wordline}"
+            )
+
+    # --- normal MLC layout -----------------------------------------------------
+
+    @property
+    def cells_per_page_group(self) -> int:
+        """Cells in one (even or odd) page group of a wordline."""
+        return self.cells_per_wordline // 2
+
+    @property
+    def normal_pages_per_wordline(self) -> int:
+        """Pages on a wordline in normal MLC mode (lower+upper, even+odd)."""
+        return 4
+
+    @property
+    def normal_bits_per_wordline(self) -> int:
+        """Bits stored on one wordline in normal MLC mode (2 per cell)."""
+        return 2 * self.cells_per_wordline
+
+    @property
+    def normal_page_bits(self) -> int:
+        """Bits in one normal-mode page (one bit per page-group cell)."""
+        return self.cells_per_page_group
+
+    # --- ReduceCode layout --------------------------------------------------------
+
+    @property
+    def pairs_per_parity(self) -> int:
+        """ReduceCode cell pairs per wordline within one bitline parity."""
+        return self.cells_per_wordline // 4
+
+    @property
+    def reduced_pages_per_wordline(self) -> int:
+        """Pages on a wordline in reduced mode (lower, middle, upper)."""
+        return 3
+
+    @property
+    def reduced_bits_per_wordline(self) -> int:
+        """Bits stored on one wordline in reduced mode (3 bits / 2 cells)."""
+        return 3 * (self.cells_per_wordline // 2)
+
+    @property
+    def reduced_capacity_factor(self) -> float:
+        """Reduced-mode capacity relative to normal mode (paper: 75 %)."""
+        return self.reduced_bits_per_wordline / self.normal_bits_per_wordline
+
+    # --- cell addressing -------------------------------------------------------------
+
+    def parity(self, cell_index: int) -> BitlineParity:
+        """Bitline parity of a cell index within a wordline."""
+        self._check_cell(cell_index)
+        return BitlineParity.EVEN if cell_index % 2 == 0 else BitlineParity.ODD
+
+    def pair_partner(self, cell_index: int) -> int:
+        """The cell paired with ``cell_index`` under ReduceCode.
+
+        Pairs are formed from neighbouring same-parity cells: even cells
+        (0, 2), (4, 6), … and odd cells (1, 3), (5, 7), …
+        """
+        self._check_cell(cell_index)
+        group = cell_index // 4
+        offset = cell_index % 4
+        partner_offset = {0: 2, 2: 0, 1: 3, 3: 1}[offset]
+        return 4 * group + partner_offset
+
+    def x_neighbors(self, cell_index: int) -> tuple[int, ...]:
+        """Adjacent cells on the same wordline (bitline direction)."""
+        self._check_cell(cell_index)
+        neighbors = []
+        if cell_index > 0:
+            neighbors.append(cell_index - 1)
+        if cell_index < self.cells_per_wordline - 1:
+            neighbors.append(cell_index + 1)
+        return tuple(neighbors)
+
+    def _check_cell(self, cell_index: int) -> None:
+        if not 0 <= cell_index < self.cells_per_wordline:
+            raise ConfigurationError(
+                f"cell index {cell_index} outside wordline of "
+                f"{self.cells_per_wordline} cells"
+            )

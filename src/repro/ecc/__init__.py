@@ -1,0 +1,13 @@
+"""Error-correction substrate.
+
+* :mod:`repro.ecc.galois` — GF(2^m) arithmetic tables,
+* :mod:`repro.ecc.bch` — binary BCH codec (the hard-decision ECC that
+  LDPC replaces at 2x-nm nodes, paper §1),
+* :mod:`repro.ecc.ldpc` — LDPC construction, encoding, hard/soft
+  decoding, the NAND soft-sensing channel and the read-latency model.
+"""
+
+from repro.ecc.galois import GF2m
+from repro.ecc.bch import BchCode
+
+__all__ = ["GF2m", "BchCode"]

@@ -1,0 +1,231 @@
+"""Binary BCH codec — the hard-decision ECC baseline.
+
+At 3x-nm nodes NAND storage systems protect pages with BCH codes
+(paper §1); LDPC replaces them at 2x-nm because BCH's correction
+strength no longer covers the raw BER.  This module implements a
+complete binary BCH codec over GF(2^m):
+
+* code construction from the design distance (generator polynomial as
+  the LCM of minimal polynomials of alpha .. alpha^{2t}),
+* systematic encoding by polynomial division,
+* decoding via syndromes, Berlekamp–Massey and Chien search.
+
+Bit vectors are numpy uint8 arrays; index 0 is the first message bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.galois import GF2m
+from repro.errors import ConfigurationError, DecodingFailure
+
+
+class BchCode:
+    """A binary BCH code over GF(2^m) correcting ``t`` bit errors.
+
+    Parameters
+    ----------
+    m:
+        Field exponent; the natural code length is ``n = 2^m - 1``.
+    t:
+        Design error-correction capability in bits.
+    shortened_k:
+        Optional shortened message length.  When given, the code is
+        used in shortened form: messages of ``shortened_k`` bits are
+        zero-padded to the natural ``k`` before encoding and the pad is
+        stripped after decoding.
+    """
+
+    def __init__(self, m: int, t: int, shortened_k: int | None = None):
+        if t <= 0:
+            raise ConfigurationError(f"non-positive correction capability t={t}")
+        self.field = GF2m(m)
+        self.m = m
+        self.t = t
+        self.n = self.field.order
+        self.generator = self._build_generator()
+        self.n_parity = len(self.generator) - 1
+        self.k = self.n - self.n_parity
+        if self.k <= 0:
+            raise ConfigurationError(
+                f"BCH(m={m}, t={t}) leaves no message bits (k={self.k})"
+            )
+        if shortened_k is not None:
+            if not 0 < shortened_k <= self.k:
+                raise ConfigurationError(
+                    f"shortened_k={shortened_k} outside (0, {self.k}]"
+                )
+            self.message_length = shortened_k
+        else:
+            self.message_length = self.k
+        self.codeword_length = self.message_length + self.n_parity
+
+    @property
+    def rate(self) -> float:
+        """Code rate (message bits per codeword bit)."""
+        return self.message_length / self.codeword_length
+
+    # --- encoding ---------------------------------------------------------------
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematic encoding: ``[message | parity]``."""
+        message = self._as_bits(message, self.message_length, "message")
+        padded = np.zeros(self.k, dtype=np.uint8)
+        padded[: self.message_length] = message
+        parity = self._polynomial_remainder(padded)
+        return np.concatenate([message, parity])
+
+    # --- decoding -----------------------------------------------------------------
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        """Correct up to ``t`` bit errors and return the message bits.
+
+        Raises
+        ------
+        DecodingFailure
+            If the error pattern exceeds the code's capability (when
+            detectable).
+        """
+        received = self._as_bits(received, self.codeword_length, "received word")
+        syndromes = self._syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return received[: self.message_length].copy()
+        locator = self._berlekamp_massey(syndromes)
+        error_positions = self._chien_search(locator)
+        if len(error_positions) != len(locator) - 1:
+            raise DecodingFailure(
+                f"error locator degree {len(locator) - 1} but "
+                f"{len(error_positions)} roots found — more than t={self.t} errors"
+            )
+        corrected = received.copy()
+        for position in error_positions:
+            if position >= self.codeword_length:
+                raise DecodingFailure(
+                    "error located in the shortened (virtual) prefix — "
+                    f"more than t={self.t} errors"
+                )
+            corrected[position] ^= 1
+        if any(s != 0 for s in self._syndromes(corrected)):
+            raise DecodingFailure("residual syndrome after correction")
+        return corrected[: self.message_length]
+
+    def detect_errors(self, received: np.ndarray) -> bool:
+        """True if the received word has a non-zero syndrome."""
+        received = self._as_bits(received, self.codeword_length, "received word")
+        return any(s != 0 for s in self._syndromes(received))
+
+    # --- internals ------------------------------------------------------------------
+
+    def _build_generator(self) -> list[int]:
+        """Generator polynomial: lcm of minimal polys of alpha^1..alpha^2t."""
+        field = self.field
+        seen_polys: set[tuple[int, ...]] = set()
+        generator = [1]
+        for i in range(1, 2 * self.t + 1):
+            minimal = tuple(field.minimal_polynomial(field.alpha_pow(i)))
+            if minimal in seen_polys:
+                continue
+            seen_polys.add(minimal)
+            generator = field.poly_mul(generator, list(minimal))
+        return generator
+
+    def _polynomial_remainder(self, message_bits: np.ndarray) -> np.ndarray:
+        """Remainder of ``message * x^parity`` divided by the generator."""
+        register = np.zeros(self.n_parity, dtype=np.uint8)
+        gen = np.array(self.generator[:-1], dtype=np.uint8)  # drop leading 1
+        for bit in message_bits:
+            feedback = bit ^ register[-1]
+            register[1:] = register[:-1]
+            register[0] = 0
+            if feedback:
+                register ^= gen
+        return register[::-1].copy()
+
+    def _codeword_polynomial_coeffs(self, received: np.ndarray) -> np.ndarray:
+        """Received word as polynomial coefficients, degree-descending.
+
+        The systematic layout is ``[message | parity]`` with the message
+        occupying the highest-degree coefficients; in shortened form the
+        implicit zero pad sits between the message and the parity.
+        """
+        full = np.zeros(self.n, dtype=np.uint8)
+        full[: self.message_length] = received[: self.message_length]
+        full[self.k :] = received[self.message_length :]
+        return full
+
+    def _syndromes(self, received: np.ndarray) -> list[int]:
+        field = self.field
+        coeffs = self._codeword_polynomial_coeffs(received)
+        positions = np.flatnonzero(coeffs)
+        syndromes = []
+        for i in range(1, 2 * self.t + 1):
+            s = 0
+            for pos in positions:
+                degree = self.n - 1 - int(pos)
+                s ^= field.alpha_pow(i * degree)
+            syndromes.append(s)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Error-locator polynomial (coefficients, index = degree)."""
+        field = self.field
+        locator = [1]
+        prev_locator = [1]
+        discrepancy_prev = 1
+        length = 0
+        shift = 1
+        for n, syndrome in enumerate(syndromes):
+            discrepancy = syndrome
+            for i in range(1, length + 1):
+                if i < len(locator) and locator[i]:
+                    discrepancy ^= field.mul(locator[i], syndromes[n - i])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.div(discrepancy, discrepancy_prev)
+            adjustment = [0] * shift + [field.mul(scale, c) for c in prev_locator]
+            new_locator = list(locator) + [0] * max(0, len(adjustment) - len(locator))
+            for i, coeff in enumerate(adjustment):
+                new_locator[i] ^= coeff
+            if 2 * length <= n:
+                prev_locator = list(locator)
+                discrepancy_prev = discrepancy
+                length = n + 1 - length
+                shift = 1
+            else:
+                shift += 1
+            locator = new_locator
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        return locator
+
+    def _chien_search(self, locator: list[int]) -> list[int]:
+        """Positions (codeword indices) of the located errors."""
+        field = self.field
+        positions = []
+        for degree in range(self.n):
+            # Candidate error at polynomial degree `degree` corresponds
+            # to locator root alpha^{-degree}.
+            x = field.alpha_pow(-degree % field.order)
+            if field.poly_eval(locator, x) == 0:
+                index = self.n - 1 - degree
+                # Map full-length index back into the shortened layout.
+                if index < self.message_length:
+                    positions.append(index)
+                elif index < self.k:
+                    continue  # in the virtual zero pad: uncorrectable
+                else:
+                    positions.append(index - self.k + self.message_length)
+        return sorted(positions)
+
+    @staticmethod
+    def _as_bits(bits: np.ndarray, expected: int, label: str) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1 or bits.size != expected:
+            raise ConfigurationError(
+                f"{label} must be a 1-D array of {expected} bits, got shape {bits.shape}"
+            )
+        if np.any(bits > 1):
+            raise ConfigurationError(f"{label} contains non-binary values")
+        return bits

@@ -1,0 +1,151 @@
+"""Finite-field arithmetic over GF(2^m).
+
+Implements table-driven arithmetic (exp/log tables over a primitive
+element) for the fields used by BCH codes on NAND pages.  Elements are
+plain ints in ``[0, 2^m)``; 0 is the additive identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Primitive polynomials (as bit masks, MSB = x^m) for supported field sizes.
+PRIMITIVE_POLYS: dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+    15: 0b1000000000000011,
+    16: 0b10001000000001011,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-driven arithmetic."""
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYS:
+            raise ConfigurationError(
+                f"unsupported field exponent m={m}; supported: "
+                f"{sorted(PRIMITIVE_POLYS)}"
+            )
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        poly = PRIMITIVE_POLYS[m]
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.order):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        if x != 1:
+            raise ConfigurationError(f"polynomial {poly:#b} is not primitive for m={m}")
+        exp[self.order :] = exp[: self.order]
+        self._exp = exp
+        self._log = log
+
+    # --- scalar arithmetic ------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (bitwise XOR)."""
+        self._check(a)
+        self._check(b)
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        return int(self._exp[self.order - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, n: int) -> int:
+        """Field exponentiation ``a ** n`` (n may be negative for a != 0)."""
+        self._check(a)
+        if a == 0:
+            if n <= 0:
+                raise ZeroDivisionError("0 ** non-positive power")
+            return 0
+        exponent = (self._log[a] * n) % self.order
+        return int(self._exp[exponent])
+
+    def alpha_pow(self, n: int) -> int:
+        """``alpha ** n`` for the primitive element alpha."""
+        return int(self._exp[n % self.order])
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha (a != 0)."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("log of 0 in GF(2^m)")
+        return int(self._log[a])
+
+    # --- polynomial helpers (coefficient lists, index = degree) -------------------
+
+    def poly_eval(self, coeffs: list[int], x: int) -> int:
+        """Evaluate a polynomial (Horner) at ``x``."""
+        result = 0
+        for coeff in reversed(coeffs):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        """Multiply two polynomials over the field."""
+        if not a or not b:
+            return [0]
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= self.mul(ca, cb)
+        return out
+
+    def minimal_polynomial(self, element: int) -> list[int]:
+        """Minimal polynomial of ``element`` over GF(2), as a coefficient
+        list with entries in {0, 1} (index = degree)."""
+        if element == 0:
+            return [0, 1]  # x
+        conjugates = []
+        current = element
+        while current not in conjugates:
+            conjugates.append(current)
+            current = self.mul(current, current)
+        poly = [1]
+        for conjugate in conjugates:
+            poly = self.poly_mul(poly, [conjugate, 1])
+        if any(c not in (0, 1) for c in poly):
+            raise ConfigurationError("minimal polynomial not binary — table bug")
+        return poly
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.size:
+            raise ConfigurationError(f"{a} outside GF(2^{self.m})")

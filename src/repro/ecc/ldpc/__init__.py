@@ -1,0 +1,36 @@
+"""LDPC substrate: construction, encoding, decoding, the NAND
+soft-sensing channel and the read-latency model.
+
+* :mod:`repro.ecc.ldpc.matrix` — GF(2) linear algebra helpers,
+* :mod:`repro.ecc.ldpc.construction` — Gallager-style regular code
+  construction,
+* :mod:`repro.ecc.ldpc.code` — the code object (H, systematic G),
+* :mod:`repro.ecc.ldpc.decoder` — hard bit-flip and normalized min-sum
+  decoders,
+* :mod:`repro.ecc.ldpc.channel` — Vth sensing -> quantized LLRs,
+* :mod:`repro.ecc.ldpc.sensing` — the extra-sensing-level policy
+  (paper Table 5),
+* :mod:`repro.ecc.ldpc.latency` — read latency vs sensing levels.
+"""
+
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.construction import gallager_construction
+from repro.ecc.ldpc.qc import qc_construction
+from repro.ecc.ldpc.decoder import BitFlipDecoder, MinSumDecoder
+from repro.ecc.ldpc.sum_product import SumProductDecoder
+from repro.ecc.ldpc.channel import NandReadChannel
+from repro.ecc.ldpc.sensing import SensingLevelPolicy, PAPER_SENSING_LADDER
+from repro.ecc.ldpc.latency import ReadLatencyModel
+
+__all__ = [
+    "LdpcCode",
+    "gallager_construction",
+    "qc_construction",
+    "BitFlipDecoder",
+    "MinSumDecoder",
+    "SumProductDecoder",
+    "NandReadChannel",
+    "SensingLevelPolicy",
+    "PAPER_SENSING_LADDER",
+    "ReadLatencyModel",
+]

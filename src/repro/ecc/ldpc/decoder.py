@@ -1,0 +1,131 @@
+"""LDPC decoders: hard-decision bit-flip and soft-decision min-sum.
+
+The bit-flip decoder (Gallager's algorithm A flavour) models the
+hard-decision LDPC mode the paper uses at low BER; the normalized
+min-sum decoder consumes the quantized LLRs produced by the NAND
+soft-sensing channel and models the soft-decision mode.  Both report
+the iterations spent, which feed the decode-latency accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.ldpc.code import LdpcCode
+from repro.errors import ConfigurationError, DecodingFailure
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoder output: the codeword, iterations used and convergence."""
+
+    codeword: np.ndarray
+    iterations: int
+    converged: bool
+
+
+class BitFlipDecoder:
+    """Hard-decision bit-flip decoding (Gallager's BF algorithm).
+
+    Each iteration flips the bits involved in the *most* unsatisfied
+    checks; convergence is a zero syndrome.  Flipping only the worst
+    offenders (rather than every majority-unsatisfied bit) avoids the
+    oscillation that parallel flipping suffers on column-weight-3 codes.
+    """
+
+    def __init__(self, code: LdpcCode, max_iterations: int = 100):
+        if max_iterations <= 0:
+            raise ConfigurationError("max_iterations must be positive")
+        self.code = code
+        self.max_iterations = max_iterations
+
+    def decode(self, hard_bits: np.ndarray) -> DecodeResult:
+        """Decode hard channel decisions; raises on non-convergence."""
+        word = np.asarray(hard_bits, dtype=np.uint8).copy()
+        if word.shape != (self.code.n,):
+            raise ConfigurationError(f"expected {self.code.n} bits")
+        h = self.code.h
+        for iteration in range(self.max_iterations):
+            syndrome = (h @ word) % 2
+            if not syndrome.any():
+                return DecodeResult(word, iteration, True)
+            unsatisfied = h.T @ syndrome  # per-variable count of failing checks
+            word[unsatisfied == unsatisfied.max()] ^= 1
+        syndrome = (h @ word) % 2
+        if not syndrome.any():
+            return DecodeResult(word, self.max_iterations, True)
+        raise DecodingFailure(
+            "bit-flip decoder did not converge", iterations=self.max_iterations
+        )
+
+
+class MinSumDecoder:
+    """Normalized min-sum decoding on LLR input.
+
+    Positive LLR means bit = 0.  The normalization factor (default
+    0.75) recovers most of the sum-product performance at a fraction of
+    the cost, matching common NAND controller implementations.
+    """
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        max_iterations: int = 30,
+        normalization: float = 0.75,
+    ):
+        if max_iterations <= 0:
+            raise ConfigurationError("max_iterations must be positive")
+        if not 0 < normalization <= 1:
+            raise ConfigurationError(f"normalization {normalization} outside (0, 1]")
+        self.code = code
+        self.max_iterations = max_iterations
+        self.normalization = normalization
+        # Edge list: (check, variable) pairs in row-major order.
+        checks, variables = np.nonzero(code.h)
+        self._edge_check = checks
+        self._edge_var = variables
+        self._n_edges = checks.size
+        # Per-check slices of the edge list.
+        self._check_slices = np.searchsorted(checks, np.arange(code.h.shape[0] + 1))
+
+    def decode(self, llrs: np.ndarray) -> DecodeResult:
+        """Decode channel LLRs; raises on non-convergence."""
+        llrs = np.asarray(llrs, dtype=float)
+        if llrs.shape != (self.code.n,):
+            raise ConfigurationError(f"expected {self.code.n} LLRs")
+        check_msgs = np.zeros(self._n_edges)
+        var_msgs = llrs[self._edge_var].copy()
+        for iteration in range(self.max_iterations):
+            # Check update: for each check, outgoing = prod(sign) * min(|in|)
+            # over the other edges, scaled by the normalization factor.
+            signs = np.sign(var_msgs)
+            signs[signs == 0] = 1.0
+            magnitudes = np.abs(var_msgs)
+            for check in range(len(self._check_slices) - 1):
+                start, stop = self._check_slices[check], self._check_slices[check + 1]
+                if stop - start < 2:
+                    check_msgs[start:stop] = 0.0
+                    continue
+                seg_signs = signs[start:stop]
+                seg_mags = magnitudes[start:stop]
+                total_sign = np.prod(seg_signs)
+                order = np.argsort(seg_mags)
+                min1, min2 = seg_mags[order[0]], seg_mags[order[1]]
+                out_mags = np.full(stop - start, min1)
+                out_mags[order[0]] = min2
+                check_msgs[start:stop] = (
+                    self.normalization * total_sign * seg_signs * out_mags
+                )
+            # Variable update and tentative decision.
+            totals = llrs + np.bincount(
+                self._edge_var, weights=check_msgs, minlength=self.code.n
+            )
+            word = (totals < 0).astype(np.uint8)
+            if self.code.is_codeword(word):
+                return DecodeResult(word, iteration + 1, True)
+            var_msgs = totals[self._edge_var] - check_msgs
+        raise DecodingFailure(
+            "min-sum decoder did not converge", iterations=self.max_iterations
+        )

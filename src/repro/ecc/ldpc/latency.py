@@ -1,0 +1,104 @@
+"""Read latency versus soft-sensing levels.
+
+Each extra sensing level re-senses the page with an additional
+reference voltage and transfers the extra comparison data to the LDPC
+controller, so read latency grows roughly linearly in the level count
+(paper §1 and ref [1]: at BER ~1e-2, soft-decision LDPC costs about
+7x the hard-decision read latency — the six extra levels of Table 5's
+worst cell at a unit penalty per level).
+
+The model decomposes a page read into sensing, transfer and decode
+components, each with its own per-level scaling, defaulting to the
+values that reproduce the paper's 7x headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReadLatencyModel:
+    """Page read latency as a function of extra sensing levels.
+
+    Parameters
+    ----------
+    sense_us:
+        Base array sensing time (paper Table 6: 90 us read latency; the
+        default splits it 70/20 between sensing and transfer).
+    transfer_us:
+        Base page transfer time to the controller.
+    decode_us:
+        Base LDPC decode time at zero extra levels.
+    sense_per_level:
+        Additional sensing cost per extra level, as a fraction of
+        ``sense_us`` (each level is one more reference-voltage pass).
+    transfer_per_level:
+        Additional transfer cost per extra level, as a fraction of
+        ``transfer_us`` (each level ships one more comparison bitmap).
+    decode_per_level:
+        Additional decode cost per extra level, as a fraction of
+        ``decode_us`` (soft iterations grow with noise).
+    """
+
+    sense_us: float = 70.0
+    transfer_us: float = 20.0
+    decode_us: float = 10.0
+    sense_per_level: float = 1.0
+    transfer_per_level: float = 1.0
+    decode_per_level: float = 1.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.sense_us,
+            self.transfer_us,
+            self.decode_us,
+            self.sense_per_level,
+            self.transfer_per_level,
+            self.decode_per_level,
+        )
+        if any(v < 0 for v in values):
+            raise ConfigurationError("latency components must be non-negative")
+        if self.sense_us + self.transfer_us + self.decode_us <= 0:
+            raise ConfigurationError("total base latency must be positive")
+
+    @property
+    def base_read_us(self) -> float:
+        """Latency of a read needing no extra sensing levels."""
+        return self.sense_us + self.transfer_us + self.decode_us
+
+    def read_latency_us(self, extra_levels: int) -> float:
+        """Page read latency with ``extra_levels`` extra sensing levels."""
+        if extra_levels < 0:
+            raise ConfigurationError(f"negative extra levels: {extra_levels}")
+        return (
+            self.sense_us * (1.0 + self.sense_per_level * extra_levels)
+            + self.transfer_us * (1.0 + self.transfer_per_level * extra_levels)
+            + self.decode_us * (1.0 + self.decode_per_level * extra_levels)
+        )
+
+    def slowdown(self, extra_levels: int) -> float:
+        """Latency relative to a zero-extra-level read."""
+        return self.read_latency_us(extra_levels) / self.base_read_us
+
+    def progressive_latency_us(self, required_levels: int) -> float:
+        """Total latency of a *progressive* read (LDPC-in-SSD style,
+        Zhao et al. FAST'13) that retries with one more level per
+        attempt until decoding succeeds at ``required_levels``.
+
+        The first attempt senses at zero extra levels; each retry
+        re-senses only the additional reference voltage but re-transfers
+        and re-decodes.
+        """
+        if required_levels < 0:
+            raise ConfigurationError(f"negative required levels: {required_levels}")
+        total = self.read_latency_us(0)
+        for level in range(1, required_levels + 1):
+            total += (
+                self.sense_us * self.sense_per_level
+                + self.transfer_us * (1.0 + self.transfer_per_level * level)
+                + self.decode_us * (1.0 + self.decode_per_level * level)
+            )
+        return total

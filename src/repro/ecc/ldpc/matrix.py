@@ -1,0 +1,91 @@
+"""GF(2) linear algebra helpers for LDPC code construction.
+
+Matrices are dense numpy uint8 arrays with values in {0, 1}; the sizes
+involved (codewords of a few thousand bits) keep dense elimination
+cheap while staying easy to verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def gf2_row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Row-reduce a GF(2) matrix to reduced row-echelon form.
+
+    Returns the reduced matrix and the list of pivot column indices.
+    """
+    work = _as_binary(matrix).copy()
+    rows, cols = work.shape
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(cols):
+        if row >= rows:
+            break
+        pivot = None
+        for candidate in range(row, rows):
+            if work[candidate, col]:
+                pivot = candidate
+                break
+        if pivot is None:
+            continue
+        if pivot != row:
+            work[[row, pivot]] = work[[pivot, row]]
+        eliminate = work[:, col].astype(bool).copy()
+        eliminate[row] = False
+        work[eliminate] ^= work[row]
+        pivot_cols.append(col)
+        row += 1
+    return work, pivot_cols
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a GF(2) matrix."""
+    _, pivots = gf2_row_reduce(matrix)
+    return len(pivots)
+
+
+def gf2_systematic_form(
+    parity_check: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bring a parity-check matrix into systematic form ``[P | I]``.
+
+    Returns ``(h_systematic, column_permutation, generator)`` where
+    ``column_permutation`` maps systematic column positions back to the
+    original columns (``original = permuted[perm]`` semantics:
+    ``h_systematic[:, j] == parity_check_reduced[:, perm[j]]``) and
+    ``generator`` is the systematic generator ``[I | P^T]`` satisfying
+    ``h_systematic @ generator.T = 0``.
+
+    Redundant (linearly dependent) rows of ``parity_check`` are dropped.
+    """
+    reduced, pivots = gf2_row_reduce(parity_check)
+    rank = len(pivots)
+    if rank == 0:
+        raise ConfigurationError("parity-check matrix has rank 0")
+    reduced = reduced[:rank]
+    n = reduced.shape[1]
+    non_pivots = [c for c in range(n) if c not in set(pivots)]
+    k = len(non_pivots)
+    if k == 0:
+        raise ConfigurationError("parity-check matrix leaves no message bits")
+    # Permute columns: message (non-pivot) columns first, pivot columns last.
+    perm = np.array(non_pivots + pivots, dtype=np.intp)
+    h_sys = reduced[:, perm]
+    # h_sys = [P | I]; generator G = [I_k | P^T].
+    p = h_sys[:, :k]
+    generator = np.concatenate([np.eye(k, dtype=np.uint8), p.T], axis=1)
+    if np.any((h_sys @ generator.T) % 2):
+        raise ConfigurationError("systematic form construction failed — internal bug")
+    return h_sys, perm, generator
+
+
+def _as_binary(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2:
+        raise ConfigurationError("expected a 2-D matrix")
+    if matrix.size and matrix.max() > 1:
+        raise ConfigurationError("matrix entries must be 0/1")
+    return matrix

@@ -1,0 +1,70 @@
+"""Full sum-product (belief-propagation) LDPC decoding.
+
+The reference decoder against which normalized min-sum is an
+approximation: check-node updates use the exact
+``2 atanh(prod tanh(L/2))`` rule.  Slower, but recovers a few tenths of
+a dB — useful for validating the min-sum normalization factor and for
+the sensing-level Monte-Carlo cross-checks at marginal BERs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.decoder import DecodeResult
+from repro.errors import ConfigurationError, DecodingFailure
+
+#: Clamp on intermediate tanh-domain magnitudes to avoid atanh(1).
+_TANH_CLIP = 1.0 - 1e-12
+
+
+class SumProductDecoder:
+    """Exact belief propagation on LLR input (positive LLR = bit 0)."""
+
+    def __init__(self, code: LdpcCode, max_iterations: int = 30):
+        if max_iterations <= 0:
+            raise ConfigurationError("max_iterations must be positive")
+        self.code = code
+        self.max_iterations = max_iterations
+        checks, variables = np.nonzero(code.h)
+        self._edge_check = checks
+        self._edge_var = variables
+        self._n_edges = checks.size
+        self._check_slices = np.searchsorted(checks, np.arange(code.h.shape[0] + 1))
+
+    def decode(self, llrs: np.ndarray) -> DecodeResult:
+        """Decode channel LLRs; raises on non-convergence."""
+        llrs = np.asarray(llrs, dtype=float)
+        if llrs.shape != (self.code.n,):
+            raise ConfigurationError(f"expected {self.code.n} LLRs")
+        check_msgs = np.zeros(self._n_edges)
+        var_msgs = llrs[self._edge_var].copy()
+        for iteration in range(self.max_iterations):
+            tanh_half = np.clip(np.tanh(var_msgs / 2.0), -_TANH_CLIP, _TANH_CLIP)
+            for check in range(len(self._check_slices) - 1):
+                start, stop = self._check_slices[check], self._check_slices[check + 1]
+                if stop - start < 2:
+                    check_msgs[start:stop] = 0.0
+                    continue
+                segment = tanh_half[start:stop]
+                total = np.prod(segment)
+                # Leave-one-out product; guard exact zeros.
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    leave_one_out = np.where(segment != 0.0, total / segment, 0.0)
+                if (segment == 0.0).any():
+                    for i in np.flatnonzero(segment == 0.0):
+                        others = np.delete(segment, i)
+                        leave_one_out[i] = np.prod(others)
+                leave_one_out = np.clip(leave_one_out, -_TANH_CLIP, _TANH_CLIP)
+                check_msgs[start:stop] = 2.0 * np.arctanh(leave_one_out)
+            totals = llrs + np.bincount(
+                self._edge_var, weights=check_msgs, minlength=self.code.n
+            )
+            word = (totals < 0).astype(np.uint8)
+            if self.code.is_codeword(word):
+                return DecodeResult(word, iteration + 1, True)
+            var_msgs = totals[self._edge_var] - check_msgs
+        raise DecodingFailure(
+            "sum-product decoder did not converge", iterations=self.max_iterations
+        )

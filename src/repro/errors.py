@@ -1,0 +1,54 @@
+"""Exception hierarchy for the FlexLevel reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class DeviceError(ReproError):
+    """A NAND device model was used outside its legal envelope."""
+
+
+class ProgramError(DeviceError):
+    """An illegal program operation (e.g. programming a non-erased cell)."""
+
+
+class EccError(ReproError):
+    """Base class for ECC codec errors."""
+
+
+class DecodingFailure(EccError):
+    """A codec could not recover the stored codeword.
+
+    Attributes
+    ----------
+    iterations:
+        Number of decoder iterations performed before giving up
+        (``None`` for non-iterative codecs).
+    """
+
+    def __init__(self, message: str, iterations: int | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class FtlError(ReproError):
+    """The flash translation layer reached an invalid state."""
+
+
+class OutOfSpaceError(FtlError):
+    """No free page could be allocated even after garbage collection."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record could not be parsed."""

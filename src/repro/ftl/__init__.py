@@ -1,0 +1,27 @@
+"""Flash translation layer and SSD mechanism.
+
+A from-scratch page-mapped SSD simulator playing the role the modified
+FlashSim plays in the paper (§6.2): logical-to-physical mapping, greedy
+garbage collection over an over-provisioned block pool, a write-back
+write buffer, wear tracking and dual-mode (normal/reduced) block
+allocation with the 25 % reduced-state density loss.
+"""
+
+from repro.ftl.config import SsdConfig, NAND_TIMING
+from repro.ftl.ssd import Ssd, PageReadInfo
+from repro.ftl.write_buffer import WriteBuffer
+from repro.ftl.stats import SsdStats
+from repro.ftl.lifetime import lifetime_ratio
+from repro.ftl.wear_leveling import WearLeveler, erase_spread
+
+__all__ = [
+    "SsdConfig",
+    "NAND_TIMING",
+    "Ssd",
+    "PageReadInfo",
+    "WriteBuffer",
+    "SsdStats",
+    "lifetime_ratio",
+    "WearLeveler",
+    "erase_spread",
+]

@@ -1,0 +1,464 @@
+"""The page-mapped SSD mechanism.
+
+This is the FlashSim-equivalent substrate: logical-to-physical page
+mapping, dual-mode (normal / reduced) block allocation, greedy garbage
+collection over the over-provisioned pool, and wear/age bookkeeping.
+
+Policy lives elsewhere: the storage systems in
+:mod:`repro.baselines.systems` decide *which mode* a page is written in
+and *how long* a read takes; the :class:`Ssd` provides mechanism and
+charges flash work (program / erase / relocation) in microseconds.
+
+Mode and capacity: a reduced-mode block stores only 75 % as many pages
+(ReduceCode), so converting blocks to reduced mode shrinks the physical
+page supply and — exactly as the paper argues — eats into the
+over-provisioning, raising garbage-collection pressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.level_adjust import CellMode
+from repro.errors import ConfigurationError, FtlError, OutOfSpaceError
+from repro.ftl.config import SsdConfig
+from repro.ftl.stats import SsdStats
+from repro.ftl.wear_leveling import WearLeveler
+from repro.units import us_to_hours
+
+_FREE = -1
+
+#: Block-mode encoding in the metadata arrays.
+_MODE_TO_INT = {CellMode.NORMAL: 0, CellMode.REDUCED: 1, CellMode.SLC: 2}
+_INT_TO_MODE = {value: mode for mode, value in _MODE_TO_INT.items()}
+
+
+@dataclass(frozen=True)
+class PageReadInfo:
+    """Everything a read-latency policy needs to know about a page."""
+
+    lpn: int
+    mode: CellMode
+    age_hours: float
+    pe_cycles: float
+
+
+class Ssd:
+    """Page-mapped SSD with dual-mode blocks and greedy GC.
+
+    Parameters
+    ----------
+    config:
+        Geometry, timings and policy thresholds.
+    prefill_pages:
+        Number of logical pages considered written before the
+        simulation starts (the workload's footprint).  They are laid
+        out sequentially in normal-mode blocks.
+    reduced_prefix_pages:
+        The first this-many prefilled pages start in *reduced* mode
+        (used by the LevelAdjust-only system, whose whole working set
+        lives in reduced-state cells).
+    initial_age_hours:
+        Per-prefilled-page data age at simulation start.  Either an
+        array of ``prefill_pages`` entries or a scalar applied to all;
+        models the steady-state retention-age mix of a long-running
+        drive.
+    wear_leveler:
+        Optional static wear-leveling policy evaluated after garbage
+        collections (None disables wear leveling).
+    """
+
+    def __init__(
+        self,
+        config: SsdConfig,
+        prefill_pages: int = 0,
+        reduced_prefix_pages: int = 0,
+        initial_age_hours: np.ndarray | float = 0.0,
+        wear_leveler: WearLeveler | None = None,
+    ):
+        if not 0 <= prefill_pages <= config.logical_pages:
+            raise ConfigurationError(
+                f"prefill_pages {prefill_pages} outside [0, {config.logical_pages}]"
+            )
+        if not 0 <= reduced_prefix_pages <= prefill_pages:
+            raise ConfigurationError(
+                f"reduced_prefix_pages {reduced_prefix_pages} outside "
+                f"[0, {prefill_pages}]"
+            )
+        self.config = config
+        self.stats = SsdStats()
+        n_logical = config.logical_pages
+        n_physical = config.physical_pages
+        self._l2p = np.full(n_logical, _FREE, dtype=np.int64)
+        self._p2l = np.full(n_physical, _FREE, dtype=np.int64)
+        self._page_valid = np.zeros(n_physical, dtype=bool)
+        self._block_mode = np.full(config.n_blocks, _FREE, dtype=np.int8)
+        self._block_write_ptr = np.zeros(config.n_blocks, dtype=np.int32)
+        self._block_valid = np.zeros(config.n_blocks, dtype=np.int32)
+        self._block_erase = np.zeros(config.n_blocks, dtype=np.int32)
+        self._free_blocks: deque[int] = deque(range(config.n_blocks))
+        # Active write frontiers: one per (mode, slot).  The "host" slot
+        # serves host writes and GC relocation; the "cold" slot parks
+        # wear-leveling relocations in worn blocks so cold data stops
+        # circulating through the hot rotation.
+        self._active: dict[tuple[CellMode, str], int | None] = {
+            (mode, slot): None for mode in CellMode for slot in ("host", "cold")
+        }
+        self._in_gc = False
+        self.wear_leveler = wear_leveler
+        # Age bookkeeping (hours): write time during the sim, or the
+        # sampled initial age for prefilled pages.
+        self._write_time_hours = np.full(n_logical, np.nan)
+        self._initial_age_hours = np.zeros(n_logical)
+        ages = np.broadcast_to(
+            np.asarray(initial_age_hours, dtype=float), (prefill_pages,)
+        )
+        if np.any(ages < 0):
+            raise ConfigurationError("initial ages must be non-negative")
+        self._initial_age_hours[:prefill_pages] = ages
+        self._prefill(prefill_pages, reduced_prefix_pages)
+
+    # --- capacity views ---------------------------------------------------------
+
+    def free_block_count(self) -> int:
+        """Blocks currently in the free pool."""
+        return len(self._free_blocks)
+
+    def block_usable_pages(self, block: int) -> int:
+        """Pages a block can hold in its current mode (full size if free)."""
+        if not 0 <= block < self.config.n_blocks:
+            raise ConfigurationError(f"block {block} outside [0, {self.config.n_blocks})")
+        if self._block_mode[block] == _FREE:
+            return self.config.pages_per_block
+        return self._usable_pages_by_mode(self._mode_of_block(block))
+
+    def mode_of(self, lpn: int) -> CellMode | None:
+        """Cell mode the logical page is currently stored in."""
+        self._check_lpn(lpn)
+        ppn = self._l2p[lpn]
+        if ppn == _FREE:
+            return None
+        return self._mode_of_block(int(ppn) // self.config.pages_per_block)
+
+    def reduced_logical_pages(self) -> int:
+        """Logical pages currently stored in reduced-mode blocks."""
+        return self.pages_in_mode(CellMode.REDUCED)
+
+    def pages_in_mode(self, mode: CellMode) -> int:
+        """Valid logical pages currently stored in ``mode`` blocks."""
+        code = _MODE_TO_INT[mode]
+        count = 0
+        for block in range(self.config.n_blocks):
+            if self._block_mode[block] == code:
+                count += int(self._block_valid[block])
+        return count
+
+    def physical_page_supply(self) -> int:
+        """Usable pages across all blocks given their current modes."""
+        supply = 0
+        for block in range(self.config.n_blocks):
+            mode = self._block_mode[block]
+            if mode == _FREE:
+                supply += self.config.pages_per_block
+            else:
+                supply += self._usable_pages_by_mode(_INT_TO_MODE[int(mode)])
+        return supply
+
+    def max_pe_cycles(self) -> float:
+        """Highest per-block P/E count (initial wear + simulated erases)."""
+        return self.config.initial_pe_cycles + float(self._block_erase.max())
+
+    # --- host operations ------------------------------------------------------------
+
+    def read_info(self, lpn: int, now_us: float) -> PageReadInfo:
+        """Metadata for a host read (mode, data age, wear).
+
+        Reading an unmapped page is legal (hosts read unwritten LBAs);
+        it reports normal mode and zero age.
+        """
+        self._check_lpn(lpn)
+        self.stats.host_read_pages += 1
+        ppn = self._l2p[lpn]
+        if ppn == _FREE:
+            return PageReadInfo(lpn, CellMode.NORMAL, 0.0, self._current_pe(None))
+        block = int(ppn) // self.config.pages_per_block
+        mode = self._mode_of_block(block)
+        age = self._age_hours(lpn, now_us)
+        self.stats.flash_read_pages += 1
+        return PageReadInfo(lpn, mode, age, self._current_pe(block))
+
+    def host_write(self, lpn: int, mode: CellMode, now_us: float) -> tuple[float, float]:
+        """Write a logical page in the given mode.
+
+        Returns ``(foreground_us, background_us)``: the program itself
+        is foreground work, garbage collection it triggered is
+        background work the controller overlaps with idle time.
+        """
+        self._check_lpn(lpn)
+        self.stats.host_write_pages += 1
+        return self._write_page(lpn, mode, now_us, kind="host")
+
+    def trim(self, lpn: int) -> bool:
+        """Host TRIM/discard: drop a logical page's mapping.
+
+        The freed physical page becomes garbage for GC to reclaim.
+        Returns True if the page was mapped.
+        """
+        self._check_lpn(lpn)
+        ppn = self._l2p[lpn]
+        if ppn == _FREE:
+            return False
+        self._invalidate(int(ppn))
+        self._l2p[lpn] = _FREE
+        self._write_time_hours[lpn] = np.nan
+        self._initial_age_hours[lpn] = 0.0
+        self.stats.trimmed_pages += 1
+        return True
+
+    def migrate(self, lpn: int, target_mode: CellMode, now_us: float) -> tuple[float, float]:
+        """Move a page between modes (AccessEval promotion/demotion).
+
+        Returns ``(foreground_us, background_us)``: one flash read plus
+        one program in the foreground, any triggered GC in the
+        background.  The data age is preserved — migration rewrites the
+        same data.
+        """
+        self._check_lpn(lpn)
+        if self._l2p[lpn] == _FREE:
+            raise FtlError(f"cannot migrate unmapped page {lpn}")
+        current_mode = self.mode_of(lpn)
+        if current_mode == target_mode:
+            return 0.0, 0.0
+        age_before = self._age_hours(lpn, now_us)
+        foreground = self.config.timing.read_us
+        self.stats.flash_read_pages += 1
+        program, background = self._write_page(lpn, target_mode, now_us, kind="migration")
+        foreground += program
+        # Restore the age: migrated data is old data in a new location.
+        self._write_time_hours[lpn] = us_to_hours(now_us) - age_before
+        return foreground, background
+
+    # --- internals ------------------------------------------------------------------
+
+    def _prefill(self, prefill_pages: int, reduced_prefix_pages: int) -> None:
+        for lpn in range(prefill_pages):
+            mode = CellMode.REDUCED if lpn < reduced_prefix_pages else CellMode.NORMAL
+            block, offset = self._allocate_page(mode)
+            ppn = block * self.config.pages_per_block + offset
+            self._l2p[lpn] = ppn
+            self._p2l[ppn] = lpn
+            self._page_valid[ppn] = True
+            self._block_valid[block] += 1
+        # Prefill is history, not simulated work: reset the counters the
+        # allocation path may have touched.
+        self.stats = SsdStats()
+
+    def _write_page(
+        self, lpn: int, mode: CellMode, now_us: float, kind: str
+    ) -> tuple[float, float]:
+        service = 0.0
+        # Allocate before invalidating: an out-of-space failure must not
+        # lose the page's current copy.
+        block, offset, gc_service = self._allocate_page_with_gc(mode)
+        # Re-read the old mapping after allocation — GC may have
+        # relocated the old copy while making room.
+        old_ppn = self._l2p[lpn]
+        if old_ppn != _FREE:
+            self._invalidate(int(old_ppn))
+        ppn = block * self.config.pages_per_block + offset
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._page_valid[ppn] = True
+        self._block_valid[block] += 1
+        self._write_time_hours[lpn] = us_to_hours(now_us)
+        service += self.config.timing.program_us
+        if kind == "host":
+            self.stats.flash_program_pages += 1
+        elif kind == "migration":
+            self.stats.migration_program_pages += 1
+        else:
+            self.stats.gc_program_pages += 1
+        return service, gc_service
+
+    def _invalidate(self, ppn: int) -> None:
+        if not self._page_valid[ppn]:
+            raise FtlError(f"double invalidation of physical page {ppn}")
+        self._page_valid[ppn] = False
+        self._p2l[ppn] = _FREE
+        block = ppn // self.config.pages_per_block
+        self._block_valid[block] -= 1
+        if self._block_valid[block] < 0:
+            raise FtlError(f"negative valid count in block {block}")
+
+    def _allocate_page_with_gc(self, mode: CellMode) -> tuple[int, int, float]:
+        gc_service = 0.0
+        if (
+            not self._in_gc
+            and self.free_block_count() <= self.config.gc_free_block_threshold
+        ):
+            gc_service = self._garbage_collect()
+        block, offset = self._allocate_page(mode)
+        return block, offset, gc_service
+
+    def _allocate_page(self, mode: CellMode, slot: str = "host") -> tuple[int, int]:
+        active = self._active[(mode, slot)]
+        usable = self._usable_pages_by_mode(mode)
+        if active is None or self._block_write_ptr[active] >= usable:
+            active = self._take_free_block(mode, slot)
+        offset = int(self._block_write_ptr[active])
+        self._block_write_ptr[active] += 1
+        return active, offset
+
+    def _take_free_block(self, mode: CellMode, slot: str = "host") -> int:
+        if not self._free_blocks:
+            raise OutOfSpaceError(
+                "no free blocks left — over-provisioning exhausted "
+                "(too much space converted to reduced mode?)"
+            )
+        # Dynamic wear leveling at allocation time: host data goes to the
+        # least-worn free block, parked cold data to the most-worn one.
+        if slot == "cold":
+            block = max(self._free_blocks, key=lambda b: self._block_erase[b])
+        else:
+            block = min(self._free_blocks, key=lambda b: self._block_erase[b])
+        self._free_blocks.remove(block)
+        self._block_mode[block] = _MODE_TO_INT[mode]
+        self._block_write_ptr[block] = 0
+        self._active[(mode, slot)] = block
+        return block
+
+    def _garbage_collect(self) -> float:
+        """Greedy GC: reclaim blocks until the free pool recovers.
+
+        Returns the flash work spent (reads + programs + erases).
+        """
+        service = 0.0
+        self._in_gc = True
+        try:
+            guard = 0
+            while self.free_block_count() <= self.config.gc_free_block_threshold:
+                victim = self._pick_victim()
+                if victim is None:
+                    raise OutOfSpaceError(
+                        "garbage collection found no reclaimable block"
+                    )
+                service += self._reclaim(victim)
+                guard += 1
+                if guard > self.config.n_blocks:
+                    raise FtlError("GC loop failed to make progress")
+            self.stats.gc_runs += 1
+            service += self._maybe_wear_level()
+        finally:
+            self._in_gc = False
+        return service
+
+    def _maybe_wear_level(self) -> float:
+        """Rotate one cold block if the wear spread demands it."""
+        leveler = self.wear_leveler
+        if leveler is None or not leveler.should_check(self.stats.gc_runs):
+            return 0.0
+        excluded = {b for b in self._active.values() if b is not None}
+        excluded.update(self._free_blocks)
+        usable = np.array(
+            [self.block_usable_pages(b) for b in range(self.config.n_blocks)]
+        )
+        cold = leveler.pick_cold_block(
+            self._block_erase, self._block_valid, usable, excluded
+        )
+        if cold is None:
+            return 0.0
+        moved = int(self._block_valid[cold])
+        service = self._reclaim(cold, slot="cold")
+        self.stats.wear_level_moves += moved
+        return service
+
+    def _pick_victim(self) -> int | None:
+        """The non-active, non-free block with the fewest valid pages
+        (ties broken toward fully-written blocks to avoid churning the
+        write frontier)."""
+        active_blocks = {b for b in self._active.values() if b is not None}
+        best = None
+        best_key = None
+        for block in range(self.config.n_blocks):
+            if self._block_mode[block] == _FREE or block in active_blocks:
+                continue
+            mode = self._mode_of_block(block)
+            usable = self._usable_pages_by_mode(mode)
+            if self._block_write_ptr[block] < usable:
+                continue  # still open for writes
+            valid = int(self._block_valid[block])
+            if valid >= usable:
+                continue  # nothing to reclaim
+            key = valid
+            if best_key is None or key < best_key:
+                best, best_key = block, key
+        return best
+
+    def _reclaim(self, victim: int, slot: str = "host") -> float:
+        service = 0.0
+        mode = self._mode_of_block(victim)
+        ppb = self.config.pages_per_block
+        base = victim * ppb
+        for offset in range(int(self._block_write_ptr[victim])):
+            ppn = base + offset
+            if not self._page_valid[ppn]:
+                continue
+            lpn = int(self._p2l[ppn])
+            age_hours = self._write_time_hours[lpn]
+            service += self.config.timing.read_us
+            self.stats.flash_read_pages += 1
+            self._invalidate(ppn)
+            block, offset_new = self._allocate_page(mode, slot)
+            new_ppn = block * ppb + offset_new
+            self._l2p[lpn] = new_ppn
+            self._p2l[new_ppn] = lpn
+            self._page_valid[new_ppn] = True
+            self._block_valid[block] += 1
+            # Relocation copies old data: preserve its age bookkeeping.
+            self._write_time_hours[lpn] = age_hours
+            service += self.config.timing.program_us
+            self.stats.gc_program_pages += 1
+        if self._block_valid[victim] != 0:
+            raise FtlError(f"victim block {victim} still has valid pages")
+        self._block_mode[victim] = _FREE
+        self._block_write_ptr[victim] = 0
+        self._free_blocks.append(victim)
+        self._block_erase[victim] += 1
+        self.stats.erase_blocks += 1
+        service += self.config.timing.erase_us
+        return service
+
+    # --- helpers ------------------------------------------------------------------------
+
+    def _usable_pages_by_mode(self, mode: CellMode) -> int:
+        if mode is CellMode.NORMAL:
+            return self.config.pages_per_block
+        if mode is CellMode.REDUCED:
+            return self.config.reduced_pages_per_block
+        return self.config.slc_pages_per_block
+
+    def _mode_of_block(self, block: int) -> CellMode:
+        mode = self._block_mode[block]
+        if mode == _FREE:
+            raise FtlError(f"block {block} is free, it has no mode")
+        return _INT_TO_MODE[int(mode)]
+
+    def _age_hours(self, lpn: int, now_us: float) -> float:
+        write_time = self._write_time_hours[lpn]
+        if np.isnan(write_time):
+            return float(self._initial_age_hours[lpn])
+        return max(us_to_hours(now_us) - float(write_time), 0.0)
+
+    def _current_pe(self, block: int | None) -> float:
+        if block is None:
+            return self.config.initial_pe_cycles
+        return self.config.initial_pe_cycles + float(self._block_erase[block])
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.config.logical_pages:
+            raise ConfigurationError(
+                f"LPN {lpn} outside [0, {self.config.logical_pages})"
+            )

@@ -1,0 +1,77 @@
+"""Operation counters and latency accumulators for the SSD simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SsdStats:
+    """Everything the endurance and performance figures need.
+
+    Counters are in page / block operations; latency totals in
+    microseconds.
+    """
+
+    host_read_pages: int = 0
+    host_write_pages: int = 0
+    buffer_hits: int = 0
+    flash_read_pages: int = 0
+    flash_program_pages: int = 0
+    gc_program_pages: int = 0
+    migration_program_pages: int = 0
+    erase_blocks: int = 0
+    gc_runs: int = 0
+    wear_level_moves: int = 0
+    trimmed_pages: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    extra_level_histogram: dict[int, int] = field(default_factory=dict)
+
+    def record_extra_levels(self, levels: int) -> None:
+        """Count a flash read that needed ``levels`` extra sensing levels."""
+        self.extra_level_histogram[levels] = self.extra_level_histogram.get(levels, 0) + 1
+
+    @property
+    def total_program_pages(self) -> int:
+        """All programs: host-driven, GC relocations and migrations."""
+        return (
+            self.flash_program_pages
+            + self.gc_program_pages
+            + self.migration_program_pages
+        )
+
+    def write_amplification(self) -> float:
+        """Flash programs per host-written page."""
+        if self.host_write_pages == 0:
+            return 0.0
+        return self.total_program_pages / self.host_write_pages
+
+    def mean_extra_levels(self) -> float:
+        """Average extra sensing levels over all flash reads."""
+        total = sum(self.extra_level_histogram.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(k * v for k, v in self.extra_level_histogram.items())
+        return weighted / total
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dictionary view for reports and benches."""
+        return {
+            "host_read_pages": self.host_read_pages,
+            "host_write_pages": self.host_write_pages,
+            "buffer_hits": self.buffer_hits,
+            "flash_read_pages": self.flash_read_pages,
+            "flash_program_pages": self.flash_program_pages,
+            "gc_program_pages": self.gc_program_pages,
+            "migration_program_pages": self.migration_program_pages,
+            "total_program_pages": self.total_program_pages,
+            "erase_blocks": self.erase_blocks,
+            "gc_runs": self.gc_runs,
+            "wear_level_moves": self.wear_level_moves,
+            "trimmed_pages": self.trimmed_pages,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "write_amplification": self.write_amplification(),
+            "mean_extra_levels": self.mean_extra_levels(),
+        }

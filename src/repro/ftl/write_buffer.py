@@ -1,0 +1,58 @@
+"""Write-back write buffer (the paper adds one to FlashSim, §6.2).
+
+An LRU buffer of dirty logical pages: host writes land here and are
+acknowledged immediately; a full buffer evicts its least-recently-used
+page to flash.  Reads are served from the buffer when they hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+class WriteBuffer:
+    """LRU write-back buffer holding dirty logical page numbers."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 0:
+            raise ConfigurationError(f"negative buffer capacity: {capacity_pages}")
+        self.capacity_pages = capacity_pages
+        self._dirty: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._dirty
+
+    def write(self, lpn: int) -> int | None:
+        """Buffer a host write; returns an evicted LPN to flush, or None.
+
+        Rewriting a buffered page refreshes its recency and evicts
+        nothing.
+        """
+        if self.capacity_pages == 0:
+            return lpn  # pass-through: flush immediately
+        if lpn in self._dirty:
+            self._dirty.move_to_end(lpn)
+            return None
+        evicted = None
+        if len(self._dirty) >= self.capacity_pages:
+            evicted, _ = self._dirty.popitem(last=False)
+        self._dirty[lpn] = None
+        return evicted
+
+    def read_hit(self, lpn: int) -> bool:
+        """True when a read is served from the buffer (refreshes recency)."""
+        if lpn in self._dirty:
+            self._dirty.move_to_end(lpn)
+            return True
+        return False
+
+    def drain(self) -> list[int]:
+        """Flush everything (end of simulation), LRU first."""
+        pages = list(self._dirty)
+        self._dirty.clear()
+        return pages

@@ -1,0 +1,16 @@
+"""Bit-accurate functional simulation.
+
+The timing simulator (:mod:`repro.sim`) models *when* things happen;
+this package models *what the bits do*: host data flows through an ECC
+codec onto real page structures (normal Gray-coded wordlines or
+ReduceCode wordlines), lands as discrete Vth levels in behavioural cell
+arrays, suffers injected distortion, and is read back through the full
+decode path.  It is the executable proof that the mapping tables,
+program algorithms and codecs compose correctly.
+"""
+
+from repro.functional.block import FunctionalBlock
+from repro.functional.store import FunctionalPageStore
+from repro.functional.pipeline import ProtectedPageStore
+
+__all__ = ["FunctionalBlock", "FunctionalPageStore", "ProtectedPageStore"]

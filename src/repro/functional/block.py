@@ -1,0 +1,128 @@
+"""A bit-accurate NAND block.
+
+Wraps a stack of wordlines — :class:`NormalWordline` (four Gray-coded
+pages) or :class:`ReducedWordline` (three ReduceCode pages) depending on
+the block's mode — behind a flat page-offset address space with the
+program-order constraints real NAND imposes (pages program sequentially
+within the block; no reprogram without erase).
+
+Page order within a wordline is chosen so sequential programming is
+always legal: the LSB pages come before the MSB pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitline import NormalWordline, ReducedWordline
+from repro.core.level_adjust import CellMode
+from repro.device.geometry import NandGeometry
+from repro.errors import ConfigurationError, ProgramError
+
+#: Sequential page order per wordline, by mode (LSB pages first).
+_NORMAL_PAGE_ORDER = ("lower-even", "lower-odd", "upper-even", "upper-odd")
+_REDUCED_PAGE_ORDER = ("lower", "middle", "upper")
+
+
+class FunctionalBlock:
+    """One block of bit-accurate wordlines.
+
+    Parameters
+    ----------
+    geometry:
+        Wordline geometry (cells per wordline, wordlines per block).
+    mode:
+        NORMAL (Gray MLC) or REDUCED (ReduceCode).  SLC is not modelled
+        functionally — its data path is trivial.
+    """
+
+    def __init__(self, geometry: NandGeometry, mode: CellMode = CellMode.NORMAL):
+        if mode is CellMode.SLC:
+            raise ConfigurationError("functional blocks model NORMAL and REDUCED only")
+        self.geometry = geometry
+        self.mode = mode
+        if mode is CellMode.NORMAL:
+            self._wordlines = [
+                NormalWordline(geometry) for _ in range(geometry.wordlines_per_block)
+            ]
+            self._page_order = _NORMAL_PAGE_ORDER
+        else:
+            self._wordlines = [
+                ReducedWordline(geometry) for _ in range(geometry.wordlines_per_block)
+            ]
+            self._page_order = _REDUCED_PAGE_ORDER
+        self._next_page = 0
+
+    # --- geometry -----------------------------------------------------------------
+
+    @property
+    def pages_per_wordline(self) -> int:
+        return len(self._page_order)
+
+    @property
+    def n_pages(self) -> int:
+        """Pages the block holds in its mode (reduced: 25 % fewer)."""
+        return self.geometry.wordlines_per_block * self.pages_per_wordline
+
+    @property
+    def page_bits(self) -> int:
+        """Bits per page — identical across modes by construction."""
+        return self.geometry.cells_per_wordline // 2
+
+    @property
+    def pages_programmed(self) -> int:
+        return self._next_page
+
+    def _locate(self, offset: int) -> tuple[int, str]:
+        if not 0 <= offset < self.n_pages:
+            raise ConfigurationError(
+                f"page offset {offset} outside [0, {self.n_pages})"
+            )
+        wordline = offset // self.pages_per_wordline
+        page = self._page_order[offset % self.pages_per_wordline]
+        return wordline, page
+
+    # --- operations ------------------------------------------------------------------
+
+    def program_page(self, offset: int, bits: np.ndarray) -> None:
+        """Program the next page; offsets must be sequential.
+
+        Real NAND programs a block's pages in order (random program
+        order corrupts neighbouring wordlines), so out-of-order offsets
+        are rejected.
+        """
+        if offset != self._next_page:
+            raise ProgramError(
+                f"pages program sequentially: expected offset {self._next_page}, "
+                f"got {offset}"
+            )
+        wordline, page = self._locate(offset)
+        self._wordlines[wordline].program_page(page, bits)
+        self._next_page += 1
+
+    def read_page(self, offset: int) -> np.ndarray:
+        """Read any already-programmed page."""
+        if offset >= self._next_page:
+            raise ConfigurationError(f"page {offset} has not been programmed")
+        wordline, page = self._locate(offset)
+        return self._wordlines[wordline].read_page(page)
+
+    def erase(self) -> None:
+        """Erase every wordline and reset the program pointer."""
+        for wordline in self._wordlines:
+            wordline.erase()
+        self._next_page = 0
+
+    def inject_drift(
+        self,
+        rng: np.random.Generator,
+        downward_rate: float = 0.0,
+        upward_rate: float = 0.0,
+    ) -> int:
+        """Distort cell levels across the block; returns distorted cells."""
+        total = 0
+        for wordline in self._wordlines:
+            total += wordline.array.inject_drift(
+                rng, downward_rate=downward_rate, upward_rate=upward_rate
+            )
+        return total

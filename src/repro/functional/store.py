@@ -1,0 +1,103 @@
+"""A bit-accurate page store: many functional blocks, flat addressing.
+
+The functional counterpart of :class:`repro.ftl.ssd.Ssd`'s mapping
+layer: physical page numbers address (block, offset) pairs; blocks are
+created lazily in the mode their first program requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.level_adjust import CellMode
+from repro.device.geometry import NandGeometry
+from repro.errors import ConfigurationError, ProgramError
+from repro.functional.block import FunctionalBlock
+
+
+class FunctionalPageStore:
+    """A pool of functional blocks behind physical page numbers.
+
+    Parameters
+    ----------
+    n_blocks:
+        Blocks in the store.
+    geometry:
+        Per-block wordline geometry.
+    """
+
+    def __init__(self, n_blocks: int, geometry: NandGeometry | None = None):
+        if n_blocks <= 0:
+            raise ConfigurationError("need at least one block")
+        self.geometry = geometry or NandGeometry(
+            wordlines_per_block=4, cells_per_wordline=256
+        )
+        self.n_blocks = n_blocks
+        self._blocks: dict[int, FunctionalBlock] = {}
+
+    @property
+    def page_bits(self) -> int:
+        """Bits per page (mode-independent)."""
+        return self.geometry.cells_per_wordline // 2
+
+    def block(self, block_id: int) -> FunctionalBlock | None:
+        """The block object, or None if never programmed."""
+        self._check_block(block_id)
+        return self._blocks.get(block_id)
+
+    def block_mode(self, block_id: int) -> CellMode | None:
+        block = self.block(block_id)
+        return block.mode if block is not None else None
+
+    def pages_per_block(self, mode: CellMode) -> int:
+        """Pages a block holds in ``mode``."""
+        probe = FunctionalBlock(self.geometry, mode)
+        return probe.n_pages
+
+    # --- operations -----------------------------------------------------------------
+
+    def program_page(
+        self, block_id: int, offset: int, bits: np.ndarray, mode: CellMode
+    ) -> None:
+        """Program a page, creating/validating the block's mode."""
+        self._check_block(block_id)
+        block = self._blocks.get(block_id)
+        if block is None:
+            block = FunctionalBlock(self.geometry, mode)
+            self._blocks[block_id] = block
+        elif block.mode is not mode:
+            raise ProgramError(
+                f"block {block_id} is in {block.mode.value} mode; erase it "
+                f"before programming {mode.value} pages"
+            )
+        block.program_page(offset, bits)
+
+    def read_page(self, block_id: int, offset: int) -> np.ndarray:
+        self._check_block(block_id)
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise ConfigurationError(f"block {block_id} was never programmed")
+        return block.read_page(offset)
+
+    def erase_block(self, block_id: int) -> None:
+        """Erase a block; it may be re-created in a different mode."""
+        self._check_block(block_id)
+        self._blocks.pop(block_id, None)
+
+    def inject_drift(
+        self,
+        rng: np.random.Generator,
+        downward_rate: float = 0.0,
+        upward_rate: float = 0.0,
+    ) -> int:
+        """Distort every programmed block; returns distorted cells."""
+        return sum(
+            block.inject_drift(rng, downward_rate, upward_rate)
+            for block in self._blocks.values()
+        )
+
+    def _check_block(self, block_id: int) -> None:
+        if not 0 <= block_id < self.n_blocks:
+            raise ConfigurationError(
+                f"block {block_id} outside [0, {self.n_blocks})"
+            )

@@ -1,0 +1,6 @@
+"""Trace-driven simulation engine and result aggregation."""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResult
+
+__all__ = ["SimulationEngine", "SimulationResult"]

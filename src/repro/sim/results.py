@@ -1,0 +1,77 @@
+"""Aggregated simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SimulationResult:
+    """Response times and device counters from one trace run.
+
+    Response times are per *request* (not per page), in microseconds.
+    """
+
+    system_name: str
+    workload_name: str
+    read_responses_us: list[float] = field(default_factory=list)
+    write_responses_us: list[float] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def record(self, is_write: bool, response_us: float) -> None:
+        """Append one request's response time."""
+        if response_us < 0:
+            raise ConfigurationError(f"negative response time: {response_us}")
+        if is_write:
+            self.write_responses_us.append(response_us)
+        else:
+            self.read_responses_us.append(response_us)
+
+    # --- aggregates -------------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.read_responses_us) + len(self.write_responses_us)
+
+    def mean_response_us(self) -> float:
+        """Mean response time over all requests."""
+        all_responses = self.read_responses_us + self.write_responses_us
+        if not all_responses:
+            return 0.0
+        return float(np.mean(all_responses))
+
+    def mean_read_response_us(self) -> float:
+        """Mean response time of read requests."""
+        if not self.read_responses_us:
+            return 0.0
+        return float(np.mean(self.read_responses_us))
+
+    def mean_write_response_us(self) -> float:
+        """Mean response time of write requests."""
+        if not self.write_responses_us:
+            return 0.0
+        return float(np.mean(self.write_responses_us))
+
+    def percentile_response_us(self, q: float) -> float:
+        """Response-time percentile (q in [0, 100]) over all requests."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile {q} outside [0, 100]")
+        all_responses = self.read_responses_us + self.write_responses_us
+        if not all_responses:
+            return 0.0
+        return float(np.percentile(all_responses, q))
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary for reports."""
+        return {
+            "n_requests": self.n_requests,
+            "mean_response_us": self.mean_response_us(),
+            "mean_read_response_us": self.mean_read_response_us(),
+            "mean_write_response_us": self.mean_write_response_us(),
+            "p99_response_us": self.percentile_response_us(99),
+            **{f"stats.{k}": v for k, v in self.stats.items()},
+        }

@@ -1,0 +1,28 @@
+"""Workload traces.
+
+The paper evaluates on seven block traces (fin-2 OLTP, web-1/2 search,
+prj-1/2 project, win-1/2 PC).  The originals are not redistributable,
+so :mod:`repro.traces.synthetic` generates seeded synthetic equivalents
+whose read/write mix, Zipf skew, footprint and sequentiality match each
+trace's published character (see DESIGN.md's substitution table), and
+:mod:`repro.traces.workloads` names the seven presets.
+"""
+
+from repro.traces.schema import TraceRecord
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.stats import TraceProfile, compare_to_spec, profile_trace
+from repro.traces.synthetic import SyntheticWorkload
+from repro.traces.workloads import PAPER_WORKLOADS, make_workload, workload_names
+
+__all__ = [
+    "TraceRecord",
+    "read_trace_csv",
+    "write_trace_csv",
+    "SyntheticWorkload",
+    "TraceProfile",
+    "compare_to_spec",
+    "profile_trace",
+    "PAPER_WORKLOADS",
+    "make_workload",
+    "workload_names",
+]

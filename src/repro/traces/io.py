@@ -1,0 +1,67 @@
+"""Trace file input/output.
+
+Traces are stored as plain CSV with a header row:
+``timestamp_us,lpn,n_pages,op`` where ``op`` is ``R`` or ``W``.  The
+format round-trips exactly and stays greppable.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import TraceFormatError
+from repro.traces.schema import TraceRecord
+
+_HEADER = ["timestamp_us", "lpn", "n_pages", "op"]
+
+
+def write_trace_csv(path: str | Path, records: Iterable[TraceRecord]) -> int:
+    """Write records to a CSV file; returns the record count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for record in records:
+            writer.writerow(
+                [
+                    f"{record.timestamp_us:.3f}",
+                    record.lpn,
+                    record.n_pages,
+                    "W" if record.is_write else "R",
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_trace_csv(path: str | Path) -> Iterator[TraceRecord]:
+    """Yield records from a CSV trace file.
+
+    Raises
+    ------
+    TraceFormatError
+        On a malformed header or row.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceFormatError(f"{path}: empty trace file") from None
+        if header != _HEADER:
+            raise TraceFormatError(f"{path}: bad header {header!r}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise TraceFormatError(f"{path}:{line_no}: expected 4 fields")
+            try:
+                timestamp = float(row[0])
+                lpn = int(row[1])
+                n_pages = int(row[2])
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{line_no}: {exc}") from None
+            op = row[3].strip().upper()
+            if op not in ("R", "W"):
+                raise TraceFormatError(f"{path}:{line_no}: bad op {row[3]!r}")
+            yield TraceRecord(timestamp, lpn, n_pages, op == "W")

@@ -1,0 +1,50 @@
+"""Trace record format.
+
+A block-level I/O trace is a time-ordered sequence of
+:class:`TraceRecord` entries addressed in *pages* (the FTL's unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceFormatError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One host I/O request.
+
+    Attributes
+    ----------
+    timestamp_us:
+        Arrival time in microseconds from trace start.
+    lpn:
+        First logical page number touched.
+    n_pages:
+        Request size in pages.
+    is_write:
+        True for writes, False for reads.
+    """
+
+    timestamp_us: float
+    lpn: int
+    n_pages: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.timestamp_us < 0:
+            raise TraceFormatError(f"negative timestamp: {self.timestamp_us}")
+        if self.lpn < 0:
+            raise TraceFormatError(f"negative LPN: {self.lpn}")
+        if self.n_pages <= 0:
+            raise TraceFormatError(f"non-positive request size: {self.n_pages}")
+
+    @property
+    def last_lpn(self) -> int:
+        """Last page touched by the request."""
+        return self.lpn + self.n_pages - 1
+
+    def pages(self) -> range:
+        """All page numbers touched by the request."""
+        return range(self.lpn, self.lpn + self.n_pages)

@@ -1,0 +1,105 @@
+"""Trace characterization.
+
+Computes the statistics that define a workload's character — the same
+quantities the synthetic generator takes as parameters — so real traces
+can be profiled into :class:`~repro.traces.synthetic.SyntheticWorkload`
+presets and synthetic traces can be validated against their specs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.schema import TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Measured workload characteristics.
+
+    Attributes mirror :class:`SyntheticWorkload`'s parameters plus a few
+    distribution summaries.
+    """
+
+    n_requests: int
+    read_fraction: float
+    footprint_pages: int
+    mean_request_pages: float
+    mean_interarrival_us: float
+    sequential_fraction: float
+    read_top5pct_share: float
+    write_top5pct_share: float
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict view for reports."""
+        return {
+            "n_requests": self.n_requests,
+            "read_fraction": self.read_fraction,
+            "footprint_pages": self.footprint_pages,
+            "mean_request_pages": self.mean_request_pages,
+            "mean_interarrival_us": self.mean_interarrival_us,
+            "sequential_fraction": self.sequential_fraction,
+            "read_top5pct_share": self.read_top5pct_share,
+            "write_top5pct_share": self.write_top5pct_share,
+        }
+
+
+def profile_trace(records: Iterable[TraceRecord]) -> TraceProfile:
+    """Profile a trace into its characteristic statistics."""
+    records = list(records)
+    if not records:
+        raise ConfigurationError("empty trace")
+    n = len(records)
+    reads = sum(1 for r in records if not r.is_write)
+    pages_touched: set[int] = set()
+    read_counts: Counter[int] = Counter()
+    write_counts: Counter[int] = Counter()
+    sequential = 0
+    sizes = []
+    for previous, record in zip([None] + records[:-1], records):
+        sizes.append(record.n_pages)
+        pages_touched.update(record.pages())
+        target = read_counts if not record.is_write else write_counts
+        target[record.lpn] += 1
+        if previous is not None and record.lpn == previous.lpn + previous.n_pages:
+            sequential += 1
+    span = records[-1].timestamp_us - records[0].timestamp_us
+    return TraceProfile(
+        n_requests=n,
+        read_fraction=reads / n,
+        footprint_pages=len(pages_touched),
+        mean_request_pages=float(np.mean(sizes)),
+        mean_interarrival_us=span / max(n - 1, 1),
+        sequential_fraction=sequential / n,
+        read_top5pct_share=_top_share(read_counts),
+        write_top5pct_share=_top_share(write_counts),
+    )
+
+
+def _top_share(counts: Counter[int], fraction: float = 0.05) -> float:
+    """Traffic share of the most-popular ``fraction`` of targets."""
+    if not counts:
+        return 0.0
+    ranked = sorted(counts.values(), reverse=True)
+    top_n = max(1, int(len(ranked) * fraction))
+    return sum(ranked[:top_n]) / sum(ranked)
+
+
+def compare_to_spec(profile: TraceProfile, workload) -> dict[str, tuple[float, float]]:
+    """(measured, specified) pairs for the parameters a generator controls.
+
+    ``workload`` is a :class:`~repro.traces.synthetic.SyntheticWorkload`.
+    """
+    return {
+        "read_fraction": (profile.read_fraction, workload.read_fraction),
+        "mean_request_pages": (profile.mean_request_pages, workload.mean_request_pages),
+        "mean_interarrival_us": (
+            profile.mean_interarrival_us,
+            workload.mean_interarrival_us,
+        ),
+    }

@@ -1,0 +1,137 @@
+"""The seven paper workloads as synthetic presets (paper §6.2).
+
+Parameters follow each original trace's published character:
+
+* **fin-2** — UMass Financial2, OLTP: small requests, read-mostly
+  (~82 % reads), strong skew, high arrival rate.
+* **web-1 / web-2** — search-engine web servers: overwhelmingly reads
+  (~99 %) of a small hot set; writes are rare (which is why Fig. 7a's
+  *relative* write increase peaks there).
+* **prj-1 / prj-2** — MSR Cambridge project directories: mixed
+  read/write, moderate skew, larger requests.
+* **win-1 / win-2** — developer PC disks: moderate read fraction,
+  bursty, some sequentiality.
+
+Footprints are expressed as a fraction of the simulated SSD's logical
+space and materialized by :func:`make_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """A named workload with a relative footprint."""
+
+    name: str
+    footprint_fraction: float
+    read_fraction: float
+    read_zipf_s: float
+    write_zipf_s: float
+    mean_request_pages: float
+    sequential_fraction: float
+    mean_interarrival_us: float
+
+
+PAPER_WORKLOADS: dict[str, WorkloadPreset] = {
+    "fin-2": WorkloadPreset(
+        name="fin-2",
+        footprint_fraction=0.30,
+        read_fraction=0.82,
+        read_zipf_s=1.0,
+        write_zipf_s=1.0,
+        mean_request_pages=1.3,
+        sequential_fraction=0.05,
+        mean_interarrival_us=1400.0,
+    ),
+    "web-1": WorkloadPreset(
+        name="web-1",
+        footprint_fraction=0.40,
+        read_fraction=0.99,
+        read_zipf_s=1.1,
+        write_zipf_s=0.5,
+        mean_request_pages=2.0,
+        sequential_fraction=0.15,
+        mean_interarrival_us=1000.0,
+    ),
+    "web-2": WorkloadPreset(
+        name="web-2",
+        footprint_fraction=0.42,
+        read_fraction=0.985,
+        read_zipf_s=0.95,
+        write_zipf_s=0.5,
+        mean_request_pages=2.5,
+        sequential_fraction=0.20,
+        mean_interarrival_us=1400.0,
+    ),
+    "prj-1": WorkloadPreset(
+        name="prj-1",
+        footprint_fraction=0.50,
+        read_fraction=0.55,
+        read_zipf_s=0.8,
+        write_zipf_s=1.05,
+        mean_request_pages=3.0,
+        sequential_fraction=0.25,
+        mean_interarrival_us=5000.0,
+    ),
+    "prj-2": WorkloadPreset(
+        name="prj-2",
+        footprint_fraction=0.48,
+        read_fraction=0.65,
+        read_zipf_s=0.85,
+        write_zipf_s=1.05,
+        mean_request_pages=2.5,
+        sequential_fraction=0.20,
+        mean_interarrival_us=4200.0,
+    ),
+    "win-1": WorkloadPreset(
+        name="win-1",
+        footprint_fraction=0.45,
+        read_fraction=0.70,
+        read_zipf_s=0.9,
+        write_zipf_s=1.05,
+        mean_request_pages=2.0,
+        sequential_fraction=0.30,
+        mean_interarrival_us=3000.0,
+    ),
+    "win-2": WorkloadPreset(
+        name="win-2",
+        footprint_fraction=0.48,
+        read_fraction=0.60,
+        read_zipf_s=0.85,
+        write_zipf_s=1.05,
+        mean_request_pages=2.2,
+        sequential_fraction=0.25,
+        mean_interarrival_us=4200.0,
+    ),
+}
+
+
+def workload_names() -> tuple[str, ...]:
+    """The seven paper workload names, in the paper's order."""
+    return ("fin-2", "web-1", "web-2", "prj-1", "prj-2", "win-1", "win-2")
+
+
+def make_workload(name: str, logical_pages: int) -> SyntheticWorkload:
+    """Instantiate a preset against a concrete SSD size."""
+    if name not in PAPER_WORKLOADS:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        )
+    preset = PAPER_WORKLOADS[name]
+    footprint = max(1, int(preset.footprint_fraction * logical_pages))
+    return SyntheticWorkload(
+        name=preset.name,
+        footprint_pages=footprint,
+        read_fraction=preset.read_fraction,
+        read_zipf_s=preset.read_zipf_s,
+        write_zipf_s=preset.write_zipf_s,
+        mean_request_pages=preset.mean_request_pages,
+        sequential_fraction=preset.sequential_fraction,
+        mean_interarrival_us=preset.mean_interarrival_us,
+    )

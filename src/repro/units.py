@@ -1,0 +1,52 @@
+"""Unit helpers and constants shared across the package.
+
+Conventions (see DESIGN.md):
+
+* voltages are in volts,
+* device-model times (retention) are in **hours**,
+* storage-system times (latencies, trace timestamps) are in
+  **microseconds**,
+* capacities are in **bytes**.
+"""
+
+from __future__ import annotations
+
+# --- capacity ---------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- time (storage system: microseconds) ------------------------------------
+
+US = 1.0
+MS = 1000.0 * US
+SECOND = 1000.0 * MS
+MINUTE = 60.0 * SECOND
+HOUR_US = 60.0 * MINUTE
+
+# --- time (device models: hours) ---------------------------------------------
+
+HOUR = 1.0
+DAY = 24.0 * HOUR
+WEEK = 7.0 * DAY
+MONTH = 30.0 * DAY
+
+
+def hours_to_us(hours: float) -> float:
+    """Convert device-model hours to storage-system microseconds."""
+    return hours * HOUR_US
+
+
+def us_to_hours(us: float) -> float:
+    """Convert storage-system microseconds to device-model hours."""
+    return us / HOUR_US
+
+
+def bytes_to_pages(n_bytes: int, page_size: int) -> int:
+    """Number of pages needed to hold ``n_bytes`` (ceiling division)."""
+    if n_bytes < 0:
+        raise ValueError(f"negative byte count: {n_bytes}")
+    if page_size <= 0:
+        raise ValueError(f"non-positive page size: {page_size}")
+    return -(-n_bytes // page_size)

@@ -1,0 +1,78 @@
+"""Tests for the calibrated device models against paper Table 4."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CALIBRATED_SIGMA_P,
+    calibrated_analyzer,
+    calibrated_retention,
+    calibrated_wear,
+)
+from repro.analysis.experiments import PAPER_TABLE4_BASELINE
+from repro.core.reduce_code import ReduceCodeCoding
+from repro.device.voltages import normal_mlc_plan, reduced_plan
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return calibrated_analyzer(normal_mlc_plan())
+
+
+class TestCalibratedModels:
+    def test_analyzer_uses_fitted_sigma(self, baseline):
+        assert baseline.plan.sigma_p == CALIBRATED_SIGMA_P
+
+    def test_retention_has_tail(self):
+        model = calibrated_retention()
+        assert model.tail_weight > 0
+        assert model.effective_tail_weight(6000, 720) > 0
+
+    def test_wear_positive(self):
+        assert calibrated_wear().sigma(6000) > 0
+
+
+class TestTable4Agreement:
+    @pytest.mark.parametrize("pe,hours", sorted(PAPER_TABLE4_BASELINE))
+    def test_baseline_within_3x_of_paper(self, baseline, pe, hours):
+        ours = baseline.retention_ber(pe, hours).total
+        paper = PAPER_TABLE4_BASELINE[(pe, hours)]
+        assert paper / 3.0 <= ours <= paper * 3.0
+
+    def test_geometric_mean_near_one(self, baseline):
+        import numpy as np
+
+        ratios = [
+            baseline.retention_ber(pe, hours).total / paper
+            for (pe, hours), paper in PAPER_TABLE4_BASELINE.items()
+        ]
+        geomean = float(np.exp(np.mean(np.log(ratios))))
+        assert 0.6 < geomean < 1.6
+
+
+class TestNunmaOrdering:
+    def test_reduction_factors_ordered(self):
+        """Table 4's headline: NUNMA 1 < 2 < 3 in average BER reduction."""
+        import numpy as np
+
+        coding = ReduceCodeCoding()
+        base = calibrated_analyzer(normal_mlc_plan())
+        reductions = {}
+        for config in ("nunma1", "nunma2", "nunma3"):
+            analyzer = calibrated_analyzer(reduced_plan(config), coding=coding)
+            ratios = [
+                base.retention_ber(pe, hours).total
+                / analyzer.retention_ber(pe, hours).total
+                for pe in (2000, 4000, 6000)
+                for hours in (24.0, 720.0)
+            ]
+            reductions[config] = float(np.exp(np.mean(np.log(ratios))))
+        assert reductions["nunma1"] < reductions["nunma2"] < reductions["nunma3"]
+        assert reductions["nunma1"] > 1.0  # every config beats the baseline
+
+    def test_nunma3_stays_below_sensing_trigger(self):
+        """The paper's design point: NUNMA 3 never exceeds 4e-3, so the
+        reduced state needs no extra sensing levels at any Table 4 cell."""
+        analyzer = calibrated_analyzer(reduced_plan("nunma3"), coding=ReduceCodeCoding())
+        for pe in (2000, 3000, 4000, 5000, 6000):
+            for hours in (24.0, 48.0, 168.0, 720.0):
+                assert analyzer.retention_ber(pe, hours).total < 4e-3

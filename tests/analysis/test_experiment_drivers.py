@@ -1,0 +1,56 @@
+"""Unit tests for the remaining experiment drivers (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    SystemExperimentConfig,
+    run_fig6b,
+    run_fig7_endurance,
+)
+from repro.core.level_adjust import LevelAdjustPolicy
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SystemExperimentConfig(
+        n_blocks=128, n_requests=2500, warmup_fraction=0.2, buffer_pages=128
+    )
+
+
+class TestFig6bDriver:
+    def test_returns_reduction_per_pe(self, tiny_config):
+        reductions = run_fig6b(tiny_config, pe_grid=(4000, 6000))
+        assert set(reductions) == {4000, 6000}
+        for value in reductions.values():
+            assert -1.0 < value < 1.0
+
+
+class TestFig7Driver:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_config):
+        return run_fig7_endurance(tiny_config)
+
+    def test_covers_all_workloads(self, report):
+        from repro.traces.workloads import workload_names
+
+        assert set(report) == set(workload_names())
+
+    def test_fields_present(self, report):
+        for workload, row in report.items():
+            assert set(row) == {"write_increase", "erase_increase", "lifetime_ratio"}
+            # Relative write increase is never negative (FlexLevel only
+            # adds migrations); degenerate no-flush runs report 0 or inf.
+            assert row["write_increase"] >= -0.01 or row["write_increase"] == float(
+                "inf"
+            ), workload
+            assert 0.0 < row["lifetime_ratio"] <= 1.0, workload
+
+    def test_lifetime_reflects_erase_overhead(self, report):
+        finite = {
+            w: row
+            for w, row in report.items()
+            if np.isfinite(row["erase_increase"]) and row["erase_increase"] > 0
+        }
+        for workload, row in finite.items():
+            assert row["lifetime_ratio"] < 1.0, workload

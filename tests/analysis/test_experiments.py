@@ -1,0 +1,84 @@
+"""Tests for the experiment drivers (small-scale sanity runs)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    PAPER_TABLE5,
+    SystemExperimentConfig,
+    normalized_response_times,
+    run_capacity_loss,
+    run_fig5_c2c_ber,
+    run_per_level_error_shares,
+    run_table4_retention_ber,
+    run_table5_sensing_levels,
+    run_workload_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SystemExperimentConfig(
+        n_blocks=128, n_requests=3000, warmup_fraction=0.2, buffer_pages=128
+    )
+
+
+class TestDeviceExperiments:
+    def test_fig5_shape(self):
+        results = run_fig5_c2c_ber()
+        assert set(results) == {"baseline", "nunma1", "nunma2", "nunma3"}
+        # reduced state beats baseline; NUNMA 3 worst among reduced (Fig 5)
+        for config in ("nunma1", "nunma2", "nunma3"):
+            assert results[config] < results["baseline"]
+        assert results["nunma3"] > results["nunma1"]
+        assert results["nunma3"] > results["nunma2"]
+
+    def test_table4_monotonicity(self):
+        results = run_table4_retention_ber(pe_grid=(2000, 6000))
+        for scheme, table in results.items():
+            assert table[(2000, 24.0)] < table[(6000, 720.0)], scheme
+
+    def test_table5_shape(self):
+        table = run_table5_sensing_levels(pe_grid=(3000, 6000))
+        # zero-day column is all zeros (paper Table 5)
+        assert table[(3000, 0.0)] == 0
+        assert table[(6000, 0.0)] == 0
+        # monotone in both axes
+        assert table[(6000, 720.0)] >= table[(6000, 24.0)]
+        assert table[(6000, 720.0)] >= table[(3000, 720.0)]
+        # the worst corner needs several levels
+        assert table[(6000, 720.0)] >= 4
+
+    def test_table5_matches_paper_within_two_rungs(self):
+        table = run_table5_sensing_levels()
+        for key, paper_levels in PAPER_TABLE5.items():
+            assert abs(table[key] - paper_levels) <= 2, key
+
+    def test_per_level_shares(self):
+        shares = run_per_level_error_shares()
+        # paper: 78 % at level 2, 15 % at level 1
+        assert shares[2] > 0.5
+        assert shares[2] > shares[1] > shares[0]
+
+
+class TestSystemExperiments:
+    @pytest.fixture(scope="class")
+    def matrix(self, tiny_config):
+        return run_workload_matrix(tiny_config, workloads=("fin-2", "web-1"))
+
+    def test_matrix_covers_all_pairs(self, matrix):
+        assert len(matrix) == 2 * 4
+
+    def test_normalization(self, matrix):
+        normalized = normalized_response_times(matrix)
+        for workload, values in normalized.items():
+            assert values["baseline"] == pytest.approx(1.0)
+
+    def test_flexlevel_beats_baseline(self, matrix):
+        normalized = normalized_response_times(matrix)
+        for workload, values in normalized.items():
+            assert values["flexlevel"] < 1.0, workload
+
+    def test_capacity_loss_bounded(self, tiny_config):
+        report = run_capacity_loss(tiny_config)
+        for workload, values in report.items():
+            assert values["capacity_loss_fraction"] <= 0.0625 + 1e-9

@@ -1,0 +1,66 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    CONSTANTS,
+    perturbed_analyzer,
+    run_sensitivity,
+    table5_matrix,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPerturbedAnalyzer:
+    def test_identity_factor_matches_calibration(self):
+        from repro.analysis.calibration import calibrated_analyzer
+        from repro.device.voltages import normal_mlc_plan
+
+        ours = perturbed_analyzer("kd", 1.0)
+        reference = calibrated_analyzer(normal_mlc_plan())
+        assert ours.retention_ber(5000, 168).total == pytest.approx(
+            reference.retention_ber(5000, 168).total, rel=1e-9
+        )
+
+    def test_scaling_kd_moves_ber(self):
+        low = perturbed_analyzer("kd", 0.5).retention_ber(5000, 720).total
+        high = perturbed_analyzer("kd", 2.0).retention_ber(5000, 720).total
+        assert high > low
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturbed_analyzer("nope", 1.0)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturbed_analyzer("kd", 0.0)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_sensitivity(factors=(0.8, 1.25))
+
+    def test_covers_all_constants(self, results):
+        assert {r.constant for r in results} == set(CONSTANTS)
+        assert len(results) == len(CONSTANTS) * 2
+
+    def test_shape_survives_every_perturbation(self, results):
+        """The headline robustness claim: +-25 % on any one constant
+        never breaks Table 5's structure."""
+        for result in results:
+            assert result.shape_preserved, (result.constant, result.factor)
+
+    def test_perturbations_move_some_cells(self, results):
+        assert any(r.cells_changed > 0 for r in results)
+
+    def test_level_deltas_bounded(self, results):
+        for result in results:
+            assert result.max_level_delta <= 4
+
+
+class TestMatrix:
+    def test_matrix_shape(self):
+        matrix = table5_matrix(perturbed_analyzer("kd", 1.0))
+        assert len(matrix) == 4 * 5
+        assert all(v >= 0 for v in matrix.values())

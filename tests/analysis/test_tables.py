@@ -1,0 +1,52 @@
+"""Tests for the table formatting helpers."""
+
+import pytest
+
+from repro.analysis.tables import format_percent, format_ratio, format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [("alpha", 1.5), ("b", 20)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert lines[2].index("alpha") == 0  # strings left-aligned
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["v"], [(1,), (100,)])
+        lines = text.splitlines()
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("100")
+
+    def test_scientific_for_small_values(self):
+        text = format_table(["v"], [(1.5e-5,)])
+        assert "e-05" in text
+
+    def test_booleans_rendered(self):
+        text = format_table(["ok"], [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_rejects_no_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestScalars:
+    def test_ratio(self):
+        assert format_ratio(2.44) == "2.4x"
+
+    def test_percent(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(0.123, signed=True) == "+12.3%"
+        assert format_percent(-0.1, signed=True) == "-10.0%"

@@ -1,0 +1,145 @@
+"""Tests for the extension systems (progressive, SLC cache, refresh)."""
+
+import pytest
+
+from repro.baselines import (
+    EXTENSION_SYSTEMS,
+    SystemConfig,
+    build_extension_system,
+    build_system,
+)
+from repro.core.level_adjust import CellMode
+from repro.ftl.config import SsdConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def system_config():
+    ssd = SsdConfig(
+        n_blocks=64, pages_per_block=16, gc_free_block_threshold=2,
+        initial_pe_cycles=6000,
+    )
+    return SystemConfig(
+        ssd=ssd,
+        footprint_pages=int(ssd.logical_pages * 0.4),
+        buffer_pages=8,
+        hotness_window=5,
+    )
+
+
+def find_old_page(system, policy, limit=100):
+    for lpn in range(limit):
+        info = system.ssd.read_info(lpn, 0.0)
+        if policy.extra_levels(info.mode, info.pe_cycles, info.age_hours) > 0:
+            return lpn
+    return None
+
+
+class TestFactory:
+    def test_registry(self):
+        assert set(EXTENSION_SYSTEMS) == {
+            "ldpc-in-ssd-progressive", "slc-cache", "refresh",
+        }
+
+    def test_unknown_rejected(self, system_config):
+        with pytest.raises(ConfigurationError):
+            build_extension_system("nope", system_config)
+
+
+class TestProgressive:
+    def test_costs_more_than_tracked(self, system_config, shared_policy):
+        tracked = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        progressive = build_extension_system(
+            "ldpc-in-ssd-progressive", system_config, level_adjust=shared_policy
+        )
+        lpn = find_old_page(tracked, shared_policy)
+        assert lpn is not None
+        assert progressive.serve_read_page(lpn, 0.0) > tracked.serve_read_page(lpn, 0.0)
+
+    def test_equal_on_fresh_pages(self, system_config, shared_policy):
+        tracked = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        progressive = build_extension_system(
+            "ldpc-in-ssd-progressive", system_config, level_adjust=shared_policy
+        )
+        tracked.ssd.host_write(1, CellMode.NORMAL, 0.0)
+        progressive.ssd.host_write(1, CellMode.NORMAL, 0.0)
+        assert progressive.serve_read_page(1, 1.0) == tracked.serve_read_page(1, 1.0)
+
+
+class TestSlcCache:
+    def test_pool_half_of_flexlevel(self, system_config, shared_policy):
+        flex = build_system("flexlevel", system_config, level_adjust=shared_policy)
+        slc = build_extension_system("slc-cache", system_config, level_adjust=shared_policy)
+        assert slc.access_eval.pool.max_pages == flex.access_eval.pool.max_pages // 2
+
+    def test_promotes_into_slc_mode(self, system_config, shared_policy):
+        system = build_extension_system(
+            "slc-cache", system_config, level_adjust=shared_policy
+        )
+        lpn = find_old_page(system, shared_policy)
+        assert lpn is not None
+        for _ in range(25):
+            system.serve_read_page(lpn, 0.0)
+        assert system.ssd.mode_of(lpn) is CellMode.SLC
+        assert system.ssd.pages_in_mode(CellMode.SLC) == 1
+
+    def test_slc_page_reads_fast(self, system_config, shared_policy):
+        system = build_extension_system(
+            "slc-cache", system_config, level_adjust=shared_policy
+        )
+        lpn = find_old_page(system, shared_policy)
+        for _ in range(25):
+            system.serve_read_page(lpn, 0.0)
+        system.take_background_us()
+        assert system.serve_read_page(lpn, 0.0) == pytest.approx(
+            system.latency.read_latency_us(0)
+        )
+
+    def test_write_mode_follows_pool(self, system_config, shared_policy):
+        system = build_extension_system(
+            "slc-cache", system_config, level_adjust=shared_policy
+        )
+        assert system.write_mode(3) is CellMode.NORMAL
+        system.access_eval.pool.admit(3)
+        assert system.write_mode(3) is CellMode.SLC
+
+
+class TestRefresh:
+    def test_refresh_resets_age(self, system_config, shared_policy):
+        system = build_extension_system(
+            "refresh", system_config, level_adjust=shared_policy
+        )
+        lpn = find_old_page(system, shared_policy)
+        assert lpn is not None
+        slow = system.serve_read_page(lpn, 0.0)
+        assert system.refreshes == 1
+        system.take_background_us()
+        fast = system.serve_read_page(lpn, 1.0)
+        assert fast < slow
+        assert fast == pytest.approx(system.latency.read_latency_us(0))
+
+    def test_refresh_counts_as_maintenance_writes(self, system_config, shared_policy):
+        system = build_extension_system(
+            "refresh", system_config, level_adjust=shared_policy
+        )
+        lpn = find_old_page(system, shared_policy)
+        system.serve_read_page(lpn, 0.0)
+        assert system.ssd.stats.migration_program_pages == 1
+        assert system.ssd.stats.host_write_pages == 0
+
+    def test_fresh_pages_not_refreshed(self, system_config, shared_policy):
+        system = build_extension_system(
+            "refresh", system_config, level_adjust=shared_policy
+        )
+        system.ssd.host_write(1, CellMode.NORMAL, 0.0)
+        baseline_writes = system.ssd.stats.host_write_pages
+        system.serve_read_page(1, 1.0)
+        assert system.refreshes == 0
+        assert system.ssd.stats.host_write_pages == baseline_writes
+
+    def test_threshold_validated(self, system_config, shared_policy):
+        with pytest.raises(ConfigurationError):
+            build_extension_system(
+                "refresh", system_config, refresh_threshold=0,
+                level_adjust=shared_policy,
+            )

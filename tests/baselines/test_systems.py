@@ -1,0 +1,171 @@
+"""Tests for the four storage systems' policies."""
+
+import pytest
+
+from repro.baselines.systems import (
+    LevelAdjustOnlySystem,
+    SystemConfig,
+    build_system,
+    system_names,
+)
+from repro.core.level_adjust import CellMode
+from repro.ftl.config import SsdConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ssd_config():
+    return SsdConfig(
+        n_blocks=64, pages_per_block=16, gc_free_block_threshold=2,
+        initial_pe_cycles=6000,
+    )
+
+
+@pytest.fixture
+def system_config(ssd_config):
+    return SystemConfig(
+        ssd=ssd_config,
+        footprint_pages=int(ssd_config.logical_pages * 0.4),
+        buffer_pages=8,
+        hotness_window=5,
+    )
+
+
+class TestFactory:
+    def test_names(self):
+        assert system_names() == (
+            "baseline", "ldpc-in-ssd", "leveladjust-only", "flexlevel",
+        )
+
+    def test_build_all(self, system_config, shared_policy):
+        for name in system_names():
+            system = build_system(name, system_config, level_adjust=shared_policy)
+            assert system.name == name
+
+    def test_unknown_rejected(self, system_config):
+        with pytest.raises(ConfigurationError):
+            build_system("nope", system_config)
+
+
+class TestReadPolicies:
+    def test_baseline_pays_worst_case(self, system_config, shared_policy):
+        baseline = build_system("baseline", system_config, level_adjust=shared_policy)
+        ldpc = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        assert baseline.worst_levels > 0
+        # a fresh page: adaptive reads fast, baseline still pays worst case
+        lpn = 1
+        baseline.ssd.host_write(lpn, CellMode.NORMAL, now_us=0.0)
+        ldpc.ssd.host_write(lpn, CellMode.NORMAL, now_us=0.0)
+        assert baseline.serve_read_page(lpn, 1.0) > ldpc.serve_read_page(lpn, 1.0)
+
+    def test_leveladjust_reads_fast(self, system_config, shared_policy):
+        la = build_system("leveladjust-only", system_config, level_adjust=shared_policy)
+        ldpc = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        # old prefilled data: reduced state needs no extra levels
+        old_lpn = 0
+        assert la.serve_read_page(old_lpn, 0.0) <= ldpc.serve_read_page(old_lpn, 0.0)
+
+    def test_buffer_hit_is_cheap(self, system_config, shared_policy):
+        system = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        system.serve_write_page(3, 0.0)
+        latency = system.serve_read_page(3, 1.0)
+        assert latency == system.config.ssd.timing.buffer_hit_us
+
+
+class TestWritePolicies:
+    def test_modes(self, system_config, shared_policy):
+        expectations = {
+            "baseline": CellMode.NORMAL,
+            "ldpc-in-ssd": CellMode.NORMAL,
+            "leveladjust-only": CellMode.REDUCED,
+        }
+        for name, mode in expectations.items():
+            system = build_system(name, system_config, level_adjust=shared_policy)
+            assert system.write_mode(5) is mode
+
+    def test_flexlevel_mode_follows_pool(self, system_config, shared_policy):
+        system = build_system("flexlevel", system_config, level_adjust=shared_policy)
+        assert system.write_mode(5) is CellMode.NORMAL
+        system.access_eval.pool.admit(5)
+        assert system.write_mode(5) is CellMode.REDUCED
+
+    def test_writes_are_buffered_then_flushed(self, system_config, shared_policy):
+        system = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        for lpn in range(8):
+            system.serve_write_page(lpn, 0.0)
+        assert system.ssd.stats.flash_program_pages == 0
+        system.serve_write_page(8, 0.0)  # evicts one page
+        assert system.ssd.stats.flash_program_pages == 1
+        assert system.take_background_us() > 0
+
+    def test_flush_drains_buffer(self, system_config, shared_policy):
+        system = build_system("ldpc-in-ssd", system_config, level_adjust=shared_policy)
+        for lpn in range(5):
+            system.serve_write_page(lpn, 0.0)
+        system.flush(1.0)
+        assert system.ssd.stats.flash_program_pages == 5
+        assert len(system.buffer) == 0
+
+
+class TestLevelAdjustOnly:
+    def test_reduced_prefix_capacity_limited(self, ssd_config):
+        prefix = LevelAdjustOnlySystem.max_reduced_prefix(ssd_config)
+        assert 0 < prefix < ssd_config.logical_pages
+        reduced_blocks = -(-prefix // ssd_config.reduced_pages_per_block)
+        cold = ssd_config.logical_pages - prefix
+        normal_blocks = -(-cold // ssd_config.pages_per_block)
+        assert reduced_blocks + normal_blocks <= ssd_config.n_blocks
+
+    def test_prefix_grows_with_op(self):
+        tight = SsdConfig(n_blocks=64, pages_per_block=16, over_provisioning=0.05)
+        roomy = SsdConfig(n_blocks=64, pages_per_block=16, over_provisioning=0.40)
+        assert LevelAdjustOnlySystem.max_reduced_prefix(
+            roomy
+        ) >= LevelAdjustOnlySystem.max_reduced_prefix(tight) - tight.logical_pages * 0.0
+        # roomier OP converts a larger *fraction* of the logical space
+        assert (
+            LevelAdjustOnlySystem.max_reduced_prefix(roomy) / roomy.logical_pages
+            > LevelAdjustOnlySystem.max_reduced_prefix(tight) / tight.logical_pages
+        )
+
+
+class TestFlexLevelMigrations:
+    def warm_reads(self, system, lpn, n=20, now=0.0):
+        total = 0.0
+        for _ in range(n):
+            total += system.serve_read_page(lpn, now)
+        return total
+
+    def test_hot_old_page_promoted(self, system_config, shared_policy):
+        system = build_system("flexlevel", system_config, level_adjust=shared_policy)
+        # LPN 0 is prefilled with a sampled age; find an old page
+        old_lpn = None
+        for lpn in range(system_config.footprint_pages):
+            info = system.ssd.read_info(lpn, 0.0)
+            if shared_policy.extra_levels(info.mode, info.pe_cycles, info.age_hours) > 0:
+                old_lpn = lpn
+                break
+        assert old_lpn is not None
+        self.warm_reads(system, old_lpn)
+        assert old_lpn in system.access_eval.pool
+        assert system.ssd.mode_of(old_lpn) is CellMode.REDUCED
+        assert system.ssd.stats.promotions == 1
+
+    def test_promotion_work_is_background(self, system_config, shared_policy):
+        system = build_system("flexlevel", system_config, level_adjust=shared_policy)
+        self.warm_reads(system, 0)
+        if system.ssd.stats.promotions:
+            assert system.take_background_us() > 0
+
+
+class TestValidation:
+    def test_footprint_bounds(self, ssd_config):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(ssd=ssd_config, footprint_pages=ssd_config.logical_pages + 1)
+
+    def test_age_sampling_reproducible(self, system_config):
+        assert (system_config.initial_ages() == system_config.initial_ages()).all()
+
+    def test_pool_pages(self, ssd_config):
+        config = SystemConfig(ssd=ssd_config, reduced_pool_fraction=0.1)
+        assert config.pool_pages == int(0.1 * ssd_config.logical_pages)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the FlexLevel reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.geometry import NandGeometry
+from repro.ftl.config import SsdConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_geometry() -> NandGeometry:
+    """A small wordline geometry for functional tests."""
+    return NandGeometry(wordlines_per_block=4, cells_per_wordline=64)
+
+
+@pytest.fixture
+def tiny_ssd_config() -> SsdConfig:
+    """A tiny SSD so FTL tests run in milliseconds."""
+    return SsdConfig(
+        n_blocks=64,
+        pages_per_block=16,
+        page_size_bytes=4096,
+        gc_free_block_threshold=2,
+        initial_pe_cycles=6000,
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_policy():
+    """One LevelAdjustPolicy for the whole session (BER evals are cached)."""
+    from repro.core.level_adjust import LevelAdjustPolicy
+
+    return LevelAdjustPolicy()

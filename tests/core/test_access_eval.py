@@ -1,0 +1,121 @@
+"""Tests for the AccessEval controller and ReducedCell pool."""
+
+import pytest
+
+from repro.core.access_eval import AccessEval, ReducedCellPool
+from repro.core.hlo import HloIdentifier
+from repro.core.hotness import MultiBloomHotness
+from repro.errors import ConfigurationError
+
+
+class TestPool:
+    def test_admit_and_contains(self):
+        pool = ReducedCellPool(4)
+        assert pool.admit(1) is None
+        assert 1 in pool
+        assert len(pool) == 1
+
+    def test_lru_eviction_order(self):
+        pool = ReducedCellPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        evicted = pool.admit(3)
+        assert evicted == 1
+        assert pool.members() == [2, 3]
+
+    def test_touch_refreshes_recency(self):
+        pool = ReducedCellPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        pool.touch(1)
+        assert pool.admit(3) == 2
+
+    def test_readmit_refreshes_without_eviction(self):
+        pool = ReducedCellPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        assert pool.admit(1) is None
+        assert pool.admit(3) == 2
+
+    def test_remove(self):
+        pool = ReducedCellPool(2)
+        pool.admit(1)
+        assert pool.remove(1)
+        assert not pool.remove(1)
+        assert 1 not in pool
+
+    def test_zero_capacity_pool_admits_nothing(self):
+        pool = ReducedCellPool(0)
+        assert pool.admit(1) is None
+        assert 1 not in pool
+        assert pool.fill_fraction() == 0.0
+
+    def test_fill_fraction(self):
+        pool = ReducedCellPool(4)
+        pool.admit(1)
+        pool.admit(2)
+        assert pool.fill_fraction() == pytest.approx(0.5)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            ReducedCellPool(-1)
+
+
+class TestAccessEval:
+    def make(self, pool_pages=8):
+        identifier = HloIdentifier(
+            hotness=MultiBloomHotness(n_filters=4, window=4, freq_levels=2)
+        )
+        return AccessEval(pool_pages=pool_pages, identifier=identifier)
+
+    def warm(self, controller, lpn, extra_levels, reads=20):
+        decisions = [controller.on_read(lpn, extra_levels) for _ in range(reads)]
+        return decisions
+
+    def test_promotes_hot_expensive_page_once(self):
+        controller = self.make()
+        decisions = self.warm(controller, 1, extra_levels=3)
+        assert sum(d.promote for d in decisions) == 1
+        assert controller.promotions == 1
+
+    def test_never_promotes_cheap_reads(self):
+        controller = self.make()
+        decisions = self.warm(controller, 1, extra_levels=0)
+        assert not any(d.promote for d in decisions)
+
+    def test_demotion_on_full_pool(self):
+        controller = self.make(pool_pages=1)
+        self.warm(controller, 1, extra_levels=3)
+        decisions = self.warm(controller, 2, extra_levels=3)
+        promoting = [d for d in decisions if d.promote]
+        assert promoting
+        assert promoting[0].demote_lpn == 1
+        assert controller.demotions == 1
+
+    def test_zero_pool_never_promotes(self):
+        controller = self.make(pool_pages=0)
+        decisions = self.warm(controller, 1, extra_levels=5)
+        assert not any(d.promote for d in decisions)
+
+    def test_overwrite_drops_pool_membership(self):
+        controller = self.make()
+        self.warm(controller, 1, extra_levels=3)
+        assert 1 in controller.pool
+        controller.on_overwrite(1)
+        assert 1 not in controller.pool
+
+    def test_reduced_fraction(self):
+        controller = self.make(pool_pages=10)
+        self.warm(controller, 1, extra_levels=3)
+        assert controller.reduced_fraction(100) == pytest.approx(0.01)
+        with pytest.raises(ConfigurationError):
+            controller.reduced_fraction(0)
+
+    def test_pool_members_refresh_on_read(self):
+        controller = self.make(pool_pages=2)
+        self.warm(controller, 1, extra_levels=3)
+        self.warm(controller, 2, extra_levels=3)
+        controller.on_read(1, 3)  # refresh 1
+        self.warm(controller, 3, extra_levels=3)
+        assert 1 in controller.pool
+        assert 2 not in controller.pool

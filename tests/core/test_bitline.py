@@ -1,0 +1,151 @@
+"""Tests for normal and ReduceCode wordline structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitline import NormalWordline, ReducedWordline
+from repro.device.geometry import NandGeometry
+from repro.errors import ConfigurationError, ProgramError
+
+
+@pytest.fixture
+def geometry():
+    return NandGeometry(wordlines_per_block=2, cells_per_wordline=64)
+
+
+def random_page(rng, n):
+    return rng.integers(0, 2, n).astype(np.uint8)
+
+
+class TestNormalWordline:
+    def test_four_page_roundtrip(self, geometry, rng):
+        wl = NormalWordline(geometry)
+        pages = {p: random_page(rng, wl.page_bits) for p in wl.PAGES}
+        for name in ("lower-even", "lower-odd", "upper-even", "upper-odd"):
+            wl.program_page(name, pages[name])
+        for name, bits in pages.items():
+            assert np.array_equal(wl.read_page(name), bits), name
+
+    def test_lower_page_readable_before_upper(self, geometry, rng):
+        wl = NormalWordline(geometry)
+        bits = random_page(rng, wl.page_bits)
+        wl.program_page("lower-even", bits)
+        assert np.array_equal(wl.read_page("lower-even"), bits)
+
+    def test_upper_requires_lower(self, geometry, rng):
+        wl = NormalWordline(geometry)
+        with pytest.raises(ProgramError):
+            wl.program_page("upper-even", random_page(rng, wl.page_bits))
+
+    def test_no_reprogram_without_erase(self, geometry, rng):
+        wl = NormalWordline(geometry)
+        bits = random_page(rng, wl.page_bits)
+        wl.program_page("lower-even", bits)
+        with pytest.raises(ProgramError):
+            wl.program_page("lower-even", bits)
+        wl.erase()
+        wl.program_page("lower-even", bits)
+
+    def test_page_groups_independent(self, geometry, rng):
+        wl = NormalWordline(geometry)
+        even = random_page(rng, wl.page_bits)
+        wl.program_page("lower-even", even)
+        # odd group untouched: reads back as erased (all ones under Gray 11)
+        assert np.all(wl.read_page("lower-odd") == 1)
+        assert np.all(wl.read_page("upper-odd") == 1)
+
+    def test_unknown_page_rejected(self, geometry):
+        wl = NormalWordline(geometry)
+        with pytest.raises(ConfigurationError):
+            wl.program_page("middle", np.zeros(wl.page_bits, dtype=np.uint8))
+
+    def test_wrong_size_rejected(self, geometry):
+        wl = NormalWordline(geometry)
+        with pytest.raises(ConfigurationError):
+            wl.program_page("lower-even", np.zeros(3, dtype=np.uint8))
+
+
+class TestReducedWordline:
+    def test_three_page_roundtrip(self, geometry, rng):
+        wl = ReducedWordline(geometry)
+        pages = {p: random_page(rng, wl.page_bits) for p in wl.PAGES}
+        wl.program_page("lower", pages["lower"])
+        wl.program_page("middle", pages["middle"])
+        wl.program_page("upper", pages["upper"])
+        for name, bits in pages.items():
+            assert np.array_equal(wl.read_page(name), bits), name
+
+    def test_page_sizes_match_normal_pages(self, geometry):
+        assert ReducedWordline(geometry).page_bits == NormalWordline(geometry).page_bits
+
+    def test_upper_works_with_only_lower_programmed(self, geometry, rng):
+        wl = ReducedWordline(geometry)
+        lower = random_page(rng, wl.page_bits)
+        upper = random_page(rng, wl.page_bits)
+        wl.program_page("lower", lower)
+        wl.program_page("upper", upper)
+        assert np.array_equal(wl.read_page("lower"), lower)
+        assert np.array_equal(wl.read_page("upper"), upper)
+
+    def test_lsb_page_after_upper_rejected(self, geometry, rng):
+        wl = ReducedWordline(geometry)
+        wl.program_page("lower", random_page(rng, wl.page_bits))
+        wl.program_page("upper", random_page(rng, wl.page_bits))
+        with pytest.raises(ProgramError):
+            wl.program_page("middle", random_page(rng, wl.page_bits))
+
+    def test_pairs_are_same_parity_neighbors(self, geometry):
+        wl = ReducedWordline(geometry)
+        even = wl.pair_indices("even")
+        odd = wl.pair_indices("odd")
+        assert np.all(even % 2 == 0)
+        assert np.all(odd % 2 == 1)
+        assert np.all(even[:, 1] - even[:, 0] == 2)
+        assert np.all(odd[:, 1] - odd[:, 0] == 2)
+
+    def test_all_pairs_disjoint_and_complete(self, geometry):
+        wl = ReducedWordline(geometry)
+        flat = wl.all_pairs().ravel()
+        assert np.unique(flat).size == geometry.cells_per_wordline
+
+    def test_erase_allows_reprogram(self, geometry, rng):
+        wl = ReducedWordline(geometry)
+        wl.program_page("lower", random_page(rng, wl.page_bits))
+        wl.erase()
+        wl.program_page("lower", random_page(rng, wl.page_bits))
+
+    def test_distorted_cell_decodes_via_table(self, geometry):
+        """A level slip injected into the raw array surfaces as the Table-1
+        decode — the end-to-end path the BER model assumes."""
+        wl = ReducedWordline(geometry)
+        lower = np.zeros(wl.page_bits, dtype=np.uint8)
+        upper = np.ones(wl.page_bits, dtype=np.uint8)  # words 1xx
+        wl.program_page("lower", lower)
+        wl.program_page("upper", upper)
+        # word 100 -> (2,2); slip first even pair's first cell 2->1: (1,2) -> 101
+        first_pair = wl.pair_indices("even")[0]
+        wl.array.levels[first_pair[0]] = 1
+        upper_read = wl.read_page("upper")
+        lower_read = wl.read_page("lower")
+        assert upper_read[0] == 1  # MSB of 101
+        assert lower_read[0] == 0 and lower_read[1] == 1  # LSBs of 101
+
+    def test_wrong_parity_rejected(self, geometry):
+        with pytest.raises(ConfigurationError):
+            ReducedWordline(geometry).pair_indices("both")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_property_reduced_roundtrip_random_pages(seed):
+    geometry = NandGeometry(wordlines_per_block=1, cells_per_wordline=32)
+    wl = ReducedWordline(geometry)
+    rng = np.random.default_rng(seed)
+    pages = {p: rng.integers(0, 2, wl.page_bits).astype(np.uint8) for p in wl.PAGES}
+    wl.program_page("lower", pages["lower"])
+    wl.program_page("middle", pages["middle"])
+    wl.program_page("upper", pages["upper"])
+    for name, bits in pages.items():
+        assert np.array_equal(wl.read_page(name), bits)

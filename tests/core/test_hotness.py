@@ -1,0 +1,79 @@
+"""Tests for the multiple-Bloom-filter hotness tracker."""
+
+import pytest
+
+from repro.core.hotness import MultiBloomHotness
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_unseen_key_is_cold(self):
+        tracker = MultiBloomHotness()
+        assert tracker.hotness(42) == 0
+        assert tracker.frequency_level(42) == 1
+
+    def test_hotness_grows_across_windows(self):
+        tracker = MultiBloomHotness(n_filters=4, window=10)
+        for _ in range(4):  # four windows
+            for access in range(10):
+                tracker.record_read(7 if access == 0 else 1000 + access)
+        assert tracker.hotness(7) >= 3
+
+    def test_single_read_is_not_hot(self):
+        """One access must not mark a page hot (the promotion-thrash bug)."""
+        tracker = MultiBloomHotness(n_filters=4, freq_levels=2)
+        tracker.record_read(7)
+        assert tracker.frequency_level(7) == 1
+
+    def test_persistent_key_reaches_top_level(self):
+        tracker = MultiBloomHotness(n_filters=4, window=5, freq_levels=2)
+        for _ in range(25):
+            tracker.record_read(7)
+        assert tracker.frequency_level(7) == 2
+
+    def test_ageing_forgets_stale_keys(self):
+        tracker = MultiBloomHotness(n_filters=2, window=4, bits_per_filter=1 << 12)
+        tracker.record_read(7)
+        # Two full window rotations without key 7 clear both filters.
+        for i in range(8):
+            tracker.record_read(100 + i)
+        assert tracker.hotness(7) == 0
+
+    def test_fill_ratios_bounded(self):
+        tracker = MultiBloomHotness(bits_per_filter=256, n_hashes=2, window=100)
+        for i in range(50):
+            tracker.record_read(i)
+        assert all(0.0 <= r <= 1.0 for r in tracker.fill_ratios())
+
+
+class TestLevels:
+    def test_level_monotone_in_hotness(self):
+        tracker = MultiBloomHotness(n_filters=4, window=3, freq_levels=4)
+        levels = []
+        for _ in range(4):
+            for _ in range(3):
+                tracker.record_read(7)
+            levels.append(tracker.frequency_level(7))
+        assert levels == sorted(levels)
+
+    def test_level_bounded_by_freq_levels(self):
+        tracker = MultiBloomHotness(n_filters=8, window=2, freq_levels=3)
+        for _ in range(40):
+            tracker.record_read(7)
+        assert tracker.frequency_level(7) <= 3
+
+
+class TestValidation:
+    def test_rejects_single_filter(self):
+        with pytest.raises(ConfigurationError):
+            MultiBloomHotness(n_filters=1)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            MultiBloomHotness(freq_levels=1)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MultiBloomHotness(bits_per_filter=0)
+        with pytest.raises(ConfigurationError):
+            MultiBloomHotness(window=0)

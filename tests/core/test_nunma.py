@@ -1,0 +1,54 @@
+"""Tests for NUNMA margin allocation (paper §4.2)."""
+
+import pytest
+
+from repro.core.nunma import (
+    available_configs,
+    basic_reduced_plan,
+    margin_summary,
+    nunma_plan,
+)
+
+
+class TestPlans:
+    def test_available_configs(self):
+        assert available_configs() == ("nunma1", "nunma2", "nunma3")
+
+    def test_nunma_plan_passthrough(self):
+        plan = nunma_plan("nunma2")
+        assert plan.name == "nunma2"
+        assert plan.verify_voltages == (2.70, 3.65)
+
+    def test_basic_plan_uniform_margins(self):
+        summary = margin_summary(basic_reduced_plan())
+        assert summary[1]["retention_margin"] == pytest.approx(
+            summary[2]["retention_margin"]
+        )
+
+    def test_sigma_override(self):
+        assert nunma_plan("nunma1", sigma_p=0.02).sigma_p == 0.02
+        assert basic_reduced_plan(sigma_p=0.02).sigma_p == 0.02
+
+
+class TestMarginStructure:
+    def test_nunma_gives_level2_the_larger_retention_margin(self):
+        """The core NUNMA idea: the fast-drifting high level gets more."""
+        for config in ("nunma2", "nunma3"):
+            summary = margin_summary(nunma_plan(config))
+            assert summary[2]["retention_margin"] > summary[1]["retention_margin"]
+
+    def test_retention_margins_ordered_across_configs(self):
+        margins = {
+            c: margin_summary(nunma_plan(c))[2]["retention_margin"]
+            for c in available_configs()
+        }
+        assert margins["nunma3"] > margins["nunma2"] > margins["nunma1"]
+
+    def test_interference_margin_shrinks_as_verify_rises(self):
+        low = margin_summary(nunma_plan("nunma1"))
+        high = margin_summary(nunma_plan("nunma3"))
+        assert high[1]["interference_margin"] < low[1]["interference_margin"]
+
+    def test_top_level_interference_margin_infinite(self):
+        summary = margin_summary(nunma_plan("nunma1"))
+        assert summary[2]["interference_margin"] == float("inf")

@@ -1,0 +1,160 @@
+"""Tests for the generalized pair code (ReduceCode for any level count)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pair_code import (
+    build_pair_code,
+    density_summary,
+    gray_sequence,
+    optimize_pair_code,
+    slip_cost,
+    snake_order,
+    staged_program_plan,
+)
+from repro.core.reduce_code import ReduceCodeCoding
+from repro.errors import ConfigurationError
+
+
+class TestPrimitives:
+    def test_gray_sequence_adjacent_differ_one_bit(self):
+        seq = gray_sequence(4)
+        assert len(seq) == 16
+        assert len(set(seq)) == 16
+        for a, b in zip(seq, seq[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_snake_order_covers_grid(self):
+        order = snake_order(4)
+        assert len(order) == 16
+        assert len(set(order)) == 16
+
+    def test_snake_consecutive_are_grid_neighbors(self):
+        for n in (3, 5):
+            order = snake_order(n)
+            for (r1, c1), (r2, c2) in zip(order, order[1:]):
+                assert abs(r1 - r2) + abs(c1 - c2) == 1
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            snake_order(1)
+        with pytest.raises(ConfigurationError):
+            gray_sequence(-1)
+
+
+class TestBuildPairCode:
+    @pytest.mark.parametrize("n_levels,bits", [(3, 3), (4, 4), (6, 5), (7, 5), (12, 7)])
+    def test_bit_capacity(self, n_levels, bits):
+        coding = build_pair_code(n_levels)
+        assert coding.bits_per_group == bits
+        assert coding.cells_per_group == 2
+
+    def test_matches_paper_density_at_three_levels(self):
+        coding = build_pair_code(3)
+        assert coding.density_bits_per_cell() == pytest.approx(
+            ReduceCodeCoding().density_bits_per_cell()
+        )
+
+    def test_tlc_density_loss_below_mlc_loss(self):
+        """The future-work payoff: reduced-TLC loses 16.7 %, less than
+        the paper's 25 % at MLC."""
+        tlc = density_summary(6)
+        assert tlc["pair_bits_per_cell"] == pytest.approx(2.5)
+        assert 1 - tlc["pair_bits_per_cell"] / 3.0 == pytest.approx(1 / 6, rel=1e-9)
+
+    def test_decode_covers_all_combinations(self):
+        for n_levels in (3, 5, 6):
+            coding = build_pair_code(n_levels)
+            assert len(coding.decode_table) == n_levels**2
+
+    def test_full_grid_is_perfectly_gray(self):
+        """Power-of-two grids use every combination: every slip costs
+        exactly one bit."""
+        mean, worst = slip_cost(build_pair_code(4))
+        assert worst == 1
+        assert mean == pytest.approx(1.0)
+
+    def test_unused_combos_decode_to_neighbors(self):
+        coding = build_pair_code(3)
+        used = set(coding.encode_table.values())
+        for combo in itertools.product(range(3), repeat=2):
+            if combo in used:
+                continue
+            word = coding.decode_table[combo]
+            source = coding.encode_table[word]
+            distance = abs(source[0] - combo[0]) + abs(source[1] - combo[1])
+            assert distance == 1
+
+
+class TestOptimizer:
+    def test_reaches_paper_quality_at_three_levels(self):
+        optimized = optimize_pair_code(3, iterations=1500)
+        _, worst = slip_cost(optimized)
+        _, paper_worst = slip_cost(ReduceCodeCoding())
+        assert worst <= paper_worst
+
+    def test_never_worse_than_snake(self):
+        for n_levels in (3, 6):
+            snake_cost = slip_cost(build_pair_code(n_levels))
+            opt_cost = slip_cost(optimize_pair_code(n_levels, iterations=400))
+            assert (opt_cost[1], opt_cost[0]) <= (snake_cost[1], snake_cost[0])
+
+    def test_deterministic(self):
+        a = optimize_pair_code(6, iterations=200, seed=3)
+        b = optimize_pair_code(6, iterations=200, seed=3)
+        assert a.encode_table == b.encode_table
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ConfigurationError):
+            optimize_pair_code(3, iterations=-1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_levels=st.integers(3, 9), seed=st.integers(0, 2**31 - 1))
+def test_property_roundtrip_through_pair_code(n_levels, seed):
+    coding = build_pair_code(n_levels)
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 1 << coding.bits_per_group, size=50)
+    for word in words:
+        levels = coding.encode_table[int(word)]
+        assert coding.decode_table[levels] == word
+
+
+class TestStagedProgramPlan:
+    @pytest.mark.parametrize("n_levels", [3, 4, 6, 7])
+    def test_all_transitions_upward(self, n_levels):
+        coding = build_pair_code(n_levels)
+        passes = staged_program_plan(coding)
+        assert len(passes) == n_levels - 1
+        previous = {word: (0, 0) for word in coding.encode_table}
+        for step in passes:
+            for word, levels in step.items():
+                assert levels[0] >= previous[word][0]
+                assert levels[1] >= previous[word][1]
+            previous = step
+
+    @pytest.mark.parametrize("n_levels", [3, 6])
+    def test_final_pass_reaches_encoding(self, n_levels):
+        coding = build_pair_code(n_levels)
+        final = staged_program_plan(coding)[-1]
+        assert final == coding.encode_table
+
+    def test_executable_on_cell_array(self, rng):
+        """Drive a real CellArray through the staged plan (the paper's
+        two-step algorithm, generalized)."""
+        from repro.device.cell import CellArray
+
+        coding = optimize_pair_code(6, iterations=200)
+        words = rng.integers(0, 1 << coding.bits_per_group, size=16)
+        array = CellArray(32, 6)
+        pairs = np.arange(32).reshape(-1, 2)
+        for step in staged_program_plan(coding):
+            targets = np.array([step[int(w)] for w in words])
+            array.program(pairs.ravel(), targets.ravel().astype(np.int8))
+        read = array.read(pairs.ravel()).reshape(-1, 2)
+        for row, word in enumerate(words):
+            assert tuple(read[row]) == coding.encode_table[int(word)]

@@ -1,0 +1,106 @@
+"""Tests for the two-step reduced-state program algorithm (paper Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.programming import SECOND_STEP_TARGETS, TwoStepProgrammer
+from repro.core.reduce_code import REDUCE_CODE_ENCODE
+from repro.device.cell import CellArray
+from repro.errors import ConfigurationError, ProgramError
+
+
+@pytest.fixture
+def programmer():
+    return TwoStepProgrammer(CellArray(64, 3))
+
+
+def pairs(n):
+    return np.arange(2 * n).reshape(-1, 2)
+
+
+class TestTable2:
+    def test_second_step_targets_match_paper(self):
+        assert SECOND_STEP_TARGETS == {
+            (0, 0): (2, 2), (0, 1): (0, 2), (1, 0): (2, 0), (1, 1): (2, 1),
+        }
+
+    def test_all_transitions_upward_only(self):
+        """The design point of Table 2: MSB programming never lowers Vth."""
+        for (l1, l2), (t1, t2) in SECOND_STEP_TARGETS.items():
+            assert t1 >= l1 or t1 == REDUCE_CODE_ENCODE[0b100][0]  # see below
+        # Explicit check: target >= current for every cell
+        for (l1, l2), (t1, t2) in SECOND_STEP_TARGETS.items():
+            assert t1 >= l1
+            assert t2 >= l2
+
+    def test_final_levels_equal_table1(self):
+        for word, expected in REDUCE_CODE_ENCODE.items():
+            arr = CellArray(2, 3)
+            prog = TwoStepProgrammer(arr)
+            prog.program_words(np.array([[0, 1]]), np.array([word]))
+            assert tuple(arr.read()) == expected
+
+
+class TestSteps:
+    def test_first_step_stores_lsbs(self, programmer):
+        lsbs = np.array([[0, 1], [1, 0], [1, 1], [0, 0]], dtype=np.uint8)
+        programmer.program_lsbs(pairs(4), lsbs)
+        assert np.array_equal(
+            programmer.array.read(pairs(4).ravel()).reshape(-1, 2), lsbs
+        )
+
+    def test_msb_zero_keeps_lsb_levels(self, programmer):
+        lsbs = np.array([[0, 1], [1, 1]], dtype=np.uint8)
+        programmer.program_lsbs(pairs(2), lsbs)
+        programmer.program_msbs(pairs(2), np.zeros(2, dtype=np.uint8))
+        assert np.array_equal(
+            programmer.array.read(pairs(2).ravel()).reshape(-1, 2), lsbs
+        )
+
+    def test_msb_one_advances_per_table(self, programmer):
+        lsbs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        programmer.program_lsbs(pairs(4), lsbs)
+        programmer.program_msbs(pairs(4), np.ones(4, dtype=np.uint8))
+        levels = programmer.array.read(pairs(4).ravel()).reshape(-1, 2)
+        for row, lsb_pair in enumerate(map(tuple, lsbs)):
+            assert tuple(levels[row]) == SECOND_STEP_TARGETS[lsb_pair]
+
+    def test_first_step_requires_erased(self, programmer):
+        lsbs = np.array([[1, 1]], dtype=np.uint8)
+        programmer.program_lsbs(pairs(1), lsbs)
+        with pytest.raises(ProgramError):
+            programmer.program_lsbs(pairs(1), lsbs)
+
+    def test_second_step_rejects_already_upper_programmed(self, programmer):
+        programmer.program_words(pairs(1), np.array([0b100]))
+        with pytest.raises(ProgramError):
+            programmer.program_msbs(pairs(1), np.ones(1, dtype=np.uint8))
+
+    def test_verify_against_table1(self, programmer, rng):
+        words = rng.integers(0, 8, 16)
+        programmer.program_words(pairs(16), words)
+        assert programmer.verify_against_table1(pairs(16), words)
+
+
+class TestValidation:
+    def test_needs_three_level_array(self):
+        with pytest.raises(ConfigurationError):
+            TwoStepProgrammer(CellArray(8, 4))
+
+    def test_rejects_bad_pair_shape(self, programmer):
+        with pytest.raises(ConfigurationError):
+            programmer.program_lsbs(np.array([0, 1]), np.array([[0, 1]]))
+
+    def test_rejects_duplicate_cells(self, programmer):
+        with pytest.raises(ConfigurationError):
+            programmer.program_lsbs(
+                np.array([[0, 0]]), np.array([[0, 1]], dtype=np.uint8)
+            )
+
+    def test_rejects_non_binary_bits(self, programmer):
+        with pytest.raises(ConfigurationError):
+            programmer.program_lsbs(pairs(1), np.array([[0, 2]], dtype=np.uint8))
+
+    def test_rejects_bad_words(self, programmer):
+        with pytest.raises(ConfigurationError):
+            programmer.program_words(pairs(1), np.array([8]))

@@ -1,0 +1,155 @@
+"""Tests for ReduceCode (paper Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduce_code import (
+    REDUCE_CODE_DECODE,
+    REDUCE_CODE_ENCODE,
+    REDUCE_CODE_LEVEL_USAGE,
+    ReduceCodeCoding,
+    decode_levels,
+    encode_bits,
+    single_slip_bit_errors,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1:
+    def test_exact_paper_mapping(self):
+        assert REDUCE_CODE_ENCODE == {
+            0b000: (0, 0), 0b001: (0, 1), 0b010: (1, 0), 0b011: (1, 1),
+            0b100: (2, 2), 0b101: (0, 2), 0b110: (2, 0), 0b111: (2, 1),
+        }
+
+    def test_eight_of_nine_combinations_used(self):
+        used = set(REDUCE_CODE_ENCODE.values())
+        assert len(used) == 8
+        assert (1, 2) not in used
+
+    def test_decode_covers_all_nine(self):
+        assert len(REDUCE_CODE_DECODE) == 9
+        assert REDUCE_CODE_DECODE[(1, 2)] == 0b101
+
+    def test_decode_inverts_encode(self):
+        for word, levels in REDUCE_CODE_ENCODE.items():
+            assert REDUCE_CODE_DECODE[levels] == word
+
+    def test_level_usage(self):
+        assert REDUCE_CODE_LEVEL_USAGE == (6 / 16, 5 / 16, 5 / 16)
+
+    def test_paper_example_101(self):
+        """Paper §4.1: 101 at (0, 2); cell-2 slip 2->1 gives 001 — one bit."""
+        assert REDUCE_CODE_ENCODE[0b101] == (0, 2)
+        decoded = REDUCE_CODE_DECODE[(0, 1)]
+        assert decoded == 0b001
+        assert bin(0b101 ^ decoded).count("1") == 1
+
+
+class TestSlipProperty:
+    #: The paper claims "one level distortion in any of the two cells
+    #: will cause only one bit error"; its own Table 1 has exactly three
+    #: exceptions, all involving the second cell:
+    #: * 011 (1,1) up-slip to the unused (1,2), decoded as 101 (2 bits),
+    #: * 100 (2,2) down-slip to (2,1) = codeword 111 (Hamming 2),
+    #: * 111 (2,1) up-slip to (2,2) = codeword 100 (Hamming 2).
+    KNOWN_TWO_BIT_SLIPS = {
+        (0b011, 1, 2),
+        (0b100, 1, 1),
+        (0b111, 1, 2),
+    }
+
+    def test_single_slips_cost_at_most_one_bit_with_known_exceptions(self):
+        outcomes = single_slip_bit_errors()
+        for key, errors in outcomes.items():
+            if key in self.KNOWN_TWO_BIT_SLIPS:
+                assert errors == 2, key
+            else:
+                assert errors <= 1, key
+
+    def test_no_slip_ever_costs_three_bits(self):
+        assert max(single_slip_bit_errors().values()) == 2
+
+    def test_paper_claim_holds_for_most_slips(self):
+        """18 of the 21 possible single slips cost at most one bit."""
+        outcomes = single_slip_bit_errors()
+        one_bit = sum(1 for e in outcomes.values() if e <= 1)
+        assert len(outcomes) == 21
+        assert one_bit == 18
+
+
+class TestVectorised:
+    def test_roundtrip(self, rng):
+        bits = rng.integers(0, 2, 3 * 500).astype(np.uint8)
+        l1, l2 = encode_bits(bits)
+        assert np.array_equal(decode_levels(l1, l2), bits)
+
+    def test_encode_shapes(self, rng):
+        l1, l2 = encode_bits(np.array([1, 0, 1], dtype=np.uint8))
+        assert l1.shape == l2.shape == (1,)
+        assert (int(l1[0]), int(l2[0])) == REDUCE_CODE_ENCODE[0b101]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            encode_bits(np.array([1, 0], dtype=np.uint8))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            encode_bits(np.array([1, 0, 2], dtype=np.uint8))
+
+    def test_decode_rejects_bad_levels(self):
+        with pytest.raises(ConfigurationError):
+            decode_levels(np.array([3]), np.array([0]))
+
+    def test_decode_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            decode_levels(np.array([0, 1]), np.array([0]))
+
+    def test_unused_combo_decodes_gracefully(self):
+        bits = decode_levels(np.array([1]), np.array([2]))
+        assert list(bits) == [1, 0, 1]
+
+
+class TestCoding:
+    def test_shape(self):
+        coding = ReduceCodeCoding()
+        assert coding.n_levels == 3
+        assert coding.cells_per_group == 2
+        assert coding.bits_per_group == 3
+        assert coding.density_bits_per_cell() == pytest.approx(1.5)
+
+    def test_density_beats_gray_on_three_levels(self):
+        """ReduceCode stores 1.5 bits/cell where Gray coding on three
+        levels would store 1 — the paper's 25 % vs 50 % loss argument."""
+        assert ReduceCodeCoding().density_bits_per_cell() > 1.0
+
+    def test_error_scale(self):
+        assert ReduceCodeCoding().error_rate_scale == pytest.approx(2 / 3)
+
+    def test_adjacent_weights_at_most_two(self):
+        coding = ReduceCodeCoding()
+        for level in range(2):
+            assert coding.bit_error_weight(level, level + 1) <= 2.0
+            assert coding.bit_error_weight(level + 1, level) <= 2.0
+
+    def test_expected_weights_below_gray_double_slip(self):
+        """On average a ReduceCode slip corrupts close to one bit —
+        better than the 1.5 bits a naive dense 2-cell packing costs."""
+        coding = ReduceCodeCoding()
+        adjacent = [
+            coding.bit_error_weight(0, 1),
+            coding.bit_error_weight(1, 0),
+            coding.bit_error_weight(1, 2),
+            coding.bit_error_weight(2, 1),
+        ]
+        assert sum(adjacent) / len(adjacent) < 1.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=3, max_size=99).filter(lambda l: len(l) % 3 == 0))
+def test_property_roundtrip(bits):
+    bits = np.array(bits, dtype=np.uint8)
+    l1, l2 = encode_bits(bits)
+    assert np.array_equal(decode_levels(l1, l2), bits)

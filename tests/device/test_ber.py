@@ -1,0 +1,126 @@
+"""Tests for the BER engine, including Monte-Carlo cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduce_code import ReduceCodeCoding
+from repro.device.ber import BerAnalyzer
+from repro.device.c2c import C2cModel
+from repro.device.coding import GrayMlcCoding
+from repro.device.voltages import normal_mlc_plan, reduced_plan
+from repro.device.wear import WearModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def baseline_analyzer():
+    return BerAnalyzer(normal_mlc_plan())
+
+
+@pytest.fixture(scope="module")
+def reduced_analyzer():
+    coding = ReduceCodeCoding()
+    return BerAnalyzer(
+        reduced_plan("nunma3"),
+        coding=coding,
+        c2c=C2cModel(level_usage=coding.level_usage()),
+    )
+
+
+class TestConstruction:
+    def test_default_coding_for_four_levels(self, baseline_analyzer):
+        assert isinstance(baseline_analyzer.coding, GrayMlcCoding)
+
+    def test_three_level_plan_needs_explicit_coding(self):
+        with pytest.raises(ConfigurationError):
+            BerAnalyzer(reduced_plan("nunma1"))
+
+    def test_coding_level_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BerAnalyzer(normal_mlc_plan(), coding=ReduceCodeCoding())
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BerAnalyzer(normal_mlc_plan(), profiles=())
+
+
+class TestConfusion:
+    def test_confusion_rows_sum_to_one(self, baseline_analyzer):
+        from repro.device.c2c import EVEN_CELL_PROFILE
+
+        for level in range(4):
+            probs = baseline_analyzer.level_confusion(
+                level, EVEN_CELL_PROFILE, pe_cycles=3000, t_hours=168
+            )
+            assert probs.sum() == pytest.approx(1.0)
+            assert probs[level] > 0.5  # the true level dominates
+
+    def test_fresh_cell_reads_correctly(self, baseline_analyzer):
+        from repro.device.c2c import ODD_CELL_PROFILE
+
+        probs = baseline_analyzer.level_confusion(
+            2, ODD_CELL_PROFILE, include_c2c=False, include_retention=False
+        )
+        assert probs[2] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBerStructure:
+    def test_retention_ber_grows_with_time(self, baseline_analyzer):
+        values = [
+            baseline_analyzer.retention_ber(4000, t).total for t in (24, 168, 720)
+        ]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_retention_ber_grows_with_pe(self, baseline_analyzer):
+        values = [
+            baseline_analyzer.retention_ber(pe, 168).total for pe in (2000, 4000, 6000)
+        ]
+        assert values == sorted(values)
+
+    def test_reduced_state_beats_baseline(self, baseline_analyzer, reduced_analyzer):
+        base = baseline_analyzer.retention_ber(5000, 720).total
+        reduced = reduced_analyzer.retention_ber(5000, 720).total
+        assert reduced < base
+
+    def test_c2c_ber_reduced_state_beats_baseline(
+        self, baseline_analyzer, reduced_analyzer
+    ):
+        assert reduced_analyzer.c2c_ber().total < baseline_analyzer.c2c_ber().total
+
+    def test_high_levels_dominate_retention_errors(self, baseline_analyzer):
+        breakdown = baseline_analyzer.retention_ber(5000, 720)
+        assert breakdown.dominant_level() == 3
+        assert breakdown.per_level[3] > breakdown.per_level[1]
+
+    def test_breakdown_shares_sum_to_one(self, baseline_analyzer):
+        breakdown = baseline_analyzer.retention_ber(4000, 168)
+        assert sum(breakdown.per_level.values()) == pytest.approx(1.0)
+
+    def test_wear_broadening_raises_ber(self):
+        quiet = BerAnalyzer(normal_mlc_plan(), wear=WearModel(k_w=0.0))
+        noisy = BerAnalyzer(normal_mlc_plan(), wear=WearModel(k_w=0.02))
+        assert (
+            noisy.retention_ber(5000, 168).total > quiet.retention_ber(5000, 168).total
+        )
+
+
+class TestMonteCarloCrossCheck:
+    @pytest.mark.parametrize("pe,t", [(4000, 168.0), (6000, 720.0)])
+    def test_analytic_matches_sampling_baseline(self, baseline_analyzer, rng, pe, t):
+        analytic = baseline_analyzer.retention_ber(pe, t).total
+        sampled = baseline_analyzer.monte_carlo_ber(
+            400_000, rng, pe_cycles=pe, t_hours=t, include_c2c=False
+        )
+        assert sampled == pytest.approx(analytic, rel=0.25)
+
+    def test_analytic_matches_sampling_c2c(self, baseline_analyzer, rng):
+        analytic = baseline_analyzer.c2c_ber().total
+        sampled = baseline_analyzer.monte_carlo_ber(
+            200_000, rng, include_retention=False
+        )
+        assert sampled == pytest.approx(analytic, rel=0.15)
+
+    def test_rejects_bad_sample_size(self, baseline_analyzer, rng):
+        with pytest.raises(ConfigurationError):
+            baseline_analyzer.monte_carlo_ber(0, rng)

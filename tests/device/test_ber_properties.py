@@ -1,0 +1,70 @@
+"""Property tests on the BER engine's structural behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.ber import BerAnalyzer
+from repro.device.retention import RetentionModel
+from repro.device.voltages import VoltagePlan
+from repro.device.wear import WearModel
+
+
+def margin_plan(margin: float, sigma_p: float = 0.04) -> VoltagePlan:
+    verifies = (2.30, 2.90, 3.50)
+    return VoltagePlan(
+        name=f"margin-{margin:.3f}",
+        verify_voltages=verifies,
+        read_references=tuple(v - margin for v in verifies),
+        vpp=0.20,
+        sigma_p=sigma_p,
+    )
+
+
+def analyzer_for(margin: float) -> BerAnalyzer:
+    return BerAnalyzer(
+        margin_plan(margin),
+        retention=RetentionModel(kd=2e-4, tail_weight=0.003, tail_scale=0.1),
+        wear=WearModel(k_w=0.011, a_w=0.3),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    margin=st.floats(0.02, 0.12),
+    pe=st.floats(2000, 6000),
+    t=st.floats(12.0, 720.0),
+)
+def test_property_ber_in_unit_interval(margin, pe, t):
+    ber = analyzer_for(margin).retention_ber(pe, t).total
+    assert 0.0 <= ber <= 1.0
+
+
+@settings(max_examples=6, deadline=None)
+@given(pe=st.floats(2000, 6000), t=st.floats(24.0, 720.0))
+def test_property_wider_margin_lower_ber(pe, t):
+    tight = analyzer_for(0.03).retention_ber(pe, t).total
+    wide = analyzer_for(0.10).retention_ber(pe, t).total
+    assert wide <= tight
+
+
+@settings(max_examples=6, deadline=None)
+@given(margin=st.floats(0.03, 0.10), pe=st.floats(2000, 6000))
+def test_property_ber_monotone_in_time(margin, pe):
+    analyzer = analyzer_for(margin)
+    values = [analyzer.retention_ber(pe, t).total for t in (24.0, 168.0, 720.0)]
+    assert values == sorted(values)
+
+
+@settings(max_examples=6, deadline=None)
+@given(margin=st.floats(0.03, 0.10), t=st.floats(24.0, 720.0))
+def test_property_ber_monotone_in_wear(margin, t):
+    analyzer = analyzer_for(margin)
+    values = [analyzer.retention_ber(pe, t).total for pe in (2000, 4000, 6000)]
+    assert values == sorted(values)
+
+
+def test_breakdown_shares_valid_probabilities():
+    breakdown = analyzer_for(0.05).retention_ber(5000, 720)
+    assert all(0.0 <= share <= 1.0 for share in breakdown.per_level.values())
+    assert sum(breakdown.per_level.values()) == pytest.approx(1.0)

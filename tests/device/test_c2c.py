@@ -1,0 +1,99 @@
+"""Tests for the cell-to-cell interference model (paper Eq. 2)."""
+
+import pytest
+
+from repro.device.c2c import (
+    C2cModel,
+    CouplingRatios,
+    EVEN_CELL_PROFILE,
+    NeighborProfile,
+    ODD_CELL_PROFILE,
+)
+from repro.device.voltages import normal_mlc_plan, reduced_plan
+from repro.errors import ConfigurationError
+
+
+class TestCouplingRatios:
+    def test_paper_defaults(self):
+        ratios = CouplingRatios()
+        assert ratios.gamma_x == 0.07
+        assert ratios.gamma_y == 0.09
+        assert ratios.gamma_xy == 0.005
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CouplingRatios(gamma_x=-0.1)
+
+
+class TestAggressorSwing:
+    def test_swing_is_non_negative(self):
+        model = C2cModel()
+        swing = model.aggressor_swing(normal_mlc_plan())
+        low, _ = swing.support
+        assert low >= 0.0
+
+    def test_swing_mean_reflects_level_mix(self):
+        model = C2cModel()
+        plan = normal_mlc_plan()
+        swing = model.aggressor_swing(plan)
+        expected = sum(
+            plan.program_shift_mean(lv) for lv in range(plan.n_levels)
+        ) / plan.n_levels
+        # Truncation at zero pulls the mean slightly up from the raw average.
+        assert swing.mean() == pytest.approx(expected, rel=0.15)
+
+    def test_swing_has_point_mass_at_zero(self):
+        """Aggressors staying erased (level 0) contribute zero swing."""
+        model = C2cModel()
+        swing = model.aggressor_swing(normal_mlc_plan())
+        # P(target level 0) = 1/4 under uniform usage.
+        assert swing.mass_between(-1e-9, 1e-3) == pytest.approx(0.25, abs=0.02)
+
+    def test_level_usage_mismatch_rejected(self):
+        model = C2cModel(level_usage=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            model.aggressor_swing(normal_mlc_plan())
+
+
+class TestShiftDistribution:
+    def test_even_cell_suffers_more_than_odd(self):
+        model = C2cModel()
+        plan = normal_mlc_plan()
+        even = model.mean_shift(plan, EVEN_CELL_PROFILE)
+        odd = model.mean_shift(plan, ODD_CELL_PROFILE)
+        assert even > odd > 0.0
+
+    def test_no_neighbors_no_shift(self):
+        model = C2cModel()
+        shift = model.shift_distribution(
+            normal_mlc_plan(), NeighborProfile(0, 0, 0)
+        )
+        assert shift.mean() == pytest.approx(0.0)
+        assert shift.std() == pytest.approx(0.0)
+
+    def test_shift_scales_with_neighbor_count(self):
+        model = C2cModel()
+        plan = normal_mlc_plan()
+        one = model.mean_shift(plan, NeighborProfile(1, 0, 0))
+        two = model.mean_shift(plan, NeighborProfile(2, 0, 0))
+        assert two == pytest.approx(2 * one, rel=0.02)
+
+    def test_shift_proportional_to_gamma(self):
+        plan = normal_mlc_plan()
+        small = C2cModel(CouplingRatios(gamma_x=0.035, gamma_y=0.0, gamma_xy=0.0))
+        large = C2cModel(CouplingRatios(gamma_x=0.07, gamma_y=0.0, gamma_xy=0.0))
+        profile = NeighborProfile(1, 0, 0)
+        assert large.mean_shift(plan, profile) == pytest.approx(
+            2 * small.mean_shift(plan, profile), rel=0.05
+        )
+
+    def test_cache_returns_same_object(self):
+        model = C2cModel()
+        plan = normal_mlc_plan()
+        a = model.shift_distribution(plan, EVEN_CELL_PROFILE)
+        b = model.shift_distribution(plan, EVEN_CELL_PROFILE)
+        assert a is b
+
+    def test_negative_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NeighborProfile(-1, 0, 0)

@@ -1,0 +1,114 @@
+"""Tests for the behavioural cell-array model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.cell import CellArray
+from repro.errors import ConfigurationError, ProgramError
+
+
+class TestBasics:
+    def test_starts_erased(self):
+        arr = CellArray(16, 4)
+        assert np.all(arr.read() == 0)
+
+    def test_program_and_read(self):
+        arr = CellArray(16, 4)
+        arr.program(np.array([0, 5, 9]), np.array([3, 1, 2]))
+        assert arr.read([0])[0] == 3
+        assert arr.read([5])[0] == 1
+        assert arr.read([9])[0] == 2
+        assert arr.read([1])[0] == 0
+
+    def test_erase_resets(self):
+        arr = CellArray(8, 4)
+        arr.program(np.arange(8), np.full(8, 2))
+        arr.erase()
+        assert np.all(arr.read() == 0)
+        assert arr.erase_count == 1
+
+    def test_ispp_up_only(self):
+        arr = CellArray(8, 4)
+        arr.program(np.array([3]), np.array([2]))
+        with pytest.raises(ProgramError):
+            arr.program(np.array([3]), np.array([1]))
+
+    def test_reprogram_same_level_allowed(self):
+        arr = CellArray(8, 4)
+        arr.program(np.array([3]), np.array([2]))
+        arr.program(np.array([3]), np.array([2]))
+        assert arr.read([3])[0] == 2
+
+    def test_level_bounds(self):
+        arr = CellArray(8, 3)
+        with pytest.raises(ProgramError):
+            arr.program(np.array([0]), np.array([3]))
+
+    def test_index_bounds(self):
+        arr = CellArray(8, 3)
+        with pytest.raises(ProgramError):
+            arr.program(np.array([8]), np.array([1]))
+        with pytest.raises(ConfigurationError):
+            arr.read([9])
+
+    def test_shape_mismatch(self):
+        arr = CellArray(8, 3)
+        with pytest.raises(ConfigurationError):
+            arr.program(np.array([0, 1]), np.array([1]))
+
+    def test_empty_program_is_noop(self):
+        arr = CellArray(8, 3)
+        arr.program(np.array([], dtype=int), np.array([], dtype=int))
+        assert arr.program_count == 0
+
+
+class TestDriftInjection:
+    def test_downward_drift_only_lowers(self, rng):
+        arr = CellArray(1000, 4)
+        arr.program(np.arange(1000), np.full(1000, 3))
+        n = arr.inject_drift(rng, downward_rate=0.1)
+        assert n > 0
+        assert np.all(arr.read() >= 2)
+        assert (arr.read() == 2).sum() == n
+
+    def test_upward_drift_saturates_at_top(self, rng):
+        arr = CellArray(1000, 4)
+        arr.program(np.arange(1000), np.full(1000, 3))
+        n = arr.inject_drift(rng, upward_rate=0.5)
+        assert n == 0  # already at top level
+        assert np.all(arr.read() == 3)
+
+    def test_erased_cells_do_not_drift_up(self, rng):
+        arr = CellArray(1000, 4)
+        arr.inject_drift(rng, upward_rate=0.5)
+        assert np.all(arr.read() == 0)
+
+    def test_rate_bounds(self, rng):
+        arr = CellArray(10, 4)
+        with pytest.raises(ConfigurationError):
+            arr.inject_drift(rng, downward_rate=1.5)
+
+    def test_rate_roughly_respected(self, rng):
+        arr = CellArray(50_000, 4)
+        arr.program(np.arange(50_000), np.full(50_000, 2))
+        n = arr.inject_drift(rng, downward_rate=0.05)
+        assert n == pytest.approx(2500, rel=0.15)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_cells=st.integers(1, 64),
+    n_levels=st.integers(2, 8),
+    data=st.data(),
+)
+def test_property_program_read_roundtrip(n_cells, n_levels, data):
+    arr = CellArray(n_cells, n_levels)
+    targets = data.draw(
+        st.lists(
+            st.integers(0, n_levels - 1), min_size=n_cells, max_size=n_cells
+        )
+    )
+    arr.program(np.arange(n_cells), np.array(targets))
+    assert list(arr.read()) == targets

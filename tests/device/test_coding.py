@@ -1,0 +1,84 @@
+"""Tests for cell-level bit codings (Gray MLC + table codings)."""
+
+import pytest
+
+from repro.device.coding import GRAY_MLC_MAP, CellCoding, GrayMlcCoding, TableCoding
+from repro.errors import ConfigurationError
+
+
+class TestGrayMlc:
+    def test_map_matches_paper(self):
+        # paper §2.1: 11, 10, 00, 01 on levels 0..3
+        assert GRAY_MLC_MAP == (0b11, 0b10, 0b00, 0b01)
+
+    def test_adjacent_levels_differ_in_one_bit(self):
+        coding = GrayMlcCoding()
+        for level in range(3):
+            assert coding.bit_error_weight(level, level + 1) == 1.0
+
+    def test_double_slip_costs_two_bits(self):
+        coding = GrayMlcCoding()
+        assert coding.bit_error_weight(0, 2) == 2.0
+
+    def test_no_error_on_correct_read(self):
+        coding = GrayMlcCoding()
+        for level in range(4):
+            assert coding.bit_error_weight(level, level) == 0.0
+
+    def test_scale_is_half(self):
+        assert GrayMlcCoding().error_rate_scale == pytest.approx(0.5)
+
+    def test_density(self):
+        assert GrayMlcCoding().density_bits_per_cell() == pytest.approx(2.0)
+
+    def test_usage_uniform(self):
+        assert GrayMlcCoding().level_usage() == (0.25, 0.25, 0.25, 0.25)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ConfigurationError):
+            GrayMlcCoding().bit_error_weight(0, 4)
+
+
+class TestTableCoding:
+    @staticmethod
+    def _slc_pair():
+        """A trivial 2-cell SLC-like coding used for shape checks."""
+        encode = {0: (0, 0), 1: (0, 1), 2: (1, 0), 3: (1, 1)}
+        decode = {v: k for k, v in encode.items()}
+        return TableCoding(encode, decode, n_levels=2)
+
+    def test_shape(self):
+        coding = self._slc_pair()
+        assert coding.cells_per_group == 2
+        assert coding.bits_per_group == 2
+        assert coding.error_rate_scale == pytest.approx(1.0)
+
+    def test_usage(self):
+        assert self._slc_pair().level_usage() == (0.5, 0.5)
+
+    def test_single_slip_one_bit(self):
+        coding = self._slc_pair()
+        assert coding.bit_error_weight(0, 1) == 1.0
+        assert coding.bit_error_weight(1, 0) == 1.0
+
+    def test_rejects_incomplete_decode_table(self):
+        encode = {0: (0, 0), 1: (0, 1), 2: (1, 0), 3: (1, 1)}
+        decode = {(0, 0): 0, (0, 1): 1, (1, 0): 2}  # missing (1,1)
+        with pytest.raises(ConfigurationError):
+            TableCoding(encode, decode, n_levels=2)
+
+    def test_rejects_non_roundtrip_decode(self):
+        encode = {0: (0, 0), 1: (0, 1), 2: (1, 0), 3: (1, 1)}
+        decode = {(0, 0): 1, (0, 1): 0, (1, 0): 2, (1, 1): 3}
+        with pytest.raises(ConfigurationError):
+            TableCoding(encode, decode, n_levels=2)
+
+    def test_rejects_non_power_of_two(self):
+        encode = {0: (0, 0), 1: (0, 1), 2: (1, 0)}
+        decode = {(0, 0): 0, (0, 1): 1, (1, 0): 2, (1, 1): 0}
+        with pytest.raises(ConfigurationError):
+            TableCoding(encode, decode, n_levels=2)
+
+    def test_all_level_tuples(self):
+        coding = self._slc_pair()
+        assert len(coding.all_level_tuples()) == 4

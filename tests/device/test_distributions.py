@@ -1,0 +1,201 @@
+"""Unit and property tests for the grid-based distribution engine."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.distributions import DEFAULT_STEP, Distribution, VoltageGrid
+from repro.errors import ConfigurationError
+
+
+class TestVoltageGrid:
+    def test_size_and_axis(self):
+        grid = VoltageGrid(0.0, 1.0, step=0.25)
+        assert grid.size == 5
+        np.testing.assert_allclose(grid.axis(), [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ConfigurationError):
+            VoltageGrid(1.0, 1.0)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ConfigurationError):
+            VoltageGrid(0.0, 1.0, step=-0.1)
+
+
+class TestConstructors:
+    def test_delta_is_point_mass(self):
+        d = Distribution.delta(2.5)
+        assert d.mean() == pytest.approx(2.5)
+        assert d.std() == pytest.approx(0.0)
+
+    def test_gaussian_moments(self):
+        d = Distribution.gaussian(3.0, 0.2)
+        assert d.mean() == pytest.approx(3.0, abs=1e-6)
+        assert d.std() == pytest.approx(0.2, rel=1e-3)
+
+    def test_gaussian_tiny_sigma_degrades_to_delta(self):
+        d = Distribution.gaussian(1.0, 1e-9)
+        assert d.pmf.size == 1
+
+    def test_gaussian_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            Distribution.gaussian(0.0, -0.1)
+
+    def test_uniform_moments(self):
+        d = Distribution.uniform(1.0, 2.0)
+        assert d.mean() == pytest.approx(1.5, abs=1e-3)
+        assert d.std() == pytest.approx(1.0 / math.sqrt(12), rel=0.02)
+
+    def test_uniform_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            Distribution.uniform(2.0, 1.0)
+
+    def test_mixture_weights(self):
+        d = Distribution.mixture(
+            [(0.25, Distribution.delta(0.0)), (0.75, Distribution.delta(1.0))]
+        )
+        assert d.mean() == pytest.approx(0.75)
+
+    def test_mixture_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Distribution.mixture([])
+
+    def test_mixture_rejects_mismatched_steps(self):
+        with pytest.raises(ConfigurationError):
+            Distribution.mixture(
+                [(0.5, Distribution.delta(0.0, step=0.001)),
+                 (0.5, Distribution.delta(1.0, step=0.002))]
+            )
+
+    def test_pmf_normalized_on_construction(self):
+        d = Distribution(0.0, DEFAULT_STEP, np.array([1.0, 3.0]))
+        assert d.pmf.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ConfigurationError):
+            Distribution(0.0, DEFAULT_STEP, np.array([0.5, -0.5]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ConfigurationError):
+            Distribution(0.0, DEFAULT_STEP, np.zeros(3))
+
+
+class TestAlgebra:
+    def test_convolution_adds_means(self):
+        a = Distribution.gaussian(1.0, 0.1)
+        b = Distribution.gaussian(2.0, 0.2)
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(3.0, abs=1e-6)
+        assert c.variance() == pytest.approx(0.05, rel=1e-2)
+
+    def test_convolution_rejects_step_mismatch(self):
+        a = Distribution.delta(0.0, step=0.001)
+        b = Distribution.delta(0.0, step=0.002)
+        with pytest.raises(ConfigurationError):
+            a.convolve(b)
+
+    def test_shift(self):
+        d = Distribution.gaussian(1.0, 0.1).shift(0.5)
+        assert d.mean() == pytest.approx(1.5, abs=1e-6)
+
+    def test_negate(self):
+        d = Distribution.uniform(1.0, 2.0).negate()
+        assert d.mean() == pytest.approx(-1.5, abs=1e-3)
+
+    def test_negate_involution(self):
+        d = Distribution.uniform(0.3, 1.7)
+        dd = d.negate().negate()
+        assert dd.mean() == pytest.approx(d.mean(), abs=1e-9)
+        np.testing.assert_allclose(dd.pmf, d.pmf)
+
+    def test_scale_shrinks_mean(self):
+        d = Distribution.gaussian(2.0, 0.2).scale(0.1)
+        assert d.mean() == pytest.approx(0.2, abs=2e-3)
+
+    def test_scale_zero_is_delta_at_zero(self):
+        d = Distribution.gaussian(2.0, 0.2).scale(0.0)
+        assert d.mean() == pytest.approx(0.0)
+        assert d.std() == pytest.approx(0.0)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Distribution.delta(1.0).scale(-1.0)
+
+    def test_truncate_below_moves_mass(self):
+        d = Distribution.gaussian(0.0, 0.1).truncate_below(0.0)
+        assert d.mass_below(0.0) == pytest.approx(0.0)
+        assert d.pmf.sum() == pytest.approx(1.0)
+        # roughly half the mass sits at the floor bin
+        assert d.pmf[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_truncate_below_no_op_when_above(self):
+        d = Distribution.uniform(1.0, 2.0)
+        assert d.truncate_below(0.5) is d
+
+    def test_truncate_below_everything(self):
+        d = Distribution.uniform(0.0, 1.0)
+        t = d.truncate_below(5.0)
+        assert t.mean() == pytest.approx(5.0)
+
+
+class TestQueries:
+    def test_mass_below_above_complement(self):
+        d = Distribution.gaussian(1.0, 0.3)
+        v = 1.1
+        assert d.mass_below(v) + d.mass_above(v) == pytest.approx(1.0)
+
+    def test_mass_between_total(self):
+        d = Distribution.uniform(0.0, 1.0)
+        assert d.mass_between(-1.0, 2.0) == pytest.approx(1.0)
+        assert d.mass_between(0.0, 0.5) == pytest.approx(0.5, abs=0.01)
+
+    def test_gaussian_tail_matches_closed_form(self):
+        d = Distribution.gaussian(0.0, 1.0, step=0.001)
+        # one-sided 2-sigma tail
+        assert d.mass_above(2.0) == pytest.approx(0.02275, rel=0.02)
+
+    def test_sampling_matches_moments(self, rng):
+        d = Distribution.gaussian(2.0, 0.15)
+        samples = d.sample(rng, 20000)
+        assert samples.mean() == pytest.approx(2.0, abs=0.01)
+        assert samples.std() == pytest.approx(0.15, rel=0.05)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mean=st.floats(-2.0, 5.0),
+    sigma=st.floats(0.01, 0.5),
+    shift=st.floats(-1.0, 1.0),
+)
+def test_property_shift_preserves_shape(mean, sigma, shift):
+    d = Distribution.gaussian(mean, sigma)
+    s = d.shift(shift)
+    assert s.mean() == pytest.approx(d.mean() + shift, abs=1e-9)
+    assert s.std() == pytest.approx(d.std(), abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mu_a=st.floats(0.0, 3.0),
+    sig_a=st.floats(0.02, 0.3),
+    mu_b=st.floats(0.0, 3.0),
+    sig_b=st.floats(0.02, 0.3),
+)
+def test_property_convolution_moments(mu_a, sig_a, mu_b, sig_b):
+    a = Distribution.gaussian(mu_a, sig_a)
+    b = Distribution.gaussian(mu_b, sig_b)
+    c = a.convolve(b)
+    assert c.mean() == pytest.approx(mu_a + mu_b, abs=5e-3)
+    assert c.variance() == pytest.approx(sig_a**2 + sig_b**2, rel=0.05)
+
+
+@settings(max_examples=30, deadline=None)
+@given(factor=st.floats(0.001, 1.0), sigma=st.floats(0.02, 0.4))
+def test_property_scale_mass_conserved(factor, sigma):
+    d = Distribution.gaussian(1.0, sigma).scale(factor)
+    assert d.pmf.sum() == pytest.approx(1.0)
+    assert d.mean() == pytest.approx(factor * 1.0, abs=5e-3)

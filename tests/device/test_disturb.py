@@ -1,0 +1,75 @@
+"""Tests for the read-disturb model."""
+
+import pytest
+
+from repro.analysis.calibration import calibrated_analyzer
+from repro.core.reduce_code import ReduceCodeCoding
+from repro.device.disturb import ReadDisturbModel, reads_to_failure
+from repro.device.distributions import Distribution
+from repro.device.voltages import normal_mlc_plan, reduced_plan
+from repro.errors import ConfigurationError
+
+
+class TestModel:
+    def test_moments(self):
+        model = ReadDisturbModel(mu_per_read=1e-5, sigma_per_read=2e-5)
+        assert model.mean_shift(10_000) == pytest.approx(0.1)
+        assert model.shift_sigma(10_000) == pytest.approx(2e-5 * 100)
+
+    def test_zero_reads_identity(self):
+        model = ReadDisturbModel()
+        dist = Distribution.gaussian(3.0, 0.05)
+        assert model.apply(dist, 0) is dist
+        assert model.shift_distribution(0, 0.002) is None
+
+    def test_shift_is_upward_only(self):
+        model = ReadDisturbModel(mu_per_read=1e-6, sigma_per_read=1e-4)
+        shift = model.shift_distribution(100, 0.002)
+        low, _ = shift.support
+        assert low >= 0.0
+
+    def test_apply_raises_mean(self):
+        model = ReadDisturbModel()
+        dist = Distribution.gaussian(3.0, 0.05)
+        disturbed = model.apply(dist, 500_000)
+        assert disturbed.mean() > dist.mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReadDisturbModel(mu_per_read=-1e-6)
+        with pytest.raises(ConfigurationError):
+            ReadDisturbModel().mean_shift(-1)
+
+
+class TestReadsToFailure:
+    @pytest.fixture(scope="class")
+    def analyzers(self):
+        return {
+            "normal": calibrated_analyzer(normal_mlc_plan()),
+            "reduced": calibrated_analyzer(
+                reduced_plan("nunma3"), coding=ReduceCodeCoding()
+            ),
+        }
+
+    def test_reduced_state_tolerates_more_reads(self, analyzers):
+        """LevelAdjust's wider margins buy read-disturb headroom too —
+        an extension result the paper's framework implies."""
+        disturb = ReadDisturbModel()
+        normal = reads_to_failure(analyzers["normal"], disturb)
+        reduced = reads_to_failure(analyzers["reduced"], disturb)
+        assert reduced > normal
+
+    def test_budget_shrinks_with_disturb_strength(self, analyzers):
+        weak = ReadDisturbModel(mu_per_read=1e-6, sigma_per_read=2e-6)
+        strong = ReadDisturbModel(mu_per_read=8e-6, sigma_per_read=1.6e-5)
+        assert reads_to_failure(analyzers["normal"], weak) > reads_to_failure(
+            analyzers["normal"], strong
+        )
+
+    def test_budget_is_finite_for_normal_cells(self, analyzers):
+        budget = reads_to_failure(analyzers["normal"], ReadDisturbModel())
+        assert 0 < budget < 10_000_000.0
+
+    def test_bad_limit_rejected(self, analyzers):
+        with pytest.raises(ConfigurationError):
+            reads_to_failure(analyzers["normal"], ReadDisturbModel(), ber_limit=0.0)

@@ -1,0 +1,68 @@
+"""Tests for NAND geometry and the even/odd / ReduceCode layouts."""
+
+import pytest
+
+from repro.device.geometry import BitlineParity, NandGeometry
+from repro.errors import ConfigurationError
+
+
+class TestLayoutArithmetic:
+    def test_default_page_sizes(self):
+        geo = NandGeometry()
+        assert geo.cells_per_page_group == geo.cells_per_wordline // 2
+        assert geo.normal_page_bits == geo.cells_per_page_group
+
+    def test_reduced_capacity_factor_is_three_quarters(self):
+        geo = NandGeometry()
+        assert geo.reduced_capacity_factor == pytest.approx(0.75)
+
+    def test_bits_per_wordline(self):
+        geo = NandGeometry(cells_per_wordline=64)
+        assert geo.normal_bits_per_wordline == 128
+        assert geo.reduced_bits_per_wordline == 96
+
+    def test_page_counts(self):
+        geo = NandGeometry()
+        assert geo.normal_pages_per_wordline == 4
+        assert geo.reduced_pages_per_wordline == 3
+
+    def test_rejects_non_multiple_of_four(self):
+        with pytest.raises(ConfigurationError):
+            NandGeometry(cells_per_wordline=66)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            NandGeometry(wordlines_per_block=0)
+
+
+class TestAddressing:
+    def test_parity(self):
+        geo = NandGeometry(cells_per_wordline=8)
+        assert geo.parity(0) is BitlineParity.EVEN
+        assert geo.parity(1) is BitlineParity.ODD
+        assert geo.parity(6) is BitlineParity.EVEN
+
+    def test_pair_partner_same_parity(self):
+        geo = NandGeometry(cells_per_wordline=16)
+        for cell in range(16):
+            partner = geo.pair_partner(cell)
+            assert geo.parity(partner) == geo.parity(cell)
+            assert geo.pair_partner(partner) == cell
+
+    def test_pair_partner_examples(self):
+        geo = NandGeometry(cells_per_wordline=8)
+        assert geo.pair_partner(0) == 2
+        assert geo.pair_partner(1) == 3
+        assert geo.pair_partner(4) == 6
+        assert geo.pair_partner(7) == 5
+
+    def test_x_neighbors_at_edges(self):
+        geo = NandGeometry(cells_per_wordline=8)
+        assert geo.x_neighbors(0) == (1,)
+        assert geo.x_neighbors(7) == (6,)
+        assert geo.x_neighbors(3) == (2, 4)
+
+    def test_out_of_range_cell(self):
+        geo = NandGeometry(cells_per_wordline=8)
+        with pytest.raises(ConfigurationError):
+            geo.parity(8)

@@ -1,0 +1,94 @@
+"""Tests for UBER estimation (paper Eq. 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.uber import (
+    LDPC_CODEWORD_BITS,
+    LDPC_INFO_BITS,
+    TARGET_UBER,
+    code_margin,
+    required_correctable_bits,
+    uber,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUber:
+    def test_zero_error_rate(self):
+        assert uber(4, 100, 90, 0.0) == 0.0
+
+    def test_perfect_code(self):
+        assert uber(100, 100, 90, 0.01) == 0.0
+
+    def test_no_correction_equals_any_error_probability(self):
+        # k = 0: uncorrectable iff any bit flips
+        p = 1e-4
+        m, n = 1000, 900
+        expected = (1 - (1 - p) ** m) / n
+        assert uber(0, m, n, p) == pytest.approx(expected, rel=1e-6)
+
+    def test_monotone_decreasing_in_k(self):
+        values = [uber(k, 1000, 900, 1e-3) for k in range(0, 20, 4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_increasing_in_p(self):
+        values = [uber(5, 1000, 900, p) for p in (1e-4, 1e-3, 1e-2)]
+        assert values == sorted(values)
+
+    def test_paper_code_shape(self):
+        # rate-8/9 on 4 KB blocks
+        assert LDPC_INFO_BITS == 32768
+        assert LDPC_CODEWORD_BITS == 36864
+        assert LDPC_INFO_BITS / LDPC_CODEWORD_BITS == pytest.approx(8 / 9)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            uber(1, 10, 20, 0.1)  # n > m
+        with pytest.raises(ConfigurationError):
+            uber(-1, 10, 5, 0.1)
+        with pytest.raises(ConfigurationError):
+            uber(1, 10, 5, 1.5)
+
+
+class TestRequiredCorrectableBits:
+    def test_meets_target(self):
+        k = required_correctable_bits(1e-3, m=4096, n=3641, target=1e-12)
+        assert uber(k, 4096, 3641, 1e-3) <= 1e-12
+        if k > 0:
+            assert uber(k - 1, 4096, 3641, 1e-3) > 1e-12
+
+    def test_grows_with_ber(self):
+        k_low = required_correctable_bits(1e-4, m=4096, n=3641, target=1e-12)
+        k_high = required_correctable_bits(4e-3, m=4096, n=3641, target=1e-12)
+        assert k_high > k_low
+
+    def test_paper_scale_at_high_ber(self):
+        """At BER 1e-2 a rate-8/9 code on 4 KB blocks needs hundreds of
+        correctable bits for UBER 1e-15 — BCH territory ends here."""
+        k = required_correctable_bits(1e-2)
+        assert 400 < k < 800
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ConfigurationError):
+            required_correctable_bits(1e-3, target=0.0)
+
+
+class TestCodeMargin:
+    def test_above_one_when_meeting_target(self):
+        k = required_correctable_bits(1e-3, m=4096, n=3641, target=1e-12)
+        assert code_margin(k, 4096, 3641, 1e-3, target=1e-12) >= 1.0
+
+    def test_infinite_for_zero_uber(self):
+        assert code_margin(10, 100, 90, 0.0) == float("inf")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(0, 30),
+    p=st.floats(1e-6, 0.2),
+)
+def test_property_uber_bounded(k, p):
+    value = uber(k, 512, 480, p)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,98 @@
+"""Tests for voltage plans (normal MLC + Table 3 reduced plans)."""
+
+import pytest
+
+from repro.device.voltages import (
+    NUNMA_CONFIGS,
+    VoltagePlan,
+    normal_mlc_plan,
+    reduced_plan,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNormalPlan:
+    def test_has_four_levels(self):
+        assert normal_mlc_plan().n_levels == 4
+
+    def test_regions_tile_the_axis(self):
+        plan = normal_mlc_plan()
+        for level in range(plan.n_levels - 1):
+            assert plan.upper_reference(level) == plan.lower_reference(level + 1)
+        assert plan.lower_reference(0) == float("-inf")
+        assert plan.upper_reference(3) == float("inf")
+
+    def test_read_level_roundtrip(self):
+        plan = normal_mlc_plan()
+        for level in range(plan.n_levels):
+            center = plan.programmed_distribution(level).mean()
+            assert plan.read_level(center) == level
+
+    def test_programmed_distribution_floors_at_verify(self):
+        plan = normal_mlc_plan()
+        for level in range(1, plan.n_levels):
+            dist = plan.programmed_distribution(level)
+            verify = plan.verify_voltages[level - 1]
+            assert dist.mass_below(verify) == pytest.approx(0.0)
+
+    def test_erased_distribution_matches_paper_model(self):
+        plan = normal_mlc_plan()
+        erased = plan.erased_distribution()
+        assert erased.mean() == pytest.approx(1.1, abs=1e-3)
+        assert erased.std() == pytest.approx(0.35, rel=0.01)
+
+    def test_program_shift_mean_grows_with_level(self):
+        plan = normal_mlc_plan()
+        shifts = [plan.program_shift_mean(lv) for lv in range(plan.n_levels)]
+        assert shifts[0] == 0.0
+        assert shifts == sorted(shifts)
+
+    def test_level_bounds_checked(self):
+        plan = normal_mlc_plan()
+        with pytest.raises(ConfigurationError):
+            plan.programmed_distribution(4)
+        with pytest.raises(ConfigurationError):
+            plan.region(-1)
+
+
+class TestReducedPlans:
+    @pytest.mark.parametrize("config", sorted(NUNMA_CONFIGS))
+    def test_table3_values(self, config):
+        plan = reduced_plan(config)
+        params = NUNMA_CONFIGS[config]
+        assert plan.n_levels == 3
+        assert plan.vpp == params["vpp"]
+        assert plan.verify_voltages == (params["verify1"], params["verify2"])
+        assert plan.read_references == (params["ref1"], params["ref2"])
+
+    def test_nunma3_has_largest_margins(self):
+        margins = {}
+        for config in NUNMA_CONFIGS:
+            plan = reduced_plan(config)
+            margins[config] = tuple(
+                v - r for v, r in zip(plan.verify_voltages, plan.read_references)
+            )
+        assert margins["nunma3"][0] >= max(margins["nunma1"][0], margins["nunma2"][0])
+        assert margins["nunma3"][1] >= max(margins["nunma1"][1], margins["nunma2"][1])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reduced_plan("nunma9")
+
+
+class TestPlanValidation:
+    def test_rejects_mismatched_references(self):
+        with pytest.raises(ConfigurationError):
+            VoltagePlan("bad", (2.0, 3.0), (1.9,))
+
+    def test_rejects_unsorted_verifies(self):
+        with pytest.raises(ConfigurationError):
+            VoltagePlan("bad", (3.0, 2.0), (2.9, 1.9))
+
+    def test_rejects_verify_below_reference(self):
+        with pytest.raises(ConfigurationError):
+            VoltagePlan("bad", (2.0, 3.0), (2.1, 2.9))
+
+    def test_rejects_negative_vpp(self):
+        with pytest.raises(ConfigurationError):
+            VoltagePlan("bad", (2.0,), (1.9,), vpp=-0.1)

@@ -1,0 +1,57 @@
+"""Tests for the cycling-induced broadening model."""
+
+import pytest
+
+from repro.device.distributions import Distribution
+from repro.device.wear import WearModel
+from repro.errors import ConfigurationError
+
+
+class TestSigma:
+    def test_zero_at_zero_cycles(self):
+        assert WearModel().sigma(0) == 0.0
+
+    def test_monotone_in_cycles(self):
+        model = WearModel()
+        values = [model.sigma(pe) for pe in (1000, 3000, 6000)]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_power_law(self):
+        model = WearModel(k_w=0.01, a_w=0.5)
+        assert model.sigma(4000) == pytest.approx(0.01 * 2.0)
+
+    def test_disabled_model(self):
+        assert WearModel(k_w=0.0).sigma(6000) == 0.0
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ConfigurationError):
+            WearModel().sigma(-1)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ConfigurationError):
+            WearModel(k_w=-0.1)
+        with pytest.raises(ConfigurationError):
+            WearModel(reference_cycles=0)
+
+
+class TestApply:
+    def test_apply_widens(self):
+        model = WearModel(k_w=0.02, a_w=0.5)
+        dist = Distribution.gaussian(3.0, 0.05)
+        widened = model.apply(dist, 6000)
+        assert widened.std() > dist.std()
+        assert widened.mean() == pytest.approx(3.0, abs=1e-3)
+
+    def test_apply_identity_at_zero(self):
+        model = WearModel()
+        dist = Distribution.gaussian(3.0, 0.05)
+        assert model.apply(dist, 0) is dist
+
+    def test_variance_adds(self):
+        model = WearModel(k_w=0.04, a_w=0.5)
+        dist = Distribution.gaussian(3.0, 0.05)
+        widened = model.apply(dist, 1000)
+        assert widened.variance() == pytest.approx(
+            dist.variance() + model.sigma(1000) ** 2, rel=0.05
+        )

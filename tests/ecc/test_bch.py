@@ -1,0 +1,146 @@
+"""Tests for the BCH codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BchCode
+from repro.errors import ConfigurationError, DecodingFailure
+
+
+@pytest.fixture(scope="module")
+def bch_15_7():
+    """The classic double-error-correcting BCH(15, 7)."""
+    return BchCode(m=4, t=2)
+
+
+class TestConstruction:
+    def test_classic_code_shape(self, bch_15_7):
+        assert (bch_15_7.n, bch_15_7.k, bch_15_7.t) == (15, 7, 2)
+
+    def test_generator_degree(self, bch_15_7):
+        assert len(bch_15_7.generator) - 1 == bch_15_7.n_parity == 8
+
+    def test_rate(self, bch_15_7):
+        assert bch_15_7.rate == pytest.approx(7 / 15)
+
+    def test_shortened_shape(self):
+        code = BchCode(m=6, t=3, shortened_k=20)
+        assert code.message_length == 20
+        assert code.codeword_length == 20 + code.n_parity
+
+    def test_rejects_zero_t(self):
+        with pytest.raises(ConfigurationError):
+            BchCode(m=4, t=0)
+
+    def test_rejects_overlong_shortening(self):
+        with pytest.raises(ConfigurationError):
+            BchCode(m=4, t=2, shortened_k=100)
+
+    def test_generator_saturates_at_repetition_code(self):
+        """Pushing t to the field limit degenerates toward k = 1; the
+        construction stays valid (minimal polynomials saturate)."""
+        code = BchCode(m=4, t=7)
+        assert code.k == 1
+        assert code.rate < 0.1
+
+
+class TestRoundTrips:
+    def test_clean_roundtrip(self, bch_15_7, rng):
+        msg = rng.integers(0, 2, 7).astype(np.uint8)
+        assert np.array_equal(bch_15_7.decode(bch_15_7.encode(msg)), msg)
+
+    def test_systematic_prefix(self, bch_15_7, rng):
+        msg = rng.integers(0, 2, 7).astype(np.uint8)
+        cw = bch_15_7.encode(msg)
+        assert np.array_equal(cw[:7], msg)
+
+    @pytest.mark.parametrize("n_errors", [1, 2])
+    def test_corrects_within_capability(self, bch_15_7, rng, n_errors):
+        for _ in range(50):
+            msg = rng.integers(0, 2, 7).astype(np.uint8)
+            cw = bch_15_7.encode(msg)
+            positions = rng.choice(15, size=n_errors, replace=False)
+            cw[positions] ^= 1
+            assert np.array_equal(bch_15_7.decode(cw), msg)
+
+    def test_corrects_parity_errors(self, bch_15_7, rng):
+        msg = rng.integers(0, 2, 7).astype(np.uint8)
+        cw = bch_15_7.encode(msg)
+        cw[[8, 14]] ^= 1  # both errors inside the parity section
+        assert np.array_equal(bch_15_7.decode(cw), msg)
+
+    def test_shortened_roundtrip_with_errors(self, rng):
+        code = BchCode(m=8, t=5, shortened_k=64)
+        for _ in range(20):
+            msg = rng.integers(0, 2, 64).astype(np.uint8)
+            cw = code.encode(msg)
+            positions = rng.choice(code.codeword_length, size=5, replace=False)
+            cw[positions] ^= 1
+            assert np.array_equal(code.decode(cw), msg)
+
+    def test_detect_errors(self, bch_15_7, rng):
+        msg = rng.integers(0, 2, 7).astype(np.uint8)
+        cw = bch_15_7.encode(msg)
+        assert not bch_15_7.detect_errors(cw)
+        cw[3] ^= 1
+        assert bch_15_7.detect_errors(cw)
+
+
+class TestFailureModes:
+    def test_overload_detected_or_miscorrected(self, rng):
+        """Beyond t errors, BCH either flags failure or miscorrects to a
+        *valid* codeword — never returns an inconsistent word."""
+        code = BchCode(m=5, t=2)
+        detected, miscorrected = 0, 0
+        for _ in range(40):
+            msg = rng.integers(0, 2, code.k).astype(np.uint8)
+            cw = code.encode(msg)
+            positions = rng.choice(code.codeword_length, size=4, replace=False)
+            corrupted = cw.copy()
+            corrupted[positions] ^= 1
+            try:
+                out = code.decode(corrupted)
+            except DecodingFailure:
+                detected += 1
+                continue
+            recoded = code.encode(out)
+            assert not code.detect_errors(recoded)
+            miscorrected += 1
+        assert detected + miscorrected == 40
+        assert detected > 0
+
+    def test_wrong_length_rejected(self, bch_15_7):
+        with pytest.raises(ConfigurationError):
+            bch_15_7.decode(np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            bch_15_7.encode(np.zeros(9, dtype=np.uint8))
+
+    def test_non_binary_rejected(self, bch_15_7):
+        with pytest.raises(ConfigurationError):
+            bch_15_7.encode(np.full(7, 2, dtype=np.uint8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_property_roundtrip_random_codes(data):
+    m = data.draw(st.sampled_from([4, 5, 6]))
+    code = BchCode(m=m, t=data.draw(st.integers(1, 2)))
+    msg = np.array(
+        data.draw(st.lists(st.integers(0, 1), min_size=code.k, max_size=code.k)),
+        dtype=np.uint8,
+    )
+    cw = code.encode(msg)
+    n_err = data.draw(st.integers(0, code.t))
+    if n_err:
+        positions = data.draw(
+            st.lists(
+                st.integers(0, code.codeword_length - 1),
+                min_size=n_err,
+                max_size=n_err,
+                unique=True,
+            )
+        )
+        cw[positions] ^= 1
+    assert np.array_equal(code.decode(cw), msg)

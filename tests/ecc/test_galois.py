@@ -1,0 +1,107 @@
+"""Tests for GF(2^m) arithmetic, including field-axiom properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.galois import GF2m, PRIMITIVE_POLYS
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+class TestBasics:
+    def test_sizes(self, gf16):
+        assert gf16.size == 16
+        assert gf16.order == 15
+
+    def test_addition_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+
+    def test_zero_annihilates(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 0) == 0
+
+    def test_one_is_identity(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 1) == a
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv(0)
+
+    def test_div(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert gf16.mul(gf16.div(a, b), b) == a
+
+    def test_pow(self, gf16):
+        alpha = 2
+        assert gf16.pow(alpha, 0) == 1
+        assert gf16.pow(alpha, 15) == 1  # group order
+        assert gf16.pow(alpha, -1) == gf16.inv(alpha)
+
+    def test_alpha_generates_group(self, gf16):
+        seen = {gf16.alpha_pow(i) for i in range(15)}
+        assert seen == set(range(1, 16))
+
+    def test_log_exp_roundtrip(self, gf16):
+        for a in range(1, 16):
+            assert gf16.alpha_pow(gf16.log(a)) == a
+
+    def test_unsupported_m(self):
+        with pytest.raises(ConfigurationError):
+            GF2m(1)
+
+    def test_out_of_field_rejected(self, gf16):
+        with pytest.raises(ConfigurationError):
+            gf16.mul(16, 1)
+
+    @pytest.mark.parametrize("m", [2, 3, 8, 12])
+    def test_all_primitive_polys_valid(self, m):
+        # GF2m construction itself checks primitivity
+        field = GF2m(m)
+        assert field.order == (1 << m) - 1
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, gf16):
+        assert gf16.poly_eval([5], 7) == 5
+
+    def test_poly_eval_linear(self, gf16):
+        # p(x) = 3 + 2x at x = 4
+        expected = 3 ^ gf16.mul(2, 4)
+        assert gf16.poly_eval([3, 2], 4) == expected
+
+    def test_poly_mul_degree(self, gf16):
+        product = gf16.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 over GF(2^m)
+        assert product == [1, 0, 1]
+
+    def test_minimal_polynomial_is_binary_and_annihilates(self, gf16):
+        for i in range(1, 6):
+            element = gf16.alpha_pow(i)
+            poly = gf16.minimal_polynomial(element)
+            assert all(c in (0, 1) for c in poly)
+            assert gf16.poly_eval(poly, element) == 0
+
+    def test_minimal_polynomial_of_zero(self, gf16):
+        assert gf16.minimal_polynomial(0) == [0, 1]
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+def test_property_field_axioms_gf256(a, b, c):
+    field = GF2m(8)
+    # commutativity
+    assert field.mul(a, b) == field.mul(b, a)
+    # associativity
+    assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+    # distributivity over XOR addition
+    assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)

@@ -1,0 +1,72 @@
+"""Tests for the LDPC code object."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc.code import LdpcCode
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def code():
+    return LdpcCode.regular(n=96, wc=3, wr=8, seed=11)
+
+
+class TestConstruction:
+    def test_shape(self, code):
+        assert code.n == 96
+        assert 0 < code.k < code.n
+
+    def test_rate_matches_design(self, code):
+        # wc/wr = 3/8 parity fraction -> rate ~ 5/8 (redundant rows raise it)
+        assert code.rate >= 1 - 3 / 8
+
+    def test_rate_parameterisation(self):
+        code = LdpcCode.regular(n=108, wc=3, rate=8 / 9, seed=3)
+        assert code.rate == pytest.approx(8 / 9, abs=0.05)
+
+    def test_requires_exactly_one_of_wr_rate(self):
+        with pytest.raises(ConfigurationError):
+            LdpcCode.regular(n=96, wc=3)
+        with pytest.raises(ConfigurationError):
+            LdpcCode.regular(n=96, wc=3, wr=8, rate=0.5)
+
+    def test_neighbor_structure_consistent(self, code):
+        for check, variables in enumerate(code.check_neighbors):
+            for v in variables:
+                assert check in code.var_neighbors[v]
+
+
+class TestEncoding:
+    def test_codewords_satisfy_checks(self, code, rng):
+        for _ in range(20):
+            msg = rng.integers(0, 2, code.k).astype(np.uint8)
+            assert code.is_codeword(code.encode(msg))
+
+    def test_systematic(self, code, rng):
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        cw = code.encode(msg)
+        assert np.array_equal(code.extract_message(cw), msg)
+
+    def test_linear(self, code, rng):
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        assert np.array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+    def test_zero_message(self, code):
+        assert not code.encode(np.zeros(code.k, dtype=np.uint8)).any()
+
+    def test_syndrome_flags_errors(self, code, rng):
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        cw = code.encode(msg)
+        cw[0] ^= 1
+        assert code.syndrome(cw).any()
+        assert not code.is_codeword(cw)
+
+    def test_wrong_lengths_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            code.syndrome(np.zeros(code.n - 1, dtype=np.uint8))

@@ -1,0 +1,59 @@
+"""Tests for the Gallager LDPC construction."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc.construction import count_4cycles, gallager_construction
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_shape(self, rng):
+        h = gallager_construction(96, wc=3, wr=8, rng=rng)
+        assert h.shape == (96 * 3 // 8, 96)
+
+    def test_row_weights_regular(self, rng):
+        h = gallager_construction(96, wc=3, wr=8, rng=rng, remove_4cycles=False)
+        assert np.all(h.sum(axis=1) == 8)
+
+    def test_column_weights_regular_without_cycle_fixing(self, rng):
+        h = gallager_construction(96, wc=3, wr=8, rng=rng, remove_4cycles=False)
+        assert np.all(h.sum(axis=0) == 3)
+
+    def test_cycle_removal_reduces_4cycles(self, rng):
+        raw = gallager_construction(128, wc=3, wr=8, rng=np.random.default_rng(5),
+                                    remove_4cycles=False)
+        cleaned = gallager_construction(128, wc=3, wr=8, rng=np.random.default_rng(5),
+                                        remove_4cycles=True)
+        assert count_4cycles(cleaned) <= count_4cycles(raw)
+
+    def test_cycle_removal_preserves_row_weight(self, rng):
+        h = gallager_construction(128, wc=3, wr=8, rng=rng)
+        assert np.all(h.sum(axis=1) == 8)
+
+    def test_rejects_indivisible_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            gallager_construction(97, wc=3, wr=8, rng=rng)
+
+    def test_rejects_wc_at_least_wr(self, rng):
+        with pytest.raises(ConfigurationError):
+            gallager_construction(96, wc=8, wr=8, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        a = gallager_construction(64, 3, 8, np.random.default_rng(9))
+        b = gallager_construction(64, 3, 8, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestCycleCount:
+    def test_no_cycles_in_disjoint_rows(self):
+        h = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=np.uint8)
+        assert count_4cycles(h) == 0
+
+    def test_one_cycle(self):
+        h = np.array([[1, 1, 0], [1, 1, 0]], dtype=np.uint8)
+        assert count_4cycles(h) == 1
+
+    def test_overlap_three_counts_three(self):
+        h = np.array([[1, 1, 1], [1, 1, 1]], dtype=np.uint8)
+        assert count_4cycles(h) == 3

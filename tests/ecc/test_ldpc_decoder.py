@@ -1,0 +1,111 @@
+"""Tests for the LDPC decoders (bit-flip and min-sum)."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc.channel import NandReadChannel
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.decoder import BitFlipDecoder, MinSumDecoder
+from repro.errors import ConfigurationError, DecodingFailure
+
+
+@pytest.fixture(scope="module")
+def code():
+    return LdpcCode.regular(n=256, wc=3, wr=8, seed=21)
+
+
+class TestBitFlip:
+    def test_clean_codeword_zero_iterations(self, code, rng):
+        decoder = BitFlipDecoder(code)
+        cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        result = decoder.decode(cw)
+        assert result.converged
+        assert result.iterations == 0
+        assert np.array_equal(result.codeword, cw)
+
+    def test_corrects_sparse_errors(self, code, rng):
+        decoder = BitFlipDecoder(code)
+        successes = 0
+        for _ in range(30):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            corrupted = cw.copy()
+            corrupted[rng.choice(code.n, size=3, replace=False)] ^= 1
+            try:
+                result = decoder.decode(corrupted)
+            except DecodingFailure:
+                continue
+            if np.array_equal(result.codeword, cw):
+                successes += 1
+        assert successes >= 25
+
+    def test_heavy_noise_raises(self, code, rng):
+        decoder = BitFlipDecoder(code, max_iterations=10)
+        cw = code.encode(np.zeros(code.k, dtype=np.uint8))
+        corrupted = cw ^ (rng.random(code.n) < 0.4).astype(np.uint8)
+        with pytest.raises(DecodingFailure) as exc_info:
+            decoder.decode(corrupted)
+        assert exc_info.value.iterations == 10
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            BitFlipDecoder(code).decode(np.zeros(10, dtype=np.uint8))
+
+
+class TestMinSum:
+    def test_clean_llrs_decode_immediately(self, code, rng):
+        decoder = MinSumDecoder(code)
+        cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        llrs = (1.0 - 2.0 * cw) * 10.0
+        result = decoder.decode(llrs)
+        assert result.converged
+        assert np.array_equal(result.codeword, cw)
+
+    def test_soft_beats_hard_at_moderate_noise(self, code, rng):
+        """Soft-decision min-sum should out-decode hard bit-flip at the
+        same raw BER — the reason LDPC is worth its latency."""
+        raw_ber = 0.035
+        channel_soft = NandReadChannel(raw_ber, extra_levels=5)
+        soft_ok = hard_ok = 0
+        bf = BitFlipDecoder(code, max_iterations=40)
+        ms = MinSumDecoder(code, max_iterations=40)
+        for _ in range(25):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            analog = channel_soft.transmit(cw, rng)
+            llrs = channel_soft.llrs_for(analog)
+            hard = channel_soft.hard_decisions(analog)
+            try:
+                if np.array_equal(ms.decode(llrs).codeword, cw):
+                    soft_ok += 1
+            except DecodingFailure:
+                pass
+            try:
+                if np.array_equal(bf.decode(hard).codeword, cw):
+                    hard_ok += 1
+            except DecodingFailure:
+                pass
+        assert soft_ok > hard_ok
+
+    def test_iterations_grow_with_noise(self, code, rng):
+        decoder = MinSumDecoder(code, max_iterations=60)
+        iters = {}
+        for ber in (0.002, 0.02):
+            channel = NandReadChannel(ber, extra_levels=4)
+            totals = []
+            for _ in range(10):
+                cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+                try:
+                    totals.append(decoder.decode(channel.read(cw, rng)).iterations)
+                except DecodingFailure:
+                    totals.append(60)
+            iters[ber] = np.mean(totals)
+        assert iters[0.02] > iters[0.002]
+
+    def test_bad_normalization_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            MinSumDecoder(code, normalization=0.0)
+        with pytest.raises(ConfigurationError):
+            MinSumDecoder(code, normalization=1.5)
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            MinSumDecoder(code).decode(np.zeros(10))

@@ -1,0 +1,65 @@
+"""Tests for the read-latency model."""
+
+import pytest
+
+from repro.ecc.ldpc.latency import ReadLatencyModel
+from repro.errors import ConfigurationError
+
+
+class TestReadLatency:
+    def test_base_read_matches_table6(self):
+        model = ReadLatencyModel()
+        # Table 6: 90 us array read + 10 us decode
+        assert model.read_latency_us(0) == pytest.approx(100.0)
+
+    def test_paper_7x_headline(self):
+        """Six extra levels (Table 5's worst cell) cost ~7x (paper §1)."""
+        model = ReadLatencyModel()
+        assert model.slowdown(6) == pytest.approx(7.0)
+
+    def test_latency_linear_in_levels(self):
+        model = ReadLatencyModel()
+        deltas = [
+            model.read_latency_us(k + 1) - model.read_latency_us(k) for k in range(5)
+        ]
+        assert all(d == pytest.approx(deltas[0]) for d in deltas)
+
+    def test_component_scaling_off(self):
+        model = ReadLatencyModel(
+            sense_per_level=0.0, transfer_per_level=0.0, decode_per_level=0.0
+        )
+        assert model.read_latency_us(6) == model.read_latency_us(0)
+
+    def test_rejects_negative_levels(self):
+        with pytest.raises(ConfigurationError):
+            ReadLatencyModel().read_latency_us(-1)
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(ConfigurationError):
+            ReadLatencyModel(sense_us=-1.0)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ConfigurationError):
+            ReadLatencyModel(sense_us=0.0, transfer_us=0.0, decode_us=0.0)
+
+
+class TestProgressiveLatency:
+    def test_zero_levels_equals_plain_read(self):
+        model = ReadLatencyModel()
+        assert model.progressive_latency_us(0) == model.read_latency_us(0)
+
+    def test_progressive_costs_more_than_oracle(self):
+        """Progressive retries re-transfer and re-decode, so knowing the
+        level upfront (LDPC-in-SSD's tracking) is strictly cheaper."""
+        model = ReadLatencyModel()
+        for k in range(1, 7):
+            assert model.progressive_latency_us(k) > model.read_latency_us(k)
+
+    def test_progressive_monotone(self):
+        model = ReadLatencyModel()
+        values = [model.progressive_latency_us(k) for k in range(7)]
+        assert values == sorted(values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ReadLatencyModel().progressive_latency_us(-2)

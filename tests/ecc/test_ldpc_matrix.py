@@ -1,0 +1,78 @@
+"""Tests for GF(2) linear algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.ldpc.matrix import gf2_rank, gf2_row_reduce, gf2_systematic_form
+from repro.errors import ConfigurationError
+
+
+class TestRowReduce:
+    def test_identity_unchanged(self):
+        eye = np.eye(4, dtype=np.uint8)
+        reduced, pivots = gf2_row_reduce(eye)
+        assert np.array_equal(reduced, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_dependent_rows_zeroed(self):
+        m = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        reduced, pivots = gf2_row_reduce(m)
+        assert len(pivots) == 2
+        assert not reduced[2].any()
+
+    def test_rank(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            gf2_row_reduce(np.array([[2, 0]], dtype=np.uint8))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            gf2_row_reduce(np.zeros(4, dtype=np.uint8))
+
+
+class TestSystematicForm:
+    def test_hamming_7_4(self):
+        h = np.array(
+            [[1, 1, 0, 1, 1, 0, 0], [1, 0, 1, 1, 0, 1, 0], [0, 1, 1, 1, 0, 0, 1]],
+            dtype=np.uint8,
+        )
+        h_sys, perm, generator = gf2_systematic_form(h)
+        assert generator.shape == (4, 7)
+        # G's rows are codewords of the permuted code
+        assert not np.any((h_sys @ generator.T) % 2)
+        # systematic: identity in the message section
+        assert np.array_equal(generator[:, :4], np.eye(4, dtype=np.uint8))
+
+    def test_redundant_rows_dropped(self):
+        h = np.array([[1, 1, 0], [1, 1, 0]], dtype=np.uint8)
+        h_sys, perm, generator = gf2_systematic_form(h)
+        assert h_sys.shape[0] == 1
+        assert generator.shape[0] == 2
+
+    def test_full_rank_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gf2_systematic_form(np.eye(3, dtype=np.uint8))
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gf2_systematic_form(np.zeros((2, 4), dtype=np.uint8))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_property_generator_orthogonal_to_h(data):
+    rows = data.draw(st.integers(2, 6))
+    cols = data.draw(st.integers(rows + 1, 12))
+    bits = data.draw(
+        st.lists(st.integers(0, 1), min_size=rows * cols, max_size=rows * cols)
+    )
+    h = np.array(bits, dtype=np.uint8).reshape(rows, cols)
+    if gf2_rank(h) == 0 or gf2_rank(h) == cols:
+        return  # degenerate: no code
+    h_sys, perm, generator = gf2_systematic_form(h)
+    assert not np.any((h_sys @ generator.T) % 2)

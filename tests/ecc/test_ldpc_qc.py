@@ -1,0 +1,61 @@
+"""Tests for the quasi-cyclic LDPC construction."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.construction import count_4cycles
+from repro.ecc.ldpc.decoder import MinSumDecoder
+from repro.ecc.ldpc.qc import circulant, qc_construction
+from repro.errors import ConfigurationError
+
+
+class TestCirculant:
+    def test_identity_at_zero_shift(self):
+        assert np.array_equal(circulant(4, 0), np.eye(4, dtype=np.uint8))
+
+    def test_shift_wraps(self):
+        assert np.array_equal(circulant(3, 3), np.eye(3, dtype=np.uint8))
+
+    def test_single_one_per_row_and_column(self):
+        c = circulant(7, 3)
+        assert np.all(c.sum(axis=0) == 1)
+        assert np.all(c.sum(axis=1) == 1)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            circulant(0, 1)
+
+
+class TestQcConstruction:
+    def test_shape_and_weights(self):
+        h = qc_construction(rows=3, cols=7, z=13)
+        assert h.shape == (39, 91)
+        assert np.all(h.sum(axis=0) == 3)
+        assert np.all(h.sum(axis=1) == 7)
+
+    def test_girth_at_least_six(self):
+        h = qc_construction(rows=3, cols=7, z=13)
+        assert count_4cycles(h) == 0
+
+    def test_code_functions_end_to_end(self, rng):
+        code = LdpcCode(qc_construction(rows=3, cols=11, z=11))
+        assert code.rate > 0.7
+        decoder = MinSumDecoder(code)
+        cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        llrs = (1.0 - 2.0 * cw) * 6.0
+        llrs[:2] *= -1  # two channel errors
+        result = decoder.decode(llrs)
+        assert np.array_equal(result.codeword, cw)
+
+    def test_rejects_composite_z(self):
+        with pytest.raises(ConfigurationError):
+            qc_construction(rows=3, cols=7, z=12)
+
+    def test_rejects_too_wide_base(self):
+        with pytest.raises(ConfigurationError):
+            qc_construction(rows=3, cols=14, z=13)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            qc_construction(rows=7, cols=7, z=13)

@@ -1,0 +1,82 @@
+"""Tests for the extra-sensing-level policy (paper Table 5)."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.sensing import PAPER_SENSING_LADDER, SensingLevelPolicy
+from repro.errors import ConfigurationError
+
+
+class TestLadder:
+    def test_paper_trigger_at_4e3(self):
+        policy = SensingLevelPolicy()
+        assert policy.required_levels(4.0e-3) == 0
+        assert policy.required_levels(4.1e-3) == 1
+
+    def test_monotone_in_ber(self):
+        policy = SensingLevelPolicy()
+        bers = np.logspace(-4, -1, 40)
+        levels = [policy.required_levels(b) for b in bers]
+        assert levels == sorted(levels)
+
+    def test_reproduces_table5_from_table4_baseline(self):
+        """Feeding the paper's Table 4 baseline BERs through the ladder
+        must reproduce the paper's Table 5 exactly."""
+        policy = SensingLevelPolicy()
+        table4 = {
+            (3000, "1d"): 0.00146, (3000, "2d"): 0.00169,
+            (3000, "1w"): 0.00260, (3000, "1m"): 0.00459,
+            (4000, "1d"): 0.00229, (4000, "2d"): 0.00284,
+            (4000, "1w"): 0.00456, (4000, "1m"): 0.00778,
+            (5000, "1d"): 0.00359, (5000, "2d"): 0.00457,
+            (5000, "1w"): 0.00699, (5000, "1m"): 0.0120,
+            (6000, "1d"): 0.00484, (6000, "2d"): 0.00613,
+            (6000, "1w"): 0.00961, (6000, "1m"): 0.0161,
+        }
+        table5 = {
+            (3000, "1d"): 0, (3000, "2d"): 0, (3000, "1w"): 0, (3000, "1m"): 1,
+            (4000, "1d"): 0, (4000, "2d"): 0, (4000, "1w"): 1, (4000, "1m"): 4,
+            (5000, "1d"): 0, (5000, "2d"): 1, (5000, "1w"): 2, (5000, "1m"): 4,
+            (6000, "1d"): 1, (6000, "2d"): 2, (6000, "1w"): 4, (6000, "1m"): 6,
+        }
+        for key, ber in table4.items():
+            assert policy.required_levels(ber) == table5[key], key
+
+    def test_max_levels(self):
+        assert SensingLevelPolicy().max_levels == 7
+
+    def test_rejects_unsorted_ladder(self):
+        with pytest.raises(ConfigurationError):
+            SensingLevelPolicy(ladder=((1e-2, 0), (1e-3, 1), (float("inf"), 2)))
+
+    def test_rejects_missing_inf(self):
+        with pytest.raises(ConfigurationError):
+            SensingLevelPolicy(ladder=((1e-3, 0), (1e-2, 1)))
+
+    def test_rejects_out_of_range_ber(self):
+        with pytest.raises(ConfigurationError):
+            SensingLevelPolicy().required_levels(1.5)
+
+
+class TestMonteCarloCrossCheck:
+    def test_required_levels_grow_with_ber(self, rng):
+        """Empirical min-sum check: noisier channels need more levels."""
+        policy = SensingLevelPolicy()
+        code = LdpcCode.regular(n=512, wc=3, wr=8, seed=31)
+        low = policy.monte_carlo_required_levels(0.005, code, rng, n_frames=12)
+        high = policy.monte_carlo_required_levels(0.06, code, rng, n_frames=12)
+        assert high >= low
+
+    def test_easy_channel_needs_no_levels(self, rng):
+        policy = SensingLevelPolicy()
+        code = LdpcCode.regular(n=256, wc=3, wr=8, seed=33)
+        assert policy.monte_carlo_required_levels(0.001, code, rng, n_frames=10) == 0
+
+    def test_rejects_bad_params(self, rng):
+        policy = SensingLevelPolicy()
+        code = LdpcCode.regular(n=128, wc=3, wr=8, seed=35)
+        with pytest.raises(ConfigurationError):
+            policy.monte_carlo_required_levels(0.01, code, rng, n_frames=0)
+        with pytest.raises(ConfigurationError):
+            policy.monte_carlo_required_levels(0.01, code, rng, target_success=0.0)

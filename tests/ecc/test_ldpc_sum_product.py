@@ -1,0 +1,66 @@
+"""Tests for the sum-product decoder."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc.channel import NandReadChannel
+from repro.ecc.ldpc.code import LdpcCode
+from repro.ecc.ldpc.decoder import MinSumDecoder
+from repro.ecc.ldpc.sum_product import SumProductDecoder
+from repro.errors import ConfigurationError, DecodingFailure
+
+
+@pytest.fixture(scope="module")
+def code():
+    return LdpcCode.regular(n=256, wc=3, wr=8, seed=41)
+
+
+class TestSumProduct:
+    def test_clean_llrs_decode(self, code, rng):
+        decoder = SumProductDecoder(code)
+        cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        result = decoder.decode((1.0 - 2.0 * cw) * 8.0)
+        assert result.converged
+        assert np.array_equal(result.codeword, cw)
+
+    def test_corrects_noisy_frames(self, code, rng):
+        decoder = SumProductDecoder(code, max_iterations=50)
+        channel = NandReadChannel(0.02, extra_levels=5)
+        ok = 0
+        for _ in range(20):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            try:
+                result = decoder.decode(channel.read(cw, rng))
+            except DecodingFailure:
+                continue
+            ok += int(np.array_equal(result.codeword, cw))
+        assert ok >= 18
+
+    def test_at_least_as_strong_as_minsum(self, code, rng):
+        """BP should match or beat normalized min-sum frame-for-frame."""
+        channel = NandReadChannel(0.045, extra_levels=5)
+        bp = SumProductDecoder(code, max_iterations=40)
+        ms = MinSumDecoder(code, max_iterations=40)
+        bp_ok = ms_ok = 0
+        for _ in range(30):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            llrs = channel.read(cw, rng)
+            for decoder, counter in ((bp, "bp"), (ms, "ms")):
+                try:
+                    result = decoder.decode(llrs)
+                except DecodingFailure:
+                    continue
+                if np.array_equal(result.codeword, cw):
+                    if counter == "bp":
+                        bp_ok += 1
+                    else:
+                        ms_ok += 1
+        assert bp_ok >= ms_ok
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            SumProductDecoder(code).decode(np.zeros(3))
+
+    def test_bad_iterations_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            SumProductDecoder(code, max_iterations=0)

@@ -1,0 +1,41 @@
+"""Tests for the lifetime accounting (paper Fig. 7c)."""
+
+import pytest
+
+from repro.ftl.lifetime import lifetime_ratio
+from repro.errors import ConfigurationError
+
+
+class TestLifetime:
+    def test_no_overhead_no_loss(self):
+        assert lifetime_ratio(0.0) == pytest.approx(1.0)
+
+    def test_paper_numbers(self):
+        """13 % erase overhead active past 4000 of 10000 cycles loses
+        ~7 % of lifetime — Fig. 7(c)'s ~6 % average."""
+        ratio = lifetime_ratio(0.13, activation_pe=4000, pe_budget=10000)
+        assert 1.0 - ratio == pytest.approx(0.069, abs=0.01)
+
+    def test_always_active_scheme_loses_full_overhead(self):
+        ratio = lifetime_ratio(0.25, activation_pe=0, pe_budget=10000)
+        assert ratio == pytest.approx(1 / 1.25)
+
+    def test_never_active_scheme_loses_nothing(self):
+        assert lifetime_ratio(0.5, activation_pe=10000, pe_budget=10000) == 1.0
+
+    def test_monotone_in_overhead(self):
+        ratios = [lifetime_ratio(oh) for oh in (0.0, 0.1, 0.3, 1.0)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_later_activation_preserves_lifetime(self):
+        early = lifetime_ratio(0.2, activation_pe=2000)
+        late = lifetime_ratio(0.2, activation_pe=8000)
+        assert late > early
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lifetime_ratio(-0.1)
+        with pytest.raises(ConfigurationError):
+            lifetime_ratio(0.1, pe_budget=0)
+        with pytest.raises(ConfigurationError):
+            lifetime_ratio(0.1, activation_pe=20000, pe_budget=10000)

@@ -1,0 +1,197 @@
+"""Tests for the page-mapped SSD mechanism (mapping, GC, modes, ages)."""
+
+import numpy as np
+import pytest
+
+from repro.core.level_adjust import CellMode
+from repro.errors import ConfigurationError, FtlError, OutOfSpaceError
+from repro.ftl.config import SsdConfig
+from repro.ftl.ssd import Ssd
+from repro.units import HOUR_US
+
+
+def make_ssd(prefill_fraction=0.5, reduced_prefix=0, **overrides):
+    config = SsdConfig(
+        n_blocks=64,
+        pages_per_block=16,
+        page_size_bytes=4096,
+        gc_free_block_threshold=2,
+        initial_pe_cycles=6000,
+        **overrides,
+    )
+    prefill = int(config.logical_pages * prefill_fraction)
+    return Ssd(config, prefill_pages=prefill, reduced_prefix_pages=min(reduced_prefix, prefill))
+
+
+class TestPrefill:
+    def test_prefilled_pages_mapped(self):
+        ssd = make_ssd(0.5)
+        prefill = int(ssd.config.logical_pages * 0.5)
+        for lpn in (0, prefill - 1):
+            assert ssd.mode_of(lpn) is CellMode.NORMAL
+        assert ssd.mode_of(prefill) is None
+
+    def test_reduced_prefix(self):
+        ssd = make_ssd(0.5, reduced_prefix=20)
+        assert ssd.mode_of(0) is CellMode.REDUCED
+        assert ssd.mode_of(19) is CellMode.REDUCED
+        assert ssd.mode_of(20) is CellMode.NORMAL
+        assert ssd.reduced_logical_pages() == 20
+
+    def test_prefill_counts_not_charged_to_stats(self):
+        ssd = make_ssd(0.8)
+        assert ssd.stats.host_write_pages == 0
+        assert ssd.stats.erase_blocks == 0
+
+    def test_initial_ages(self):
+        config = SsdConfig(n_blocks=64, pages_per_block=16)
+        ages = np.full(100, 48.0)
+        ssd = Ssd(config, prefill_pages=100, initial_age_hours=ages)
+        info = ssd.read_info(5, now_us=0.0)
+        assert info.age_hours == pytest.approx(48.0)
+
+    def test_rejects_overlong_prefill(self):
+        config = SsdConfig(n_blocks=64, pages_per_block=16)
+        with pytest.raises(ConfigurationError):
+            Ssd(config, prefill_pages=config.logical_pages + 1)
+
+    def test_rejects_negative_ages(self):
+        config = SsdConfig(n_blocks=64, pages_per_block=16)
+        with pytest.raises(ConfigurationError):
+            Ssd(config, prefill_pages=10, initial_age_hours=-1.0)
+
+
+class TestReadInfo:
+    def test_unmapped_page_reads_fresh(self):
+        ssd = make_ssd(0.1)
+        info = ssd.read_info(ssd.config.logical_pages - 1, now_us=0.0)
+        assert info.mode is CellMode.NORMAL
+        assert info.age_hours == 0.0
+
+    def test_age_advances_with_time(self):
+        ssd = make_ssd(0.0)
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        info = ssd.read_info(3, now_us=2 * HOUR_US)
+        assert info.age_hours == pytest.approx(2.0)
+
+    def test_write_resets_age(self):
+        config = SsdConfig(n_blocks=64, pages_per_block=16)
+        ssd = Ssd(config, prefill_pages=10, initial_age_hours=500.0)
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        assert ssd.read_info(3, now_us=0.0).age_hours == pytest.approx(0.0)
+
+    def test_pe_cycles_reflect_initial_wear(self):
+        ssd = make_ssd(0.5)
+        assert ssd.read_info(0, now_us=0.0).pe_cycles == 6000.0
+
+    def test_lpn_bounds(self):
+        ssd = make_ssd(0.1)
+        with pytest.raises(ConfigurationError):
+            ssd.read_info(ssd.config.logical_pages, 0.0)
+
+
+class TestWritePath:
+    def test_overwrite_invalidates_and_remaps(self):
+        ssd = make_ssd(0.5)
+        before = ssd.stats.flash_program_pages
+        fg, bg = ssd.host_write(0, CellMode.NORMAL, now_us=0.0)
+        assert fg >= ssd.config.timing.program_us
+        assert ssd.stats.flash_program_pages == before + 1
+        assert ssd.mode_of(0) is CellMode.NORMAL
+
+    def test_write_into_reduced_mode(self):
+        ssd = make_ssd(0.5)
+        ssd.host_write(0, CellMode.REDUCED, now_us=0.0)
+        assert ssd.mode_of(0) is CellMode.REDUCED
+        assert ssd.reduced_logical_pages() == 1
+
+    def test_reduced_blocks_hold_fewer_pages(self):
+        ssd = make_ssd(0.0)
+        # Fill exactly one reduced block's worth of pages.
+        for lpn in range(ssd.config.reduced_pages_per_block + 1):
+            ssd.host_write(lpn, CellMode.REDUCED, now_us=0.0)
+        reduced_blocks = int((ssd._block_mode == 1).sum())
+        assert reduced_blocks == 2  # spilled into a second block at 12+1
+
+    def test_migration_preserves_age(self):
+        config = SsdConfig(n_blocks=64, pages_per_block=16)
+        ssd = Ssd(config, prefill_pages=10, initial_age_hours=300.0)
+        ssd.migrate(3, CellMode.REDUCED, now_us=0.0)
+        assert ssd.mode_of(3) is CellMode.REDUCED
+        assert ssd.read_info(3, now_us=0.0).age_hours == pytest.approx(300.0, rel=1e-6)
+
+    def test_migration_same_mode_is_free(self):
+        ssd = make_ssd(0.5)
+        assert ssd.migrate(0, CellMode.NORMAL, now_us=0.0) == (0.0, 0.0)
+
+    def test_migration_unmapped_rejected(self):
+        ssd = make_ssd(0.0)
+        with pytest.raises(FtlError):
+            ssd.migrate(5, CellMode.REDUCED, now_us=0.0)
+
+
+class TestGarbageCollection:
+    def test_gc_triggers_and_reclaims(self):
+        ssd = make_ssd(0.9)
+        rng = np.random.default_rng(0)
+        footprint = int(ssd.config.logical_pages * 0.9)
+        for _ in range(3000):
+            ssd.host_write(int(rng.integers(footprint)), CellMode.NORMAL, now_us=0.0)
+        assert ssd.stats.erase_blocks > 0
+        assert ssd.free_block_count() > ssd.config.gc_free_block_threshold
+        assert ssd.stats.write_amplification() > 1.0
+
+    def test_gc_preserves_mapping_integrity(self):
+        ssd = make_ssd(0.9)
+        rng = np.random.default_rng(1)
+        footprint = int(ssd.config.logical_pages * 0.9)
+        written = {}
+        for i in range(2000):
+            lpn = int(rng.integers(footprint))
+            ssd.host_write(lpn, CellMode.NORMAL, now_us=float(i))
+            written[lpn] = i
+        # every written page still maps to a valid physical page
+        for lpn in written:
+            ppn = int(ssd._l2p[lpn])
+            assert ppn >= 0
+            assert ssd._p2l[ppn] == lpn
+            assert ssd._page_valid[ppn]
+
+    def test_valid_counts_consistent(self):
+        ssd = make_ssd(0.9)
+        rng = np.random.default_rng(2)
+        footprint = int(ssd.config.logical_pages * 0.9)
+        for _ in range(1500):
+            ssd.host_write(int(rng.integers(footprint)), CellMode.NORMAL, now_us=0.0)
+        for block in range(ssd.config.n_blocks):
+            base = block * ssd.config.pages_per_block
+            actual = int(
+                ssd._page_valid[base : base + ssd.config.pages_per_block].sum()
+            )
+            assert actual == int(ssd._block_valid[block]), block
+
+    def test_gc_charges_background_work(self):
+        ssd = make_ssd(0.9)
+        rng = np.random.default_rng(3)
+        footprint = int(ssd.config.logical_pages * 0.9)
+        total_bg = 0.0
+        for _ in range(3000):
+            _, bg = ssd.host_write(int(rng.integers(footprint)), CellMode.NORMAL, 0.0)
+            total_bg += bg
+        assert total_bg > 0.0
+
+    def test_out_of_space_when_over_reduced(self):
+        """Writing the whole logical space in reduced mode cannot fit:
+        0.75 x 1.27 < 1 — the paper's capacity-loss tension."""
+        ssd = make_ssd(0.0, over_provisioning=0.1)
+        with pytest.raises(OutOfSpaceError):
+            for lpn in range(ssd.config.logical_pages):
+                ssd.host_write(lpn, CellMode.REDUCED, now_us=0.0)
+
+    def test_wear_tracked(self):
+        ssd = make_ssd(0.9)
+        rng = np.random.default_rng(4)
+        footprint = int(ssd.config.logical_pages * 0.9)
+        for _ in range(3000):
+            ssd.host_write(int(rng.integers(footprint)), CellMode.NORMAL, now_us=0.0)
+        assert ssd.max_pe_cycles() > 6000.0

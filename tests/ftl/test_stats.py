@@ -1,0 +1,41 @@
+"""Tests for the SSD statistics counters."""
+
+import pytest
+
+from repro.ftl.stats import SsdStats
+
+
+class TestStats:
+    def test_write_amplification(self):
+        stats = SsdStats(host_write_pages=100, flash_program_pages=100)
+        stats.gc_program_pages = 50
+        assert stats.write_amplification() == pytest.approx(1.5)
+
+    def test_write_amplification_no_writes(self):
+        assert SsdStats().write_amplification() == 0.0
+
+    def test_total_program_pages(self):
+        stats = SsdStats(
+            flash_program_pages=10, gc_program_pages=5, migration_program_pages=3
+        )
+        assert stats.total_program_pages == 18
+
+    def test_extra_level_histogram(self):
+        stats = SsdStats()
+        for levels in (0, 0, 2, 4):
+            stats.record_extra_levels(levels)
+        assert stats.extra_level_histogram == {0: 2, 2: 1, 4: 1}
+        assert stats.mean_extra_levels() == pytest.approx(1.5)
+
+    def test_mean_extra_levels_empty(self):
+        assert SsdStats().mean_extra_levels() == 0.0
+
+    def test_snapshot_keys(self):
+        snapshot = SsdStats().snapshot()
+        for key in (
+            "host_read_pages",
+            "write_amplification",
+            "erase_blocks",
+            "mean_extra_levels",
+        ):
+            assert key in snapshot

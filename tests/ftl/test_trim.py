@@ -1,0 +1,53 @@
+"""Tests for host TRIM support."""
+
+import numpy as np
+import pytest
+
+from repro.core.level_adjust import CellMode
+from repro.ftl.config import SsdConfig
+from repro.ftl.ssd import Ssd
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ssd():
+    config = SsdConfig(n_blocks=64, pages_per_block=16, gc_free_block_threshold=2)
+    return Ssd(config, prefill_pages=100, initial_age_hours=50.0)
+
+
+class TestTrim:
+    def test_trim_unmaps(self, ssd):
+        assert ssd.trim(5)
+        assert ssd.mode_of(5) is None
+        assert ssd.stats.trimmed_pages == 1
+
+    def test_trim_unmapped_is_noop(self, ssd):
+        assert not ssd.trim(ssd.config.logical_pages - 1)
+        assert ssd.stats.trimmed_pages == 0
+
+    def test_trim_resets_age(self, ssd):
+        ssd.trim(5)
+        info = ssd.read_info(5, now_us=0.0)
+        assert info.age_hours == 0.0
+
+    def test_trimmed_space_reclaimed_by_gc(self, ssd):
+        for lpn in range(100):
+            ssd.trim(lpn)
+        rng = np.random.default_rng(0)
+        # fill the drive: GC must be able to reuse the trimmed pages
+        for _ in range(3000):
+            ssd.host_write(int(rng.integers(200)), CellMode.NORMAL, now_us=0.0)
+        assert ssd.free_block_count() > 0
+
+    def test_rewrite_after_trim(self, ssd):
+        ssd.trim(5)
+        ssd.host_write(5, CellMode.REDUCED, now_us=0.0)
+        assert ssd.mode_of(5) is CellMode.REDUCED
+
+    def test_double_trim(self, ssd):
+        assert ssd.trim(5)
+        assert not ssd.trim(5)
+
+    def test_bounds(self, ssd):
+        with pytest.raises(ConfigurationError):
+            ssd.trim(ssd.config.logical_pages)

@@ -1,0 +1,54 @@
+"""Tests for the write-back buffer."""
+
+import pytest
+
+from repro.ftl.write_buffer import WriteBuffer
+from repro.errors import ConfigurationError
+
+
+class TestWriteBuffer:
+    def test_absorbs_until_full(self):
+        buf = WriteBuffer(2)
+        assert buf.write(1) is None
+        assert buf.write(2) is None
+        assert len(buf) == 2
+
+    def test_evicts_lru_when_full(self):
+        buf = WriteBuffer(2)
+        buf.write(1)
+        buf.write(2)
+        assert buf.write(3) == 1
+
+    def test_rewrite_refreshes_without_eviction(self):
+        buf = WriteBuffer(2)
+        buf.write(1)
+        buf.write(2)
+        assert buf.write(1) is None
+        assert buf.write(3) == 2  # 1 was refreshed, 2 is LRU
+
+    def test_read_hit_refreshes(self):
+        buf = WriteBuffer(2)
+        buf.write(1)
+        buf.write(2)
+        assert buf.read_hit(1)
+        assert buf.write(3) == 2
+
+    def test_read_miss(self):
+        buf = WriteBuffer(2)
+        assert not buf.read_hit(99)
+
+    def test_zero_capacity_passthrough(self):
+        buf = WriteBuffer(0)
+        assert buf.write(7) == 7
+        assert len(buf) == 0
+
+    def test_drain_lru_first(self):
+        buf = WriteBuffer(4)
+        for lpn in (3, 1, 2):
+            buf.write(lpn)
+        assert buf.drain() == [3, 1, 2]
+        assert len(buf) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(-1)

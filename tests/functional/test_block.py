@@ -1,0 +1,98 @@
+"""Tests for the bit-accurate functional block."""
+
+import numpy as np
+import pytest
+
+from repro.core.level_adjust import CellMode
+from repro.device.geometry import NandGeometry
+from repro.functional.block import FunctionalBlock
+from repro.errors import ConfigurationError, ProgramError
+
+
+@pytest.fixture
+def geometry():
+    return NandGeometry(wordlines_per_block=3, cells_per_wordline=64)
+
+
+def fill_block(block, rng):
+    pages = []
+    for offset in range(block.n_pages):
+        bits = rng.integers(0, 2, block.page_bits).astype(np.uint8)
+        block.program_page(offset, bits)
+        pages.append(bits)
+    return pages
+
+
+class TestGeometry:
+    def test_normal_page_count(self, geometry):
+        block = FunctionalBlock(geometry, CellMode.NORMAL)
+        assert block.n_pages == 3 * 4
+
+    def test_reduced_page_count_is_three_quarters(self, geometry):
+        normal = FunctionalBlock(geometry, CellMode.NORMAL)
+        reduced = FunctionalBlock(geometry, CellMode.REDUCED)
+        assert reduced.n_pages == normal.n_pages * 3 // 4
+
+    def test_page_bits_equal_across_modes(self, geometry):
+        assert (
+            FunctionalBlock(geometry, CellMode.NORMAL).page_bits
+            == FunctionalBlock(geometry, CellMode.REDUCED).page_bits
+        )
+
+    def test_slc_not_supported(self, geometry):
+        with pytest.raises(ConfigurationError):
+            FunctionalBlock(geometry, CellMode.SLC)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("mode", [CellMode.NORMAL, CellMode.REDUCED])
+    def test_full_block_roundtrip(self, geometry, rng, mode):
+        block = FunctionalBlock(geometry, mode)
+        pages = fill_block(block, rng)
+        for offset, bits in enumerate(pages):
+            assert np.array_equal(block.read_page(offset), bits), offset
+
+    def test_partial_program_reads_back(self, geometry, rng):
+        block = FunctionalBlock(geometry, CellMode.REDUCED)
+        bits = rng.integers(0, 2, block.page_bits).astype(np.uint8)
+        block.program_page(0, bits)
+        assert np.array_equal(block.read_page(0), bits)
+
+    def test_erase_and_reuse(self, geometry, rng):
+        block = FunctionalBlock(geometry, CellMode.NORMAL)
+        fill_block(block, rng)
+        block.erase()
+        assert block.pages_programmed == 0
+        pages = fill_block(block, rng)
+        assert np.array_equal(block.read_page(3), pages[3])
+
+
+class TestConstraints:
+    def test_sequential_program_enforced(self, geometry, rng):
+        block = FunctionalBlock(geometry, CellMode.NORMAL)
+        bits = rng.integers(0, 2, block.page_bits).astype(np.uint8)
+        with pytest.raises(ProgramError):
+            block.program_page(1, bits)
+
+    def test_unprogrammed_read_rejected(self, geometry):
+        block = FunctionalBlock(geometry, CellMode.NORMAL)
+        with pytest.raises(ConfigurationError):
+            block.read_page(0)
+
+    def test_offset_bounds(self, geometry, rng):
+        block = FunctionalBlock(geometry, CellMode.REDUCED)
+        fill_block(block, rng)
+        with pytest.raises(ConfigurationError):
+            block.read_page(block.n_pages)
+
+
+class TestDrift:
+    def test_drift_produces_bounded_bit_errors(self, geometry, rng):
+        block = FunctionalBlock(geometry, CellMode.REDUCED)
+        pages = fill_block(block, rng)
+        distorted = block.inject_drift(rng, downward_rate=0.02)
+        errors = sum(
+            int((block.read_page(i) != bits).sum()) for i, bits in enumerate(pages)
+        )
+        assert distorted > 0
+        assert 0 < errors <= 2 * distorted

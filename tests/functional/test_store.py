@@ -1,0 +1,65 @@
+"""Tests for the functional page store."""
+
+import numpy as np
+import pytest
+
+from repro.core.level_adjust import CellMode
+from repro.device.geometry import NandGeometry
+from repro.functional.store import FunctionalPageStore
+from repro.errors import ConfigurationError, ProgramError
+
+
+@pytest.fixture
+def store():
+    return FunctionalPageStore(
+        n_blocks=4, geometry=NandGeometry(wordlines_per_block=2, cells_per_wordline=64)
+    )
+
+
+class TestStore:
+    def test_lazy_block_creation(self, store, rng):
+        assert store.block(0) is None
+        bits = rng.integers(0, 2, store.page_bits).astype(np.uint8)
+        store.program_page(0, 0, bits, CellMode.NORMAL)
+        assert store.block_mode(0) is CellMode.NORMAL
+
+    def test_roundtrip_across_blocks(self, store, rng):
+        data = {}
+        for block_id, mode in ((0, CellMode.NORMAL), (1, CellMode.REDUCED)):
+            bits = rng.integers(0, 2, store.page_bits).astype(np.uint8)
+            store.program_page(block_id, 0, bits, mode)
+            data[block_id] = bits
+        for block_id, bits in data.items():
+            assert np.array_equal(store.read_page(block_id, 0), bits)
+
+    def test_mode_conflict_rejected(self, store, rng):
+        bits = rng.integers(0, 2, store.page_bits).astype(np.uint8)
+        store.program_page(0, 0, bits, CellMode.NORMAL)
+        with pytest.raises(ProgramError):
+            store.program_page(0, 1, bits, CellMode.REDUCED)
+
+    def test_erase_allows_mode_change(self, store, rng):
+        bits = rng.integers(0, 2, store.page_bits).astype(np.uint8)
+        store.program_page(0, 0, bits, CellMode.NORMAL)
+        store.erase_block(0)
+        store.program_page(0, 0, bits, CellMode.REDUCED)
+        assert store.block_mode(0) is CellMode.REDUCED
+
+    def test_pages_per_block_by_mode(self, store):
+        assert store.pages_per_block(CellMode.REDUCED) == (
+            store.pages_per_block(CellMode.NORMAL) * 3 // 4
+        )
+
+    def test_reading_unknown_block_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.read_page(2, 0)
+
+    def test_block_bounds(self, store):
+        with pytest.raises(ConfigurationError):
+            store.block(4)
+
+    def test_drift_spans_blocks(self, store, rng):
+        for block_id in (0, 1):
+            bits = rng.integers(0, 2, store.page_bits).astype(np.uint8)
+            store.program_page(block_id, 0, bits, CellMode.NORMAL)
+        assert store.inject_drift(rng, downward_rate=0.3) > 0

@@ -1,0 +1,52 @@
+"""Tests for simulation result aggregation."""
+
+import pytest
+
+from repro.sim.results import SimulationResult
+from repro.errors import ConfigurationError
+
+
+def make_result():
+    result = SimulationResult("flexlevel", "fin-2")
+    for value in (100.0, 200.0, 300.0):
+        result.record(False, value)
+    for value in (50.0, 150.0):
+        result.record(True, value)
+    return result
+
+
+class TestAggregates:
+    def test_counts(self):
+        result = make_result()
+        assert result.n_requests == 5
+
+    def test_means(self):
+        result = make_result()
+        assert result.mean_read_response_us() == pytest.approx(200.0)
+        assert result.mean_write_response_us() == pytest.approx(100.0)
+        assert result.mean_response_us() == pytest.approx(160.0)
+
+    def test_percentile(self):
+        result = make_result()
+        assert result.percentile_response_us(100) == pytest.approx(300.0)
+        assert result.percentile_response_us(0) == pytest.approx(50.0)
+
+    def test_empty_result(self):
+        result = SimulationResult("baseline", "none")
+        assert result.mean_response_us() == 0.0
+        assert result.percentile_response_us(99) == 0.0
+
+    def test_summary_keys(self):
+        result = make_result()
+        result.stats = {"erase_blocks": 3}
+        summary = result.summary()
+        assert summary["n_requests"] == 5
+        assert summary["stats.erase_blocks"] == 3
+
+    def test_rejects_negative_response(self):
+        with pytest.raises(ConfigurationError):
+            make_result().record(False, -1.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ConfigurationError):
+            make_result().percentile_response_us(101)

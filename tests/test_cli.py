@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.traces import SyntheticWorkload, write_trace_csv
+
+
+class TestCli:
+    def test_simulate_runs(self, capsys):
+        code = main(["simulate", "fin-2", "--requests", "1500", "--blocks", "128"])
+        captured = capsys.readouterr()
+        assert code == 0
+        for name in ("baseline", "ldpc-in-ssd", "flexlevel"):
+            assert name in captured.out
+
+    def test_simulate_rejects_unknown_workload(self, capsys):
+        assert main(["simulate", "nope", "--requests", "10"]) == 2
+
+    def test_profile_trace(self, tmp_path, capsys):
+        workload = SyntheticWorkload(
+            name="cli", footprint_pages=500, read_fraction=0.6
+        )
+        path = tmp_path / "t.csv"
+        write_trace_csv(path, workload.generate(300, seed=1))
+        assert main(["profile", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "read_fraction" in captured.out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,50 @@
+"""Tests for unit helpers and the error hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_capacity_constants(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+
+    def test_time_constants(self):
+        assert units.HOUR_US == 3_600_000_000.0
+        assert units.MONTH == 720.0
+        assert units.WEEK == 168.0
+
+    def test_hours_us_roundtrip(self):
+        assert units.us_to_hours(units.hours_to_us(5.5)) == pytest.approx(5.5)
+
+    def test_bytes_to_pages_rounds_up(self):
+        assert units.bytes_to_pages(1, 4096) == 1
+        assert units.bytes_to_pages(4096, 4096) == 1
+        assert units.bytes_to_pages(4097, 4096) == 2
+        assert units.bytes_to_pages(0, 4096) == 0
+
+    def test_bytes_to_pages_validation(self):
+        with pytest.raises(ValueError):
+            units.bytes_to_pages(-1, 4096)
+        with pytest.raises(ValueError):
+            units.bytes_to_pages(10, 0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.ConfigurationError, errors.ReproError)
+        assert issubclass(errors.ProgramError, errors.DeviceError)
+        assert issubclass(errors.DecodingFailure, errors.EccError)
+        assert issubclass(errors.OutOfSpaceError, errors.FtlError)
+        assert issubclass(errors.TraceFormatError, errors.ReproError)
+
+    def test_decoding_failure_carries_iterations(self):
+        failure = errors.DecodingFailure("gave up", iterations=30)
+        assert failure.iterations == 30
+        assert errors.DecodingFailure("gave up").iterations is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OutOfSpaceError("full")

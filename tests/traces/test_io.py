@@ -1,0 +1,62 @@
+"""Tests for trace CSV round-tripping."""
+
+import pytest
+
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.schema import TraceRecord
+from repro.errors import TraceFormatError
+
+
+@pytest.fixture
+def sample_records():
+    return [
+        TraceRecord(0.0, 100, 2, False),
+        TraceRecord(1500.5, 4, 1, True),
+        TraceRecord(2000.0, 0, 8, False),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, sample_records):
+        path = tmp_path / "trace.csv"
+        count = write_trace_csv(path, sample_records)
+        assert count == 3
+        loaded = list(read_trace_csv(path))
+        assert loaded == sample_records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_trace_csv(path, [])
+        assert list(read_trace_csv(path)) == []
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            list(read_trace_csv(path))
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace_csv(path))
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp_us,lpn,n_pages,op\n1.0,2,3\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace_csv(path))
+
+    def test_bad_op(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp_us,lpn,n_pages,op\n1.0,2,3,X\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace_csv(path))
+
+    def test_bad_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp_us,lpn,n_pages,op\nfoo,2,3,R\n")
+        with pytest.raises(TraceFormatError):
+            list(read_trace_csv(path))

@@ -1,0 +1,29 @@
+"""Tests for the trace record format."""
+
+import pytest
+
+from repro.traces.schema import TraceRecord
+from repro.errors import TraceFormatError
+
+
+class TestTraceRecord:
+    def test_pages_range(self):
+        record = TraceRecord(0.0, 10, 3, False)
+        assert list(record.pages()) == [10, 11, 12]
+        assert record.last_lpn == 12
+
+    def test_single_page(self):
+        record = TraceRecord(5.0, 0, 1, True)
+        assert list(record.pages()) == [0]
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(-1.0, 0, 1, False)
+
+    def test_rejects_negative_lpn(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0.0, -1, 1, False)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0.0, 0, 0, False)

@@ -1,0 +1,66 @@
+"""Tests for trace profiling."""
+
+import pytest
+
+from repro.traces.schema import TraceRecord
+from repro.traces.stats import compare_to_spec, profile_trace
+from repro.traces.synthetic import SyntheticWorkload
+from repro.errors import ConfigurationError
+
+
+class TestProfile:
+    def test_basic_counts(self):
+        records = [
+            TraceRecord(0.0, 0, 2, False),
+            TraceRecord(100.0, 2, 1, False),  # sequential continuation
+            TraceRecord(200.0, 50, 1, True),
+        ]
+        profile = profile_trace(records)
+        assert profile.n_requests == 3
+        assert profile.read_fraction == pytest.approx(2 / 3)
+        assert profile.footprint_pages == 4
+        assert profile.mean_request_pages == pytest.approx(4 / 3)
+        assert profile.mean_interarrival_us == pytest.approx(100.0)
+        assert profile.sequential_fraction == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_trace([])
+
+    def test_top_share_concentration(self):
+        hot = [TraceRecord(float(i), 7, 1, False) for i in range(95)]
+        cold = [TraceRecord(float(100 + i), 100 + i, 1, False) for i in range(5)]
+        profile = profile_trace(hot + cold)
+        assert profile.read_top5pct_share > 0.9
+
+    def test_summary_keys(self):
+        profile = profile_trace([TraceRecord(0.0, 0, 1, False)])
+        assert set(profile.summary()) >= {
+            "read_fraction", "footprint_pages", "sequential_fraction",
+        }
+
+
+class TestGeneratorConsistency:
+    """The generator must produce what its spec says — measured here."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return SyntheticWorkload(
+            name="check",
+            footprint_pages=3000,
+            read_fraction=0.7,
+            read_zipf_s=1.0,
+            write_zipf_s=0.4,
+            mean_request_pages=2.0,
+            sequential_fraction=0.15,
+            mean_interarrival_us=800.0,
+        )
+
+    def test_spec_round_trip(self, workload):
+        profile = profile_trace(workload.generate(8000, seed=9))
+        for name, (measured, spec) in compare_to_spec(profile, workload).items():
+            assert measured == pytest.approx(spec, rel=0.15), name
+
+    def test_read_skew_exceeds_write_skew(self, workload):
+        profile = profile_trace(workload.generate(8000, seed=9))
+        assert profile.read_top5pct_share > profile.write_top5pct_share

@@ -1,0 +1,49 @@
+"""Tests for the seven paper workload presets."""
+
+import pytest
+
+from repro.traces.workloads import PAPER_WORKLOADS, make_workload, workload_names
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_all_seven_present(self):
+        assert workload_names() == (
+            "fin-2", "web-1", "web-2", "prj-1", "prj-2", "win-1", "win-2",
+        )
+        assert set(PAPER_WORKLOADS) == set(workload_names())
+
+    def test_web_traces_read_dominant(self):
+        for name in ("web-1", "web-2"):
+            assert PAPER_WORKLOADS[name].read_fraction > 0.95
+
+    def test_prj_traces_most_write_heavy(self):
+        prj_reads = min(
+            PAPER_WORKLOADS["prj-1"].read_fraction,
+            PAPER_WORKLOADS["prj-2"].read_fraction,
+        )
+        for name in ("fin-2", "web-1", "web-2", "win-1"):
+            assert PAPER_WORKLOADS[name].read_fraction > prj_reads
+
+    def test_fin_is_oltp_like(self):
+        preset = PAPER_WORKLOADS["fin-2"]
+        assert preset.mean_request_pages < 2.0  # small requests
+        assert preset.read_zipf_s >= 0.9  # strongly skewed
+
+    def test_footprints_fit_logical_space(self):
+        for preset in PAPER_WORKLOADS.values():
+            assert 0.0 < preset.footprint_fraction < 1.0
+
+    def test_make_workload_scales_footprint(self):
+        workload = make_workload("fin-2", logical_pages=10_000)
+        expected = int(PAPER_WORKLOADS["fin-2"].footprint_fraction * 10_000)
+        assert workload.footprint_pages == expected
+
+    def test_make_workload_generates(self):
+        workload = make_workload("win-1", logical_pages=5000)
+        records = workload.generate(100, seed=0)
+        assert len(records) == 100
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("fin-9", logical_pages=1000)
