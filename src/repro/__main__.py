@@ -33,7 +33,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.baselines import SystemConfig, build_system, system_names
     from repro.core.level_adjust import LevelAdjustPolicy
     from repro.ftl import SsdConfig
-    from repro.sim import SimulationEngine
+    from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
     from repro.traces import make_workload, workload_names
 
     if args.workload not in workload_names():
@@ -45,6 +45,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, ssd_config.logical_pages)
     trace = workload.generate(args.requests, seed=args.seed)
     policy = LevelAdjustPolicy()
+    n_channels = args.channels
+    if n_channels is None:
+        n_channels = 4 if args.engine == "des" else 1
     rows = []
     for name in system_names():
         config = SystemConfig(
@@ -56,23 +59,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             hotness_window=max(64, min(4096, args.requests // 8)),
         )
         system = build_system(name, config, level_adjust=policy)
-        result = SimulationEngine(system, warmup_fraction=0.25).run(
-            trace, args.workload
-        )
-        rows.append(
-            (
-                name,
-                result.mean_response_us(),
-                result.stats["mean_extra_levels"],
-                result.stats["write_amplification"],
-                int(result.stats["erase_blocks"]),
+        if args.engine == "des":
+            engine = DesSimulationEngine(
+                system,
+                warmup_fraction=0.25,
+                n_channels=n_channels,
+                retry_model=None if args.no_retry else ReadRetryModel(),
             )
-        )
-    print(
-        format_table(
-            ["system", "mean response (us)", "extra levels", "WA", "erases"], rows
-        )
-    )
+        else:
+            engine = SimulationEngine(
+                system, warmup_fraction=0.25, n_channels=n_channels
+            )
+        result = engine.run(trace, args.workload)
+        row = [
+            name,
+            result.mean_response_us(),
+            result.stats["mean_extra_levels"],
+            result.stats["write_amplification"],
+            int(result.stats["erase_blocks"]),
+        ]
+        if args.engine == "des":
+            percentiles = result.percentiles()
+            utilization = result.channel_utilization()
+            row[2:2] = [
+                percentiles["p50_response_us"],
+                percentiles["p95_response_us"],
+                percentiles["p99_response_us"],
+                sum(utilization) / len(utilization),
+            ]
+        rows.append(tuple(row))
+    headers = ["system", "mean response (us)"]
+    if args.engine == "des":
+        headers += ["p50", "p95", "p99", "mean util"]
+    headers += ["extra levels", "WA", "erases"]
+    print(format_table(headers, rows))
     return 0
 
 
@@ -100,6 +120,24 @@ def main(argv: list[str] | None = None) -> int:
     simulate.add_argument("--blocks", type=int, default=256)
     simulate.add_argument("--pe", type=float, default=6000.0)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="queue",
+        help="queue: legacy single-queue model; des: discrete-event "
+        "multi-channel model with read retry and percentile metrics",
+    )
+    simulate.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="flash channels (default: 1 for queue, 4 for des)",
+    )
+    simulate.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable the DES read-retry model",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     profile = commands.add_parser("profile", help="profile a CSV trace")

@@ -15,6 +15,7 @@ from repro.baselines.systems import (
     FlexLevelSystem,
     LdpcInSsdSystem,
     LevelAdjustOnlySystem,
+    ReadServiceBreakdown,
     StorageSystem,
     SystemConfig,
     build_system,
@@ -33,6 +34,7 @@ __all__ = [
     "FlexLevelSystem",
     "LdpcInSsdSystem",
     "LevelAdjustOnlySystem",
+    "ReadServiceBreakdown",
     "StorageSystem",
     "SystemConfig",
     "build_system",

@@ -102,6 +102,60 @@ class SystemConfig:
         return int(self.reduced_pool_fraction * self.ssd.logical_pages)
 
 
+@dataclass(frozen=True)
+class ReadServiceBreakdown:
+    """Per-read sensing-round decomposition of a host read's service.
+
+    The legacy queue engine only needs the scalar sum
+    (:attr:`service_us`); the discrete-event simulator uses the rounds:
+    the first round is the read at the sensing precision the system
+    *provisioned* (tracked levels, or the worst case for the baseline),
+    and each entry of :attr:`retry_rounds_us` is the incremental cost of
+    escalating one more level when a decode fails (read retry).
+
+    Attributes
+    ----------
+    lpn:
+        Logical page read.
+    buffer_hit:
+        True when the write buffer answered; no flash sensing happened
+        and there is nothing to retry.
+    mode:
+        Cell mode the page was read from (None on buffer hits).
+    required_levels:
+        Extra sensing levels the tracking policy says the page needs.
+    provisioned_levels:
+        Extra levels the first sensing round actually used (>= required
+        for worst-case provisioning).
+    first_round_us:
+        Latency of the initial sense + transfer + decode round.
+    retry_rounds_us:
+        Incremental cost of each further escalation round available
+        above ``provisioned_levels``, up to the sensing ladder's cap.
+    post_read_us:
+        Extra foreground service charged after the read itself
+        (policy work on the critical path; normally zero).
+    raw_ber:
+        The page's raw BER — what a retry model turns into a
+        round-failure probability.
+    """
+
+    lpn: int
+    buffer_hit: bool
+    mode: CellMode | None
+    required_levels: int
+    provisioned_levels: int
+    first_round_us: float
+    retry_rounds_us: tuple[float, ...]
+    post_read_us: float
+    raw_ber: float
+
+    @property
+    def service_us(self) -> float:
+        """Retry-free service time (the legacy engine's scalar)."""
+        return self.first_round_us + self.post_read_us
+
+
 class StorageSystem(ABC):
     """Mechanism shared by all four systems; policy in the subclasses."""
 
@@ -125,20 +179,57 @@ class StorageSystem(ABC):
         )
         self.buffer = WriteBuffer(config.buffer_pages)
         self._pending_background_us = 0.0
+        self._retry_tails: dict[int, tuple[float, ...]] = {}
 
     # --- host interface ------------------------------------------------------------
 
     def serve_read_page(self, lpn: int, now_us: float) -> float:
         """Service time of a one-page host read."""
+        return self.read_page_breakdown(lpn, now_us).service_us
+
+    def read_page_breakdown(self, lpn: int, now_us: float) -> ReadServiceBreakdown:
+        """Serve a one-page host read, returning the sensing-round
+        breakdown instead of a single scalar latency.
+
+        Performs the same state transitions as :meth:`serve_read_page`
+        (buffer lookup, stats, post-read policy work) — call one or the
+        other per read, not both.
+        """
         if self.buffer.read_hit(lpn):
             self.ssd.stats.buffer_hits += 1
-            return self.config.ssd.timing.buffer_hit_us
+            return ReadServiceBreakdown(
+                lpn=lpn,
+                buffer_hit=True,
+                mode=None,
+                required_levels=0,
+                provisioned_levels=0,
+                first_round_us=self.config.ssd.timing.buffer_hit_us,
+                retry_rounds_us=(),
+                post_read_us=0.0,
+                raw_ber=0.0,
+            )
         info = self.ssd.read_info(lpn, now_us)
-        required = self.level_adjust.extra_levels(info.mode, info.pe_cycles, info.age_hours)
+        policy = self.level_adjust
+        hits0, misses0 = policy.cache_hits, policy.cache_misses
+        required = policy.extra_levels(info.mode, info.pe_cycles, info.age_hours)
+        ber = policy.ber(info.mode, info.pe_cycles, info.age_hours)
+        self.ssd.stats.ber_cache_hits += policy.cache_hits - hits0
+        self.ssd.stats.ber_cache_misses += policy.cache_misses - misses0
         self.ssd.stats.record_extra_levels(required)
-        latency = self._read_latency(required, info.mode)
-        latency += self._after_read(lpn, info.mode, required, now_us)
-        return latency
+        provisioned = self._provisioned_levels(required, info.mode)
+        first_round = self._read_latency(required, info.mode)
+        post_read = self._after_read(lpn, info.mode, required, now_us)
+        return ReadServiceBreakdown(
+            lpn=lpn,
+            buffer_hit=False,
+            mode=info.mode,
+            required_levels=required,
+            provisioned_levels=provisioned,
+            first_round_us=first_round,
+            retry_rounds_us=self._retry_tail(provisioned),
+            post_read_us=post_read,
+            raw_ber=ber,
+        )
 
     def serve_write_page(self, lpn: int, now_us: float) -> float:
         """Service time of a one-page host write (write-back buffered).
@@ -176,9 +267,28 @@ class StorageSystem(ABC):
     def write_mode(self, lpn: int) -> CellMode:
         """Cell mode a flushed page is written in."""
 
+    def _provisioned_levels(self, required_levels: int, mode: CellMode) -> int:
+        """Extra sensing levels the first read round is issued at."""
+        return required_levels
+
     def _read_latency(self, required_levels: int, mode: CellMode) -> float:
         """Read latency given the page's required sensing levels."""
-        return self.latency.read_latency_us(required_levels)
+        return self.latency.read_latency_us(
+            self._provisioned_levels(required_levels, mode)
+        )
+
+    def _retry_tail(self, provisioned_levels: int) -> tuple[float, ...]:
+        """Incremental retry-round costs above ``provisioned_levels``."""
+        tail = self._retry_tails.get(provisioned_levels)
+        if tail is None:
+            tail = tuple(
+                self.latency.retry_increment_us(level)
+                for level in range(
+                    provisioned_levels + 1, self.level_adjust.sensing.max_levels + 1
+                )
+            )
+            self._retry_tails[provisioned_levels] = tail
+        return tail
 
     def _after_read(
         self, lpn: int, mode: CellMode, required_levels: int, now_us: float
@@ -206,8 +316,8 @@ class BaselineSystem(StorageSystem):
     def write_mode(self, lpn: int) -> CellMode:
         return CellMode.NORMAL
 
-    def _read_latency(self, required_levels: int, mode: CellMode) -> float:
-        return self.latency.read_latency_us(max(self.worst_levels, required_levels))
+    def _provisioned_levels(self, required_levels: int, mode: CellMode) -> int:
+        return max(self.worst_levels, required_levels)
 
 
 class LdpcInSsdSystem(StorageSystem):

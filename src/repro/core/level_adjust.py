@@ -94,30 +94,51 @@ class LevelAdjustPolicy:
         self.age_grid = tuple(age_grid_hours)
         self.pe_bucket = pe_bucket
         self._ber_cache: dict[tuple[CellMode, int, float], float] = {}
+        self._levels_cache: dict[tuple[CellMode, int, float], int] = {}
+        #: Bucket-grid cache hits / misses (the trace simulators copy
+        #: per-run deltas of these into :class:`~repro.ftl.stats.SsdStats`).
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
 
     # --- queries ----------------------------------------------------------------
 
     def ber(self, mode: CellMode, pe_cycles: float, age_hours: float) -> float:
         """Raw BER of a page in ``mode`` (cached on the bucket grid)."""
-        pe_key = self._pe_key(pe_cycles)
-        age_key = self._age_key(age_hours)
-        cache_key = (mode, pe_key, age_key)
+        cache_key = self._cache_key(mode, pe_cycles, age_hours)
         cached = self._ber_cache.get(cache_key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
-        analyzer = self._analyzers[mode]
-        value = analyzer.bit_error_rate(
-            pe_cycles=float(pe_key),
-            t_hours=age_key,
-            include_c2c=self.include_c2c,
-            include_retention=True,
-        ).total
-        self._ber_cache[cache_key] = value
-        return value
+        self.cache_misses += 1
+        return self._evaluate_ber(cache_key)
 
     def extra_levels(self, mode: CellMode, pe_cycles: float, age_hours: float) -> int:
-        """Extra soft-sensing levels a read of the page requires."""
-        return self.sensing.required_levels(self.ber(mode, pe_cycles, age_hours))
+        """Extra soft-sensing levels a read of the page requires.
+
+        Memoized end to end on the same (mode, P/E bucket, age bucket)
+        grid as :meth:`ber`, so the per-read hot path of the trace
+        simulators is one dictionary lookup — no distribution integrals,
+        no ladder walk.
+        """
+        cache_key = self._cache_key(mode, pe_cycles, age_hours)
+        cached = self._levels_cache.get(cache_key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        ber = self._ber_cache.get(cache_key)
+        if ber is None:
+            ber = self._evaluate_ber(cache_key)
+        levels = self.sensing.required_levels(ber)
+        self._levels_cache[cache_key] = levels
+        return levels
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of BER / sensing-level queries answered from cache."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
 
     def should_reduce(self, pe_cycles: float, age_hours: float) -> bool:
         """True when a normal-state page would need extra sensing levels
@@ -131,6 +152,23 @@ class LevelAdjustPolicy:
         return max(normal - reduced, 0)
 
     # --- internals ------------------------------------------------------------------
+
+    def _cache_key(
+        self, mode: CellMode, pe_cycles: float, age_hours: float
+    ) -> tuple[CellMode, int, float]:
+        return (mode, self._pe_key(pe_cycles), self._age_key(age_hours))
+
+    def _evaluate_ber(self, cache_key: tuple[CellMode, int, float]) -> float:
+        mode, pe_key, age_key = cache_key
+        analyzer = self._analyzers[mode]
+        value = analyzer.bit_error_rate(
+            pe_cycles=float(pe_key),
+            t_hours=age_key,
+            include_c2c=self.include_c2c,
+            include_retention=True,
+        ).total
+        self._ber_cache[cache_key] = value
+        return value
 
     def _pe_key(self, pe_cycles: float) -> int:
         if pe_cycles < 0:

@@ -83,6 +83,22 @@ class ReadLatencyModel:
         """Latency relative to a zero-extra-level read."""
         return self.read_latency_us(extra_levels) / self.base_read_us
 
+    def retry_increment_us(self, level: int) -> float:
+        """Incremental cost of one read-retry round that escalates the
+        sensing precision from ``level - 1`` to ``level`` extra levels.
+
+        The retry re-senses only the one additional reference voltage,
+        but must re-transfer every comparison bitmap accumulated so far
+        and re-run the (now softer) decode.
+        """
+        if level < 1:
+            raise ConfigurationError(f"retry level must be >= 1, got {level}")
+        return (
+            self.sense_us * self.sense_per_level
+            + self.transfer_us * (1.0 + self.transfer_per_level * level)
+            + self.decode_us * (1.0 + self.decode_per_level * level)
+        )
+
     def progressive_latency_us(self, required_levels: int) -> float:
         """Total latency of a *progressive* read (LDPC-in-SSD style,
         Zhao et al. FAST'13) that retries with one more level per
@@ -96,9 +112,5 @@ class ReadLatencyModel:
             raise ConfigurationError(f"negative required levels: {required_levels}")
         total = self.read_latency_us(0)
         for level in range(1, required_levels + 1):
-            total += (
-                self.sense_us * self.sense_per_level
-                + self.transfer_us * (1.0 + self.transfer_per_level * level)
-                + self.decode_us * (1.0 + self.decode_per_level * level)
-            )
+            total += self.retry_increment_us(level)
         return total

@@ -52,3 +52,8 @@ class OutOfSpaceError(FtlError):
 
 class TraceFormatError(ReproError):
     """A trace file or record could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """A simulation engine violated one of its own invariants
+    (non-monotone virtual time, lost or double-serviced operations)."""

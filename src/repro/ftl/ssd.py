@@ -167,6 +167,25 @@ class Ssd:
                 supply += self._usable_pages_by_mode(_INT_TO_MODE[int(mode)])
         return supply
 
+    def channel_of(self, lpn: int, n_channels: int) -> int:
+        """Channel a read/program of this logical page lands on.
+
+        Blocks stripe round-robin across channels (a block lives on one
+        die, a die hangs off one channel), so the routing key is the
+        page's *physical* block — two logical neighbours written at
+        different times can sit on different channels, and a page's
+        channel changes when GC or migration relocates it.  Unmapped
+        pages have no physical home yet; they route by LPN so the
+        dispatcher still spreads them.
+        """
+        self._check_lpn(lpn)
+        if n_channels < 1:
+            raise ConfigurationError(f"need at least one channel, got {n_channels}")
+        ppn = self._l2p[lpn]
+        if ppn == _FREE:
+            return lpn % n_channels
+        return (int(ppn) // self.config.pages_per_block) % n_channels
+
     def max_pe_cycles(self) -> float:
         """Highest per-block P/E count (initial wear + simulated erases)."""
         return self.config.initial_pe_cycles + float(self._block_erase.max())

@@ -26,6 +26,8 @@ class SsdStats:
     trimmed_pages: int = 0
     promotions: int = 0
     demotions: int = 0
+    ber_cache_hits: int = 0
+    ber_cache_misses: int = 0
     extra_level_histogram: dict[int, int] = field(default_factory=dict)
 
     def record_extra_levels(self, levels: int) -> None:
@@ -46,6 +48,14 @@ class SsdStats:
         if self.host_write_pages == 0:
             return 0.0
         return self.total_program_pages / self.host_write_pages
+
+    def ber_cache_hit_rate(self) -> float:
+        """Fraction of device-model (BER / sensing-level) queries served
+        from the bucket-grid cache during this run."""
+        total = self.ber_cache_hits + self.ber_cache_misses
+        if total == 0:
+            return 0.0
+        return self.ber_cache_hits / total
 
     def mean_extra_levels(self) -> float:
         """Average extra sensing levels over all flash reads."""
@@ -72,6 +82,9 @@ class SsdStats:
             "trimmed_pages": self.trimmed_pages,
             "promotions": self.promotions,
             "demotions": self.demotions,
+            "ber_cache_hits": self.ber_cache_hits,
+            "ber_cache_misses": self.ber_cache_misses,
+            "ber_cache_hit_rate": self.ber_cache_hit_rate(),
             "write_amplification": self.write_amplification(),
             "mean_extra_levels": self.mean_extra_levels(),
         }

@@ -1,6 +1,22 @@
-"""Trace-driven simulation engine and result aggregation."""
+"""Trace-driven simulation engines and result aggregation.
+
+Two engines share the result types:
+
+* :class:`SimulationEngine` — the legacy single-queue model (fast,
+  means-oriented).
+* :class:`~repro.sim.des.DesSimulationEngine` — the discrete-event
+  multi-channel model with read retry (tail-latency-oriented).
+"""
 
 from repro.sim.engine import SimulationEngine
-from repro.sim.results import SimulationResult
+from repro.sim.results import DesSimulationResult, SimulationResult
+from repro.sim.des import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
 
-__all__ = ["SimulationEngine", "SimulationResult"]
+__all__ = [
+    "SimulationEngine",
+    "SimulationResult",
+    "DesSimulationEngine",
+    "DesSimulationResult",
+    "ReadRetryConfig",
+    "ReadRetryModel",
+]

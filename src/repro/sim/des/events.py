@@ -1,0 +1,94 @@
+"""Event types and the virtual-time event heap of the DES engine.
+
+A discrete-event simulation is a priority queue of timestamped events
+popped in virtual-time order.  The heap enforces the core DES
+invariant — virtual time never runs backwards — and ties are broken by
+insertion order so simultaneous events (a completion and an arrival at
+the same microsecond) replay deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import SimulationError
+
+
+class EventKind(Enum):
+    """What happened at an event's timestamp."""
+
+    ARRIVAL = "arrival"
+    OP_COMPLETE = "op-complete"
+    REQUEST_COMPLETE = "request-complete"
+    GC_DRAIN = "gc-drain"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulation event.
+
+    Attributes
+    ----------
+    time_us:
+        Virtual time the event fires.
+    kind:
+        Event type.
+    request_index:
+        Trace index of the request this event belongs to (-1 for
+        channel-local events like GC drains).
+    channel:
+        Channel the event happened on (-1 for request-level events).
+    value_us:
+        Kind-specific payload: the response time for
+        ``REQUEST_COMPLETE``, the service time for ``OP_COMPLETE``, the
+        drained background work for ``GC_DRAIN``.
+    """
+
+    time_us: float
+    kind: EventKind
+    request_index: int = -1
+    channel: int = -1
+    value_us: float = 0.0
+
+
+@dataclass
+class EventHeap:
+    """Min-heap of events keyed on (virtual time, insertion order).
+
+    :meth:`pop` raises :class:`~repro.errors.SimulationError` if an
+    event would move virtual time backwards — the invariant every DES
+    conservation test leans on.
+    """
+
+    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
+    _sequence: int = 0
+    now_us: float = 0.0
+    popped: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Schedule an event; it may not precede the current time."""
+        if event.time_us < self.now_us:
+            raise SimulationError(
+                f"event {event.kind.value} scheduled at {event.time_us} "
+                f"before current time {self.now_us}"
+            )
+        heapq.heappush(self._heap, (event.time_us, self._sequence, event))
+        self._sequence += 1
+
+    def pop(self) -> Event:
+        """Next event in virtual-time order; advances the clock."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event heap")
+        time_us, _, event = heapq.heappop(self._heap)
+        if time_us < self.now_us:
+            raise SimulationError(
+                f"virtual time moved backwards: {time_us} < {self.now_us}"
+            )
+        self.now_us = time_us
+        self.popped += 1
+        return event

@@ -78,6 +78,14 @@ class SimulationEngine:
             system_name=self.system.name, workload_name=workload_name
         )
         warmup_count = int(len(records) * self.warmup_fraction)
+        if warmup_count >= len(records):
+            # A fraction < 1 can still round up to everything (float
+            # representation near 1.0); fail loudly instead of
+            # returning an empty result full of NaN aggregates.
+            raise ConfigurationError(
+                f"warmup fraction {self.warmup_fraction} rounds to all "
+                f"{len(records)} requests — nothing would be recorded"
+            )
         device_free_at = 0.0
         backlog_us = 0.0
         footprint = self.system.config.footprint_pages

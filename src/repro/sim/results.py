@@ -65,6 +65,14 @@ class SimulationResult:
             return 0.0
         return float(np.percentile(all_responses, q))
 
+    def percentiles(self) -> dict[str, float]:
+        """The tail-latency triple (p50/p95/p99) over all requests."""
+        return {
+            "p50_response_us": self.percentile_response_us(50),
+            "p95_response_us": self.percentile_response_us(95),
+            "p99_response_us": self.percentile_response_us(99),
+        }
+
     def summary(self) -> dict[str, float]:
         """Flat summary for reports."""
         return {
@@ -74,4 +82,69 @@ class SimulationResult:
             "mean_write_response_us": self.mean_write_response_us(),
             "p99_response_us": self.percentile_response_us(99),
             **{f"stats.{k}": v for k, v in self.stats.items()},
+        }
+
+
+@dataclass
+class DesSimulationResult(SimulationResult):
+    """Results of a discrete-event (multi-channel) simulation run.
+
+    Extends the legacy result with what the single-queue engine cannot
+    measure: per-channel utilization and the read-retry round counts
+    that shape the latency tail.
+
+    Attributes
+    ----------
+    channel_busy_us:
+        Per-channel busy time (foreground page operations plus the
+        background-GC work drained on that channel), microseconds.
+    makespan_us:
+        Virtual time from the first arrival to the last completion.
+    retry_rounds_histogram:
+        ``{extra retry rounds: flash reads}`` — 0 means the first
+        sensing round decoded.
+    """
+
+    channel_busy_us: list[float] = field(default_factory=list)
+    makespan_us: float = 0.0
+    retry_rounds_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channel_busy_us)
+
+    def record_retry_rounds(self, extra_rounds: int) -> None:
+        """Count a flash read that needed ``extra_rounds`` retries."""
+        if extra_rounds < 0:
+            raise ConfigurationError(f"negative retry rounds: {extra_rounds}")
+        self.retry_rounds_histogram[extra_rounds] = (
+            self.retry_rounds_histogram.get(extra_rounds, 0) + 1
+        )
+
+    def channel_utilization(self) -> list[float]:
+        """Per-channel busy fraction of the run's makespan."""
+        if self.makespan_us <= 0.0:
+            return [0.0] * self.n_channels
+        return [busy / self.makespan_us for busy in self.channel_busy_us]
+
+    def mean_retry_rounds(self) -> float:
+        """Average retry rounds per flash read (0 with retries off)."""
+        total = sum(self.retry_rounds_histogram.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(k * v for k, v in self.retry_rounds_histogram.items())
+        return weighted / total
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary: the legacy fields plus the DES-only metrics."""
+        utilization = self.channel_utilization()
+        return {
+            **super().summary(),
+            **self.percentiles(),
+            "n_channels": self.n_channels,
+            "makespan_us": self.makespan_us,
+            "mean_channel_utilization": (
+                float(np.mean(utilization)) if utilization else 0.0
+            ),
+            "mean_retry_rounds": self.mean_retry_rounds(),
         }

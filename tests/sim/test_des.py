@@ -1,0 +1,247 @@
+"""Tests for the discrete-event multi-channel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.systems import ReadServiceBreakdown, SystemConfig, build_system
+from repro.ecc.ldpc.latency import ReadLatencyModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.ftl.config import SsdConfig
+from repro.sim import DesSimulationEngine, ReadRetryConfig, ReadRetryModel, SimulationEngine
+from repro.sim.des.events import Event, EventHeap, EventKind
+from repro.sim.des.scheduler import ChannelScheduler
+from repro.traces.schema import TraceRecord
+
+
+def tiny_system(name="ldpc-in-ssd", shared_policy=None, **overrides):
+    ssd = SsdConfig(
+        n_blocks=64, pages_per_block=16, gc_free_block_threshold=2, **overrides
+    )
+    config = SystemConfig(
+        ssd=ssd, footprint_pages=int(ssd.logical_pages * 0.4), buffer_pages=16
+    )
+    return build_system(name, config, level_adjust=shared_policy)
+
+
+def mixed_trace(n=200, period_us=500.0):
+    return [
+        TraceRecord(i * period_us, (i * 7) % 80, 1 + i % 3, i % 4 == 0)
+        for i in range(n)
+    ]
+
+
+class TestEventHeap:
+    def test_pops_in_time_order(self):
+        heap = EventHeap()
+        for t in (5.0, 1.0, 3.0):
+            heap.push(Event(time_us=t, kind=EventKind.ARRIVAL))
+        times = [heap.pop().time_us for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_virtual_time_monotone(self):
+        heap = EventHeap()
+        heap.push(Event(time_us=10.0, kind=EventKind.ARRIVAL))
+        heap.pop()
+        with pytest.raises(SimulationError):
+            heap.push(Event(time_us=5.0, kind=EventKind.ARRIVAL))
+
+    def test_ties_broken_by_insertion_order(self):
+        heap = EventHeap()
+        heap.push(Event(time_us=1.0, kind=EventKind.ARRIVAL, request_index=0))
+        heap.push(Event(time_us=1.0, kind=EventKind.ARRIVAL, request_index=1))
+        assert heap.pop().request_index == 0
+        assert heap.pop().request_index == 1
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventHeap().pop()
+
+
+class TestScheduler:
+    def test_backlog_drains_into_idle_gap(self):
+        scheduler = ChannelScheduler(n_channels=1, gc_granule_us=100.0)
+        scheduler.add_background(50.0)
+        report = scheduler.admit(0, arrival_us=1000.0)
+        # Plenty of idle time before the arrival: GC finishes, no stall.
+        assert report.drained_us == 50.0
+        assert report.stall_us == 0.0
+        assert report.start_us == 1000.0
+
+    def test_residual_backlog_stalls_one_granule(self):
+        scheduler = ChannelScheduler(n_channels=1, gc_granule_us=100.0)
+        scheduler.add_background(500.0)
+        report = scheduler.admit(0, arrival_us=50.0)
+        assert report.drained_us == 50.0
+        assert report.stall_us == 100.0
+        assert report.start_us == 150.0
+
+    def test_background_split_across_channels(self):
+        scheduler = ChannelScheduler(n_channels=4, gc_granule_us=100.0)
+        scheduler.add_background(400.0)
+        assert all(state.backlog_us == 100.0 for state in scheduler.channels)
+
+
+class TestConservation:
+    def test_every_request_serviced_exactly_once(self, shared_policy):
+        system = tiny_system(shared_policy=shared_policy)
+        trace = mixed_trace(150)
+        engine = DesSimulationEngine(
+            system, warmup_fraction=0.0, n_channels=4, retry_model=None
+        )
+        result = engine.run(trace, "t")
+        assert result.n_requests == len(trace)
+
+    def test_response_at_least_service(self, shared_policy):
+        """Sparse flash reads (no queueing, no buffer hits, no retries)
+        must each take at least one full base read."""
+        system = tiny_system(shared_policy=shared_policy)
+        trace = [TraceRecord(i * 1e6, i, 1, False) for i in range(20)]
+        engine = DesSimulationEngine(
+            system, warmup_fraction=0.0, n_channels=4, retry_model=None
+        )
+        result = engine.run(trace, "t")
+        base = ReadLatencyModel().base_read_us
+        assert all(r >= base for r in result.read_responses_us)
+        assert all(r >= 0 for r in result.write_responses_us)
+
+    def test_makespan_and_utilization_bounds(self, shared_policy):
+        system = tiny_system(shared_policy=shared_policy)
+        engine = DesSimulationEngine(system, warmup_fraction=0.0, n_channels=4)
+        result = engine.run(mixed_trace(200), "t")
+        assert result.makespan_us > 0
+        utilization = result.channel_utilization()
+        assert len(utilization) == 4
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in utilization)
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("name", ["baseline", "ldpc-in-ssd", "flexlevel"])
+    def test_single_channel_no_retry_matches_legacy(self, shared_policy, name):
+        trace = mixed_trace(300)
+        legacy = SimulationEngine(
+            tiny_system(name, shared_policy=shared_policy), warmup_fraction=0.1
+        ).run(trace, "t")
+        des = DesSimulationEngine(
+            tiny_system(name, shared_policy=shared_policy),
+            warmup_fraction=0.1,
+            n_channels=1,
+            retry_model=None,
+        ).run(trace, "t")
+        assert des.mean_response_us() == pytest.approx(
+            legacy.mean_response_us(), rel=1e-9
+        )
+        assert des.n_requests == legacy.n_requests
+        assert sorted(des.read_responses_us) == pytest.approx(
+            sorted(legacy.read_responses_us), rel=1e-9
+        )
+
+    def test_multi_channel_speeds_up_parallel_requests(self, shared_policy):
+        def mean(channels):
+            system = tiny_system(shared_policy=shared_policy)
+            trace = [TraceRecord(i * 200.0, (i * 11) % 80, 4, False) for i in range(100)]
+            engine = DesSimulationEngine(
+                system, warmup_fraction=0.0, n_channels=channels, retry_model=None
+            )
+            return engine.run(trace, "t").mean_response_us()
+
+        assert mean(4) < mean(1)
+
+
+class TestReadRetry:
+    def synthetic_breakdown(self, ber, provisioned=0, required=0, n_retries=6):
+        return ReadServiceBreakdown(
+            lpn=0,
+            buffer_hit=False,
+            mode=None,
+            required_levels=required,
+            provisioned_levels=provisioned,
+            first_round_us=100.0,
+            retry_rounds_us=tuple(10.0 for _ in range(n_retries)),
+            post_read_us=0.0,
+            raw_ber=ber,
+        )
+
+    def test_seeded_first_retry_rate(self):
+        config = ReadRetryConfig(ber_scale=25.0, failure_cap=0.5, seed=7)
+        model = ReadRetryModel(config)
+        ber = 8e-3  # p(first retry) = 25 * 8e-3 = 0.2
+        samples = [model.sample(self.synthetic_breakdown(ber))[0] for _ in range(4000)]
+        first_retry_rate = np.mean([s >= 1 for s in samples])
+        assert first_retry_rate == pytest.approx(0.2, abs=0.025)
+
+    def test_margin_reduces_failures(self):
+        model = ReadRetryModel(ReadRetryConfig(seed=3))
+        assert model.failure_probability(1e-2, 0) == pytest.approx(0.25)
+        assert model.failure_probability(1e-2, 2) == pytest.approx(0.0625)
+        assert model.failure_probability(1.0, 0) == 0.5  # capped
+
+    def test_buffer_hits_never_retry(self):
+        model = ReadRetryModel()
+        breakdown = ReadServiceBreakdown(
+            lpn=0, buffer_hit=True, mode=None, required_levels=0,
+            provisioned_levels=0, first_round_us=2.0, retry_rounds_us=(),
+            post_read_us=0.0, raw_ber=0.0,
+        )
+        assert model.sample(breakdown) == (0, 0.0)
+
+    def test_engine_retry_runs_are_seeded(self, shared_policy):
+        def histogram():
+            system = tiny_system(shared_policy=shared_policy)
+            engine = DesSimulationEngine(
+                system,
+                warmup_fraction=0.0,
+                n_channels=2,
+                retry_model=ReadRetryModel(ReadRetryConfig(seed=11)),
+            )
+            return engine.run(mixed_trace(300), "t").retry_rounds_histogram
+
+        first, second = histogram(), histogram()
+        assert first == second
+        assert sum(first.values()) > 0
+
+    def test_retries_stretch_the_tail(self, shared_policy):
+        """Retries on a worn device must raise p99 more than they can
+        lower it: compare identical runs with retries on and off."""
+        def p99(retry_model):
+            system = tiny_system(
+                "baseline", shared_policy=shared_policy, initial_pe_cycles=6000
+            )
+            engine = DesSimulationEngine(
+                system, warmup_fraction=0.0, n_channels=2, retry_model=retry_model
+            )
+            return engine.run(mixed_trace(400), "t").percentile_response_us(99)
+
+        assert p99(ReadRetryModel(ReadRetryConfig(seed=5))) >= p99(None)
+
+
+class TestValidationAndWarmup:
+    def test_bad_params_rejected(self, shared_policy):
+        system = tiny_system(shared_policy=shared_policy)
+        with pytest.raises(ConfigurationError):
+            DesSimulationEngine(system, warmup_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            DesSimulationEngine(system, n_channels=0)
+        with pytest.raises(ConfigurationError):
+            DesSimulationEngine(system, gc_granule_us=-1.0)
+
+    def test_empty_trace_rejected(self, shared_policy):
+        system = tiny_system(shared_policy=shared_policy)
+        with pytest.raises(ConfigurationError):
+            DesSimulationEngine(system).run([], "t")
+
+    def test_warmup_swallowing_all_requests_rejected(self, shared_policy):
+        system = tiny_system(shared_policy=shared_policy)
+        engine = DesSimulationEngine(system, warmup_fraction=0.0)
+        engine.warmup_fraction = 1.0  # float edge: rounds to everything
+        with pytest.raises(ConfigurationError, match="warmup"):
+            engine.run(mixed_trace(10), "t")
+
+    def test_ber_cache_hit_rate_reported(self, shared_policy):
+        system = tiny_system(shared_policy=shared_policy)
+        engine = DesSimulationEngine(system, warmup_fraction=0.0, n_channels=2)
+        result = engine.run(mixed_trace(200), "t")
+        assert "ber_cache_hit_rate" in result.stats
+        assert 0.0 <= result.stats["ber_cache_hit_rate"] <= 1.0
+        hits = result.stats["ber_cache_hits"]
+        misses = result.stats["ber_cache_misses"]
+        assert hits + misses > 0

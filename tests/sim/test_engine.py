@@ -79,6 +79,16 @@ class TestEngine:
         with pytest.raises(ConfigurationError):
             SimulationEngine(system, n_channels=0)
 
+    def test_warmup_swallowing_all_requests_rejected(self, shared_policy):
+        """A warmup fraction that rounds to the whole trace must fail
+        loudly, not return an empty result with NaN aggregates."""
+        system = tiny_system(shared_policy=shared_policy)
+        engine = SimulationEngine(system, warmup_fraction=0.0)
+        engine.warmup_fraction = 1.0  # float edge: rounds to everything
+        trace = [TraceRecord(i * 1000.0, i, 1, False) for i in range(10)]
+        with pytest.raises(ConfigurationError, match="warmup"):
+            engine.run(trace, "t")
+
     def test_stats_snapshot_attached(self, shared_policy):
         system = tiny_system(shared_policy=shared_policy)
         trace = [TraceRecord(i * 1000.0, i % 20, 1, True) for i in range(200)]
