@@ -7,7 +7,6 @@ capacity; the observed loss per workload is at most that bound.
 
 from conftest import write_table
 
-from repro.analysis.experiments import run_capacity_loss
 from repro.traces.workloads import workload_names
 
 

@@ -15,10 +15,11 @@ meaningful numbers).
 import os
 
 import numpy as np
-from conftest import write_table
+from conftest import write_manifest, write_table
 
 from repro.baselines.systems import SystemConfig, build_system, system_names
 from repro.ftl.config import SsdConfig
+from repro.obs import ManifestBuilder
 from repro.sim import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
 from repro.traces.workloads import make_workload, workload_names
 
@@ -52,6 +53,17 @@ def run_matrix(shared_policy):
 
 
 def test_des_tail_latency(benchmark, results_dir, shared_policy):
+    builder = ManifestBuilder.begin(
+        "bench_des_tail_latency",
+        {
+            "quick": QUICK,
+            "n_channels": N_CHANNELS,
+            "n_requests": N_REQUESTS,
+            "workloads": list(WORKLOADS),
+            "retry_seed": 2015,
+        },
+        seed=1,
+    )
     results = benchmark.pedantic(run_matrix, args=(shared_policy,), rounds=1, iterations=1)
 
     lines = [
@@ -86,6 +98,14 @@ def test_des_tail_latency(benchmark, results_dir, shared_policy):
     mean_ratio = float(np.mean(p99_ratios))
     lines.append(f"flexlevel p99 / baseline p99 (mean over workloads): {mean_ratio:.3f}")
     write_table(results_dir, "des_tail_latency", lines)
+
+    manifest_metrics = {"flexlevel_vs_baseline_p99_ratio": mean_ratio}
+    for (workload_name, system_name), result in results.items():
+        prefix = f"{workload_name}.{system_name}"
+        manifest_metrics[f"{prefix}.mean_response_us"] = result.mean_response_us()
+        for key, value in result.percentiles().items():
+            manifest_metrics[f"{prefix}.{key}"] = value
+    write_manifest(results_dir, "des_tail_latency", builder, manifest_metrics)
 
     # Every (workload, system) cell must have produced sane tail metrics.
     for result in results.values():

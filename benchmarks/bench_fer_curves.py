@@ -7,7 +7,6 @@ that the decoders are implemented correctly (BP >= min-sum >> hard).
 """
 
 import numpy as np
-import pytest
 from conftest import write_table
 
 from repro.ecc.ldpc.channel import NandReadChannel

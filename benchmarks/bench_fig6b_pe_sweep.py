@@ -6,7 +6,7 @@ from 21 % at 4000 P/E to 33 % at 6000 P/E.
 
 from conftest import write_table
 
-from repro.analysis.experiments import SystemExperimentConfig, run_fig6b
+from repro.analysis.experiments import SystemExperimentConfig
 
 
 def test_fig6b_pe_sweep(benchmark, results_dir, experiment_config, shared_policy):

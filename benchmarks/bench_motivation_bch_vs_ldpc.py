@@ -12,7 +12,6 @@ ECC is no longer sufficient."  Two measurements:
 """
 
 import numpy as np
-import pytest
 from conftest import write_table
 from scipy import stats
 

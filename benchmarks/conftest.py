@@ -35,6 +35,20 @@ def write_table(results_dir: Path, name: str, lines: list[str]) -> None:
     print(text)
 
 
+def write_manifest(results_dir: Path, name: str, builder, metrics=None, **extra):
+    """Persist a bench's run manifest next to its table.
+
+    ``builder`` is a :class:`repro.obs.ManifestBuilder` begun before
+    the measured run, so the manifest's wall time brackets it; the
+    manifest's ``config_hash`` makes ``*_manifest.json`` trajectories
+    comparable across PRs.
+    """
+    path = results_dir / f"{name}_manifest.json"
+    builder.finish(metrics=metrics, **extra).write(path)
+    print(f"manifest written to {path}")
+    return path
+
+
 @pytest.fixture(scope="session")
 def experiment_config() -> SystemExperimentConfig:
     """The standard system-experiment scale used by the figure benches."""

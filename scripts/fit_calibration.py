@@ -6,7 +6,6 @@ from repro.core import ReduceCodeCoding
 from repro.device import BerAnalyzer, C2cModel, normal_mlc_plan, reduced_plan
 from repro.device.retention import RetentionModel
 from repro.device.wear import WearModel
-from repro.device.voltages import VoltagePlan
 
 BASE = {
  (2000,24):0.000638,(2000,48):0.000715,(2000,168):0.00103,(2000,720):0.00184,

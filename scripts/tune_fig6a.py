@@ -1,5 +1,6 @@
 """Quick Fig-6a tuning sweep: all 7 workloads x 4 systems."""
-import sys, time
+import sys
+import time
 import numpy as np
 from repro.baselines import SystemConfig, build_system, system_names
 from repro.core.level_adjust import LevelAdjustPolicy

@@ -6,7 +6,12 @@ report
     Generate the full reproduction report (markdown).
 simulate
     Run the four storage systems on one paper workload and print the
-    comparison table.
+    comparison table (``--json`` for machine-readable rows plus a run
+    manifest).
+trace
+    Run one system through the DES engine with per-request tracing and
+    export the sampled span trees (Chrome trace JSON and/or JSONL)
+    with a run manifest.
 profile
     Profile a CSV trace file into workload statistics.
 """
@@ -14,7 +19,9 @@ profile
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -25,30 +32,60 @@ def _cmd_report(args: argparse.Namespace) -> int:
         forwarded.append("--fast")
     if args.output:
         forwarded.extend(["--output", args.output])
+    if args.manifest:
+        forwarded.extend(["--manifest", args.manifest])
     return report_main(forwarded)
+
+
+def _simulation_inputs(args: argparse.Namespace):
+    """The (ssd_config, workload, trace, n_channels) a run starts from."""
+    from repro.ftl import SsdConfig
+    from repro.traces import make_workload
+
+    ssd_config = SsdConfig(
+        n_blocks=args.blocks, pages_per_block=64, initial_pe_cycles=args.pe
+    )
+    workload = make_workload(args.workload, ssd_config.logical_pages)
+    trace = workload.generate(args.requests, seed=args.seed)
+    n_channels = args.channels
+    if n_channels is None:
+        n_channels = 4 if args.engine == "des" else 1
+    return ssd_config, workload, trace, n_channels
+
+
+def _run_config(args: argparse.Namespace, n_channels: int) -> dict:
+    """The manifest's JSON-serialisable run configuration."""
+    return {
+        "workload": args.workload,
+        "requests": args.requests,
+        "blocks": args.blocks,
+        "pe": args.pe,
+        "seed": args.seed,
+        "engine": args.engine,
+        "channels": n_channels,
+        "retry": not args.no_retry,
+    }
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.baselines import SystemConfig, build_system, system_names
     from repro.core.level_adjust import LevelAdjustPolicy
-    from repro.ftl import SsdConfig
+    from repro.obs import ManifestBuilder, MetricsRegistry
     from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
-    from repro.traces import make_workload, workload_names
+    from repro.traces import workload_names
 
     if args.workload not in workload_names():
         print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
         return 2
-    ssd_config = SsdConfig(
-        n_blocks=args.blocks, pages_per_block=64, initial_pe_cycles=args.pe
-    )
-    workload = make_workload(args.workload, ssd_config.logical_pages)
-    trace = workload.generate(args.requests, seed=args.seed)
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
     policy = LevelAdjustPolicy()
-    n_channels = args.channels
-    if n_channels is None:
-        n_channels = 4 if args.engine == "des" else 1
+    builder = ManifestBuilder.begin(
+        "repro simulate", _run_config(args, n_channels), seed=args.seed
+    )
     rows = []
+    json_rows = []
+    manifest_metrics: dict[str, float] = {}
     for name in system_names():
         config = SystemConfig(
             ssd=ssd_config,
@@ -59,16 +96,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             hotness_window=max(64, min(4096, args.requests // 8)),
         )
         system = build_system(name, config, level_adjust=policy)
+        registry = MetricsRegistry() if args.json else None
         if args.engine == "des":
             engine = DesSimulationEngine(
                 system,
                 warmup_fraction=0.25,
                 n_channels=n_channels,
                 retry_model=None if args.no_retry else ReadRetryModel(),
+                registry=registry,
             )
         else:
             engine = SimulationEngine(
-                system, warmup_fraction=0.25, n_channels=n_channels
+                system,
+                warmup_fraction=0.25,
+                n_channels=n_channels,
+                registry=registry,
             )
         result = engine.run(trace, args.workload)
         row = [
@@ -88,11 +130,114 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 sum(utilization) / len(utilization),
             ]
         rows.append(tuple(row))
+        if args.json:
+            json_rows.append({"system": name, "summary": result.summary()})
+            manifest_metrics.update(
+                {f"{name}.{k}": v for k, v in registry.snapshot().items()}
+            )
+    if args.json:
+        manifest = builder.finish(
+            metrics=manifest_metrics, systems=[r["system"] for r in json_rows]
+        )
+        manifest_path = manifest.write(
+            Path(args.out_dir)
+            / f"manifest_simulate_{args.workload}_{args.engine}.json"
+        )
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "engine": args.engine,
+                    "n_channels": n_channels,
+                    "rows": json_rows,
+                    "manifest": str(manifest_path),
+                },
+                indent=2,
+            )
+        )
+        return 0
     headers = ["system", "mean response (us)"]
     if args.engine == "des":
         headers += ["p50", "p95", "p99", "mean util"]
     headers += ["extra levels", "WA", "erases"]
     print(format_table(headers, rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.core.level_adjust import LevelAdjustPolicy
+    from repro.obs import ManifestBuilder, MetricsRegistry, Tracer
+    from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
+    from repro.traces import workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    if args.system not in system_names():
+        print(f"unknown system {args.system!r}; choose from {system_names()}")
+        return 2
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
+    config = SystemConfig(
+        ssd=ssd_config,
+        footprint_pages=workload.footprint_pages,
+        buffer_pages=512,
+        hotness_window=max(64, min(4096, args.requests // 8)),
+    )
+    system = build_system(args.system, config, level_adjust=LevelAdjustPolicy())
+    tracer = Tracer(
+        sample_every=args.sample_every, keep_slowest=args.keep_slowest
+    )
+    registry = MetricsRegistry()
+    if args.engine == "des":
+        engine = DesSimulationEngine(
+            system,
+            warmup_fraction=0.25,
+            n_channels=n_channels,
+            retry_model=None if args.no_retry else ReadRetryModel(),
+            registry=registry,
+            tracer=tracer,
+        )
+    else:
+        engine = SimulationEngine(
+            system,
+            warmup_fraction=0.25,
+            n_channels=n_channels,
+            registry=registry,
+            tracer=tracer,
+        )
+    run_config = _run_config(args, n_channels)
+    run_config["system"] = args.system
+    builder = ManifestBuilder.begin("repro trace", run_config, seed=args.seed)
+    result = engine.run(trace, args.workload)
+
+    out = Path(args.out or f"trace_{args.workload}_{args.system}.json")
+    written = []
+    if args.format in ("chrome", "both"):
+        tracer.write_chrome_trace(out)
+        written.append(out)
+    if args.format in ("jsonl", "both"):
+        jsonl_path = out.with_suffix(".jsonl")
+        tracer.write_jsonl(jsonl_path)
+        written.append(jsonl_path)
+    manifest = builder.finish(
+        metrics=registry.snapshot(),
+        artifacts=[str(path) for path in written],
+        traces_kept=len(tracer.spans),
+        requests_seen=tracer.n_seen,
+    )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    slowest = tracer.slowest()
+    print(f"{len(tracer.spans)} traces kept of {tracer.n_seen} requests")
+    if slowest:
+        print(
+            f"slowest request: {slowest[0].duration_us:.1f} us "
+            f"({len(slowest[0].find('sensing_round'))} sensing rounds)"
+        )
+    print(f"p99 response: {result.percentile_response_us(99):.1f} us")
+    for path in written:
+        print(f"trace written to {path}")
+    print(f"manifest written to {manifest_path}")
     return 0
 
 
@@ -105,6 +250,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """The simulation-scale arguments shared by simulate and trace."""
+    parser.add_argument("workload", nargs="?", default="fin-2")
+    parser.add_argument("--requests", type=int, default=30_000)
+    parser.add_argument("--blocks", type=int, default=256)
+    parser.add_argument("--pe", type=float, default=6000.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="flash channels (default: 1 for queue, 4 for des)",
+    )
+    parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable the DES read-retry model",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -112,14 +277,15 @@ def main(argv: list[str] | None = None) -> int:
     report = commands.add_parser("report", help="generate the reproduction report")
     report.add_argument("--fast", action="store_true")
     report.add_argument("--output", default=None)
+    report.add_argument(
+        "--manifest",
+        default=None,
+        help="also write a run manifest (provenance JSON) to this path",
+    )
     report.set_defaults(handler=_cmd_report)
 
     simulate = commands.add_parser("simulate", help="compare the four systems")
-    simulate.add_argument("workload", nargs="?", default="fin-2")
-    simulate.add_argument("--requests", type=int, default=30_000)
-    simulate.add_argument("--blocks", type=int, default=256)
-    simulate.add_argument("--pe", type=float, default=6000.0)
-    simulate.add_argument("--seed", type=int, default=1)
+    _add_run_arguments(simulate)
     simulate.add_argument(
         "--engine",
         choices=("queue", "des"),
@@ -128,17 +294,58 @@ def main(argv: list[str] | None = None) -> int:
         "multi-channel model with read retry and percentile metrics",
     )
     simulate.add_argument(
-        "--channels",
-        type=int,
-        default=None,
-        help="flash channels (default: 1 for queue, 4 for des)",
+        "--json",
+        action="store_true",
+        help="emit machine-readable per-system summaries plus a run "
+        "manifest instead of the table",
     )
     simulate.add_argument(
-        "--no-retry",
-        action="store_true",
-        help="disable the DES read-retry model",
+        "--out-dir",
+        default=".",
+        help="directory the --json run manifest is written to",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = commands.add_parser(
+        "trace", help="record and export sampled per-request traces"
+    )
+    _add_run_arguments(trace)
+    trace.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to trace (default: flexlevel)",
+    )
+    trace.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="des",
+        help="des exposes per-sensing-round spans; queue only "
+        "queue-wait/service",
+    )
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=100,
+        help="keep every N-th request's trace (0 disables head sampling)",
+    )
+    trace.add_argument(
+        "--keep-slowest",
+        type=int,
+        default=8,
+        help="always keep the K slowest requests' traces",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "both"),
+        default="chrome",
+        help="chrome: chrome://tracing JSON; jsonl: one span tree per line",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: trace_<workload>_<system>.json)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     profile = commands.add_parser("profile", help="profile a CSV trace")
     profile.add_argument("trace")

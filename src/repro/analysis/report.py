@@ -173,7 +173,17 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="smaller trace runs")
     parser.add_argument("--output", default=None, help="write the report to a file")
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="write a run manifest (provenance JSON) to this path",
+    )
     args = parser.parse_args(argv)
+    builder = None
+    if args.manifest:
+        from repro.obs import ManifestBuilder
+
+        builder = ManifestBuilder.begin("repro report", {"fast": args.fast})
     report = generate_report(fast=args.fast)
     if args.output:
         with open(args.output, "w") as handle:
@@ -181,6 +191,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"report written to {args.output}")
     else:
         print(report)
+    if builder is not None:
+        path = builder.finish(output=args.output).write(args.manifest)
+        print(f"manifest written to {path}")
     return 0
 
 

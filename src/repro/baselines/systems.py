@@ -253,6 +253,13 @@ class StorageSystem(ABC):
         self._pending_background_us = 0.0
         return pending
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the system's counters into a shared
+        :class:`repro.obs.metrics.MetricsRegistry` namespace (FTL and
+        device counters via the SSD, plus system-held state)."""
+        self.ssd.publish_metrics(registry)
+        registry.gauge("ftl.write_buffer.occupancy_pages").set(len(self.buffer))
+
     def flush(self, now_us: float) -> float:
         """Drain the write buffer (end of run); returns flash work."""
         service = 0.0
@@ -404,6 +411,15 @@ class FlexLevelSystem(StorageSystem):
 
     def write_mode(self, lpn: int) -> CellMode:
         return CellMode.REDUCED if lpn in self.access_eval.pool else CellMode.NORMAL
+
+    def publish_metrics(self, registry) -> None:
+        super().publish_metrics(registry)
+        registry.gauge("core.access_eval.pool_pages").set(
+            len(self.access_eval.pool)
+        )
+        registry.gauge("core.access_eval.pool_fill_fraction").set(
+            self.access_eval.pool.fill_fraction()
+        )
 
     def _after_read(
         self, lpn: int, mode: CellMode, required_levels: int, now_us: float

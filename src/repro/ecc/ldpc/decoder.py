@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ecc.ldpc.code import LdpcCode
 from repro.errors import ConfigurationError, DecodingFailure
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,29 @@ class DecodeResult:
     converged: bool
 
 
-class BitFlipDecoder:
+class _InstrumentedDecoder:
+    """Optional ``ecc.ldpc.*`` metric reporting shared by both decoders.
+
+    Bit-accurate decodes are rare enough (tests, calibration sweeps)
+    that per-decode counter updates are free; with no registry bound
+    the hook is a no-op.
+    """
+
+    registry: MetricsRegistry | None = None
+
+    def bind_registry(self, registry: MetricsRegistry | None) -> None:
+        self.registry = registry
+
+    def _record_decode(self, iterations: int, converged: bool) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("ecc.ldpc.decodes").inc()
+        self.registry.counter("ecc.ldpc.iterations").inc(iterations)
+        if not converged:
+            self.registry.counter("ecc.ldpc.failures").inc()
+
+
+class BitFlipDecoder(_InstrumentedDecoder):
     """Hard-decision bit-flip decoding (Gallager's BF algorithm).
 
     Each iteration flips the bits involved in the *most* unsatisfied
@@ -35,11 +58,17 @@ class BitFlipDecoder:
     oscillation that parallel flipping suffers on column-weight-3 codes.
     """
 
-    def __init__(self, code: LdpcCode, max_iterations: int = 100):
+    def __init__(
+        self,
+        code: LdpcCode,
+        max_iterations: int = 100,
+        registry: MetricsRegistry | None = None,
+    ):
         if max_iterations <= 0:
             raise ConfigurationError("max_iterations must be positive")
         self.code = code
         self.max_iterations = max_iterations
+        self.bind_registry(registry)
 
     def decode(self, hard_bits: np.ndarray) -> DecodeResult:
         """Decode hard channel decisions; raises on non-convergence."""
@@ -50,18 +79,21 @@ class BitFlipDecoder:
         for iteration in range(self.max_iterations):
             syndrome = (h @ word) % 2
             if not syndrome.any():
+                self._record_decode(iteration, True)
                 return DecodeResult(word, iteration, True)
             unsatisfied = h.T @ syndrome  # per-variable count of failing checks
             word[unsatisfied == unsatisfied.max()] ^= 1
         syndrome = (h @ word) % 2
         if not syndrome.any():
+            self._record_decode(self.max_iterations, True)
             return DecodeResult(word, self.max_iterations, True)
+        self._record_decode(self.max_iterations, False)
         raise DecodingFailure(
             "bit-flip decoder did not converge", iterations=self.max_iterations
         )
 
 
-class MinSumDecoder:
+class MinSumDecoder(_InstrumentedDecoder):
     """Normalized min-sum decoding on LLR input.
 
     Positive LLR means bit = 0.  The normalization factor (default
@@ -74,6 +106,7 @@ class MinSumDecoder:
         code: LdpcCode,
         max_iterations: int = 30,
         normalization: float = 0.75,
+        registry: MetricsRegistry | None = None,
     ):
         if max_iterations <= 0:
             raise ConfigurationError("max_iterations must be positive")
@@ -82,6 +115,7 @@ class MinSumDecoder:
         self.code = code
         self.max_iterations = max_iterations
         self.normalization = normalization
+        self.bind_registry(registry)
         # Edge list: (check, variable) pairs in row-major order.
         checks, variables = np.nonzero(code.h)
         self._edge_check = checks
@@ -124,8 +158,10 @@ class MinSumDecoder:
             )
             word = (totals < 0).astype(np.uint8)
             if self.code.is_codeword(word):
+                self._record_decode(iteration + 1, True)
                 return DecodeResult(word, iteration + 1, True)
             var_msgs = totals[self._edge_var] - check_msgs
+        self._record_decode(self.max_iterations, False)
         raise DecodingFailure(
             "min-sum decoder did not converge", iterations=self.max_iterations
         )

@@ -49,6 +49,7 @@ class ReadLatencyModel:
     sense_per_level: float = 1.0
     transfer_per_level: float = 1.0
     decode_per_level: float = 1.0
+    base_decode_iterations: int = 4
 
     def __post_init__(self) -> None:
         values = (
@@ -63,21 +64,29 @@ class ReadLatencyModel:
             raise ConfigurationError("latency components must be non-negative")
         if self.sense_us + self.transfer_us + self.decode_us <= 0:
             raise ConfigurationError("total base latency must be positive")
+        if self.base_decode_iterations < 1:
+            raise ConfigurationError("base_decode_iterations must be >= 1")
 
     @property
     def base_read_us(self) -> float:
         """Latency of a read needing no extra sensing levels."""
         return self.sense_us + self.transfer_us + self.decode_us
 
-    def read_latency_us(self, extra_levels: int) -> float:
-        """Page read latency with ``extra_levels`` extra sensing levels."""
+    def round_components_us(self, extra_levels: int) -> tuple[float, float, float]:
+        """The (sense, transfer, decode) split of a first sensing round
+        issued at ``extra_levels`` extra levels — the per-round
+        decomposition trace spans are built from."""
         if extra_levels < 0:
             raise ConfigurationError(f"negative extra levels: {extra_levels}")
         return (
-            self.sense_us * (1.0 + self.sense_per_level * extra_levels)
-            + self.transfer_us * (1.0 + self.transfer_per_level * extra_levels)
-            + self.decode_us * (1.0 + self.decode_per_level * extra_levels)
+            self.sense_us * (1.0 + self.sense_per_level * extra_levels),
+            self.transfer_us * (1.0 + self.transfer_per_level * extra_levels),
+            self.decode_us * (1.0 + self.decode_per_level * extra_levels),
         )
+
+    def read_latency_us(self, extra_levels: int) -> float:
+        """Page read latency with ``extra_levels`` extra sensing levels."""
+        return sum(self.round_components_us(extra_levels))
 
     def slowdown(self, extra_levels: int) -> float:
         """Latency relative to a zero-extra-level read."""
@@ -91,12 +100,36 @@ class ReadLatencyModel:
         but must re-transfer every comparison bitmap accumulated so far
         and re-run the (now softer) decode.
         """
+        return sum(self.retry_round_components_us(level))
+
+    def retry_round_components_us(self, level: int) -> tuple[float, float, float]:
+        """The (sense, transfer, decode) split of one retry round that
+        escalates to ``level`` extra levels (see
+        :meth:`retry_increment_us` for the cost model)."""
         if level < 1:
             raise ConfigurationError(f"retry level must be >= 1, got {level}")
         return (
-            self.sense_us * self.sense_per_level
-            + self.transfer_us * (1.0 + self.transfer_per_level * level)
-            + self.decode_us * (1.0 + self.decode_per_level * level)
+            self.sense_us * self.sense_per_level,
+            self.transfer_us * (1.0 + self.transfer_per_level * level),
+            self.decode_us * (1.0 + self.decode_per_level * level),
+        )
+
+    def decode_iterations(self, extra_levels: int) -> int:
+        """Modeled LDPC iteration count of a decode at ``extra_levels``.
+
+        The decode-time component scales linearly in the level count
+        because min-sum iterations grow with channel noise; this maps
+        the same scaling back to an integer iteration estimate for
+        trace spans and the ``ecc.ldpc.iterations`` metric.
+        """
+        if extra_levels < 0:
+            raise ConfigurationError(f"negative extra levels: {extra_levels}")
+        return max(
+            1,
+            round(
+                self.base_decode_iterations
+                * (1.0 + self.decode_per_level * extra_levels)
+            ),
         )
 
     def progressive_latency_us(self, required_levels: int) -> float:

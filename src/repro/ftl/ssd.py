@@ -190,6 +190,15 @@ class Ssd:
         """Highest per-block P/E count (initial wear + simulated erases)."""
         return self.config.initial_pe_cycles + float(self._block_erase.max())
 
+    def publish_metrics(self, registry) -> None:
+        """Publish counters and wear/capacity gauges into ``registry``
+        (a :class:`repro.obs.metrics.MetricsRegistry`)."""
+        self.stats.publish(registry)
+        registry.gauge("ftl.wear.max_pe_cycles").set(self.max_pe_cycles())
+        registry.gauge("ftl.capacity.reduced_logical_pages").set(
+            self.reduced_logical_pages()
+        )
+
     # --- host operations ------------------------------------------------------------
 
     def read_info(self, lpn: int, now_us: float) -> PageReadInfo:

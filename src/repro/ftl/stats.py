@@ -4,6 +4,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
+
+#: Dataclass counter → dotted registry namespace.  One table so every
+#: subsystem's counters land under predictable ``layer.component.what``
+#: names (``ftl.gc.runs``, ``device.ber_cache.hits``, ...).
+_REGISTRY_NAMES = {
+    "host_read_pages": "ftl.host.read_pages",
+    "host_write_pages": "ftl.host.write_pages",
+    "buffer_hits": "ftl.write_buffer.hits",
+    "flash_read_pages": "ftl.flash.read_pages",
+    "flash_program_pages": "ftl.flash.program_pages",
+    "gc_program_pages": "ftl.gc.program_pages",
+    "migration_program_pages": "ftl.migration.program_pages",
+    "erase_blocks": "ftl.flash.erase_blocks",
+    "gc_runs": "ftl.gc.runs",
+    "wear_level_moves": "ftl.wear_leveling.moves",
+    "trimmed_pages": "ftl.trim.pages",
+    "promotions": "core.access_eval.promotions",
+    "demotions": "core.access_eval.demotions",
+    "ber_cache_hits": "device.ber_cache.hits",
+    "ber_cache_misses": "device.ber_cache.misses",
+}
+
 
 @dataclass
 class SsdStats:
@@ -65,6 +88,44 @@ class SsdStats:
         weighted = sum(k * v for k, v in self.extra_level_histogram.items())
         return weighted / total
 
+    def extra_level_cumulative(self) -> dict[str, int]:
+        """Cumulative sensing-level distribution as ``extra_levels.le_{k}``.
+
+        ``le_{k}`` counts the flash reads that needed at most ``k``
+        extra sensing levels; keys run contiguously from 0 to the
+        largest level observed (empty when no reads happened).
+        """
+        if not self.extra_level_histogram:
+            return {}
+        out: dict[str, int] = {}
+        cumulative = 0
+        for level in range(max(self.extra_level_histogram) + 1):
+            cumulative += self.extra_level_histogram.get(level, 0)
+            out[f"extra_levels.le_{level}"] = cumulative
+        return out
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Publish every counter into the shared metric namespace.
+
+        Counters are raised to their current totals (publish is
+        idempotent within a run); derived ratios become gauges.  Call
+        once at the end of a run — the registry snapshot then carries
+        the FTL / device / core counters next to the simulator's own
+        instruments.
+        """
+        for field_name, metric_name in _REGISTRY_NAMES.items():
+            counter = registry.counter(metric_name)
+            value = float(getattr(self, field_name))
+            if value > counter.value:
+                counter.inc(value - counter.value)
+        for key, value in self.extra_level_cumulative().items():
+            counter = registry.counter(f"ftl.{key}")
+            if value > counter.value:
+                counter.inc(value - counter.value)
+        registry.gauge("ftl.write_amplification").set(self.write_amplification())
+        registry.gauge("device.ber_cache.hit_rate").set(self.ber_cache_hit_rate())
+        registry.gauge("ftl.extra_levels.mean").set(self.mean_extra_levels())
+
     def snapshot(self) -> dict[str, float]:
         """Flat dictionary view for reports and benches."""
         return {
@@ -87,4 +148,5 @@ class SsdStats:
             "ber_cache_hit_rate": self.ber_cache_hit_rate(),
             "write_amplification": self.write_amplification(),
             "mean_extra_levels": self.mean_extra_levels(),
+            **self.extra_level_cumulative(),
         }

@@ -1,0 +1,38 @@
+"""Structured observability: metrics, tracing and run manifests.
+
+Three pillars, one dependency-free subsystem:
+
+* :mod:`repro.obs.metrics` — typed ``Counter`` / ``Gauge`` /
+  ``Histogram`` instruments in a :class:`MetricsRegistry` namespace,
+  with streaming log-bucket quantiles (O(buckets) memory).
+* :mod:`repro.obs.tracing` — per-request nested span trees under a
+  1-in-N + slowest-K sampling policy, exportable to JSONL and Chrome's
+  ``chrome://tracing`` format.
+* :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  (config hash, seed, git SHA, wall time, peak RSS, metric snapshot)
+  written alongside results.
+"""
+
+from repro.obs.manifest import ManifestBuilder, RunManifest, config_hash, git_sha
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merged_quantile,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestBuilder",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "config_hash",
+    "git_sha",
+    "merged_quantile",
+]

@@ -1,0 +1,181 @@
+"""Run manifests: what produced a result file, pinned for comparison.
+
+Every simulation or benchmark run can emit a :class:`RunManifest`
+alongside its numbers, so ``BENCH_*.json`` trajectories stay
+comparable across PRs: two manifests with the same ``config_hash`` and
+``seed`` measured the same experiment, and the recorded git SHA, wall
+time and peak RSS say what changed between them.
+
+The manifest is deliberately plain data (one JSON object); collection
+is a begin/finish pair so wall time brackets exactly the run:
+
+    manifest = ManifestBuilder.begin("repro simulate", config, seed=1)
+    ...  # run
+    manifest = builder.finish(metrics=registry.snapshot())
+    manifest.write(path)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+
+def config_hash(config: dict[str, Any]) -> str:
+    """Stable short hash of a JSON-serialisable config mapping."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def git_sha() -> str:
+    """The repository HEAD SHA, or ``"unknown"`` outside a checkout.
+
+    ``REPRO_GIT_SHA`` overrides (useful in CI where the workspace may
+    be a shallow or detached checkout).
+    """
+    override = os.environ.get("REPRO_GIT_SHA")
+    if override:
+        return override
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip()
+
+
+def peak_rss_kb() -> int | None:
+    """Peak resident set size of this process in KiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # Linux reports KiB; macOS reports bytes.
+    rss = usage.ru_maxrss
+    if rss > 1 << 32:
+        rss //= 1024
+    return int(rss)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record of one run.
+
+    Attributes
+    ----------
+    command:
+        What was run (CLI invocation or bench name).
+    config:
+        The JSON-serialisable experiment configuration.
+    config_hash:
+        Stable hash of ``config`` — the comparison key across PRs.
+    seed:
+        The run's RNG seed (None when the run is deterministic).
+    git_sha:
+        Repository HEAD at run time.
+    started_utc:
+        ISO-8601 UTC start timestamp.
+    wall_time_s:
+        Begin-to-finish wall time in seconds.
+    peak_rss_kb:
+        Peak resident set size in KiB (None when unavailable).
+    metrics:
+        Flat metric snapshot (typically ``MetricsRegistry.snapshot()``).
+    extra:
+        Free-form extras (per-system summaries, artifact paths, ...).
+    """
+
+    command: str
+    config: dict[str, Any] = field(default_factory=dict)
+    config_hash: str = ""
+    seed: int | None = None
+    git_sha: str = "unknown"
+    started_utc: str = ""
+    wall_time_s: float = 0.0
+    peak_rss_kb: int | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "command": self.command,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "git_sha": self.git_sha,
+            "started_utc": self.started_utc,
+            "wall_time_s": self.wall_time_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "metrics": self.metrics,
+            "extra": self.extra,
+        }
+
+    def write(self, path) -> Path:
+        """Write the manifest as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @staticmethod
+    def read(path) -> "RunManifest":
+        with open(path) as handle:
+            data = json.load(handle)
+        return RunManifest(**data)
+
+
+class ManifestBuilder:
+    """Brackets a run: ``begin`` before, ``finish`` after."""
+
+    def __init__(self, command: str, config: dict[str, Any], seed: int | None):
+        self.command = command
+        self.config = config
+        self.seed = seed
+        self._started_utc = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        self._t0 = time.perf_counter()
+
+    @classmethod
+    def begin(
+        cls,
+        command: str,
+        config: dict[str, Any] | None = None,
+        seed: int | None = None,
+    ) -> "ManifestBuilder":
+        return cls(command, dict(config or {}), seed)
+
+    def finish(
+        self,
+        metrics: dict[str, float] | None = None,
+        **extra: Any,
+    ) -> RunManifest:
+        return RunManifest(
+            command=self.command,
+            config=self.config,
+            config_hash=config_hash(self.config),
+            seed=self.seed,
+            git_sha=git_sha(),
+            started_utc=self._started_utc,
+            wall_time_s=time.perf_counter() - self._t0,
+            peak_rss_kb=peak_rss_kb(),
+            metrics=dict(metrics or {}),
+            extra=extra,
+        )

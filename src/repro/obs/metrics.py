@@ -1,0 +1,330 @@
+"""Typed metric instruments with streaming quantile estimation.
+
+The registry replaces ad-hoc counter dictionaries and unbounded
+response-time lists with three instrument types sharing one dotted
+namespace (``ftl.gc.runs``, ``ecc.ldpc.iterations``,
+``sim.read.response_us``):
+
+* :class:`Counter` — monotonically increasing totals.
+* :class:`Gauge` — last-write-wins point-in-time values.
+* :class:`Histogram` — a *fixed* geometric (log-spaced) bucket layout
+  with streaming p50/p95/p99 estimation.  Memory is O(buckets) no
+  matter how many samples are observed, and with the default 4 %
+  bucket growth any quantile is within 4 % relative error of the exact
+  sample quantile (each sample lands in a bucket whose bounds are 4 %
+  apart, and the estimate never leaves the sample's bucket).
+
+Everything here is standard library only, so the subsystem can be
+threaded through the device, ECC, FTL and simulation layers without
+import cycles or optional-dependency gates.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+
+from repro.errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"metric name {name!r} must be dotted lower_snake segments"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.name: self._value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = "gauge"):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.name: self._value}
+
+
+class Histogram:
+    """Streaming histogram over a fixed geometric bucket layout.
+
+    Parameters
+    ----------
+    name:
+        Instrument name (used as the key prefix in snapshots).
+    min_value:
+        Upper bound of the underflow bucket; observations at or below
+        it are exact to within ``min_value`` absolute error.
+    max_value:
+        Lower bound of the overflow bucket; quantiles that land in the
+        overflow report the exact maximum seen.
+    growth:
+        Geometric bucket-width factor.  Worst-case relative quantile
+        error is ``growth - 1`` (default 4 %).
+
+    All histograms built with the same layout parameters can be merged
+    for cross-instrument quantiles (:func:`merged_quantile`).
+    """
+
+    __slots__ = (
+        "name",
+        "min_value",
+        "max_value",
+        "growth",
+        "_bounds",
+        "_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self,
+        name: str = "histogram",
+        min_value: float = 0.5,
+        max_value: float = 5.0e7,
+        growth: float = 1.04,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ConfigurationError(
+                f"need 0 < min_value < max_value, got [{min_value}, {max_value}]"
+            )
+        if growth <= 1.0:
+            raise ConfigurationError(f"growth {growth} must exceed 1")
+        self.name = name
+        self.min_value = min_value
+        self.max_value = max_value
+        self.growth = growth
+        n = int(math.ceil(math.log(max_value / min_value) / math.log(growth)))
+        # Bucket i covers (bounds[i-1], bounds[i]]; bucket 0 is the
+        # underflow (0, min_value]; the last bucket is the overflow.
+        self._bounds = [min_value * growth**i for i in range(n + 1)]
+        self._counts = [0] * (n + 2)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # --- layout -----------------------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._counts)
+
+    def layout(self) -> tuple[float, float, float]:
+        """Layout key; histograms merge only when layouts match."""
+        return (self.min_value, self.max_value, self.growth)
+
+    # --- recording --------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one sample (must be non-negative)."""
+        if value < 0:
+            raise ConfigurationError(
+                f"histogram {self.name} got negative sample {value}"
+            )
+        self._counts[self._bucket_index(value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        if value > self._bounds[-1]:
+            return len(self._counts) - 1
+        # Regular bucket i (1-based) covers (bounds[i-1], bounds[i]].
+        return bisect_left(self._bounds, value)
+
+    # --- aggregates -------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        """Exact mean of all observations (0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    def min(self) -> float:
+        return 0.0 if self._count == 0 else self._min
+
+    def max(self) -> float:
+        return 0.0 if self._count == 0 else self._max
+
+    def quantile(self, q: float) -> float:
+        """Streaming quantile estimate, ``q`` in [0, 100]."""
+        return merged_quantile([self], q)
+
+    def bucket_counts(self) -> list[int]:
+        """The raw bucket occupancy (underflow first, overflow last)."""
+        return list(self._counts)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat summary keyed ``<name>.<aggregate>``."""
+        prefix = self.name
+        return {
+            f"{prefix}.count": float(self._count),
+            f"{prefix}.sum": self._sum,
+            f"{prefix}.mean": self.mean(),
+            f"{prefix}.min": self.min(),
+            f"{prefix}.max": self.max(),
+            f"{prefix}.p50": self.quantile(50),
+            f"{prefix}.p95": self.quantile(95),
+            f"{prefix}.p99": self.quantile(99),
+        }
+
+
+def merged_quantile(histograms: list[Histogram], q: float) -> float:
+    """Quantile over the union of identically-laid-out histograms.
+
+    Interpolates linearly within the target bucket, then clamps to the
+    exact observed min/max so the estimate can never leave the sample
+    range.  Empty unions return 0.
+    """
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"quantile {q} outside [0, 100]")
+    if not histograms:
+        raise ConfigurationError("no histograms to merge")
+    layout = histograms[0].layout()
+    for hist in histograms[1:]:
+        if hist.layout() != layout:
+            raise ConfigurationError(
+                f"layout mismatch: {hist.layout()} vs {layout}"
+            )
+    total = sum(h.count for h in histograms)
+    if total == 0:
+        return 0.0
+    lo = min(h.min() for h in histograms if h.count)
+    hi = max(h.max() for h in histograms if h.count)
+    counts = histograms[0].bucket_counts()
+    for hist in histograms[1:]:
+        for i, c in enumerate(hist.bucket_counts()):
+            counts[i] += c
+    bounds = histograms[0]._bounds
+    rank = q / 100.0 * total
+    cumulative = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cumulative + c >= rank:
+            # Linear interpolation of the rank position inside the bucket.
+            if i == 0:
+                lower, upper = 0.0, bounds[0]
+            elif i == len(counts) - 1:
+                lower, upper = bounds[-1], hi
+            else:
+                lower, upper = bounds[i - 1], bounds[i]
+            fraction = (rank - cumulative) / c if c else 0.0
+            estimate = lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            return min(max(estimate, lo), hi)
+        cumulative += c
+    return hi
+
+
+class MetricsRegistry:
+    """One namespace of instruments shared by every subsystem.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the
+    first call for a name builds the instrument, later calls return it
+    (and reject type mismatches loudly).  Externally-built instruments
+    (for example a result object's response-time histogram) join the
+    namespace via :meth:`register`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name, kind, factory):
+        _check_name(name)
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, **layout) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, **layout)
+        )
+
+    def register(self, name: str, instrument: Counter | Gauge | Histogram) -> None:
+        """Attach an externally-built instrument under ``name``."""
+        _check_name(name)
+        existing = self._instruments.get(name)
+        if existing is not None and existing is not instrument:
+            raise ConfigurationError(f"metric {name!r} already registered")
+        instrument.name = name
+        self._instruments[name] = instrument
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name → value mapping over every instrument."""
+        out: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            out.update(self._instruments[name].snapshot())
+        return out

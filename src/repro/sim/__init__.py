@@ -9,10 +9,15 @@ Two engines share the result types:
 """
 
 from repro.sim.engine import SimulationEngine
-from repro.sim.results import DesSimulationResult, SimulationResult
+from repro.sim.results import (
+    DEFAULT_SAMPLE_CAP,
+    DesSimulationResult,
+    SimulationResult,
+)
 from repro.sim.des import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
 
 __all__ = [
+    "DEFAULT_SAMPLE_CAP",
     "SimulationEngine",
     "SimulationResult",
     "DesSimulationEngine",

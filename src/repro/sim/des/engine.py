@@ -13,6 +13,14 @@ mean-service model cannot represent.  That is the quantity the paper's
 Fig. 6 story is really about, and why the result carries p50/p95/p99
 and per-channel utilization.
 
+Observability: pass a :class:`repro.obs.Tracer` to record sampled
+per-request span trees (queue wait, GC stalls, each sensing round with
+its sense/transfer/LDPC-decode split) and a
+:class:`repro.obs.MetricsRegistry` to collect the run's counters and
+streaming histograms under one namespace — so a slow p99 read can be
+attributed to queueing vs. sensing rounds vs. decoder time instead of
+being one opaque number.
+
 Reduction property: with ``n_channels=1`` and ``retry_model=None`` the
 engine reproduces the legacy single-queue engine request for request
 (same starts, same stalls, same service times); the DES test suite
@@ -23,8 +31,10 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.baselines.systems import StorageSystem
+from repro.baselines.systems import ReadServiceBreakdown, StorageSystem
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
 from repro.sim.des.events import Event, EventHeap, EventKind
 from repro.sim.des.retry import ReadRetryModel
 from repro.sim.des.scheduler import ChannelScheduler
@@ -56,6 +66,15 @@ class DesSimulationEngine:
         read decodes in its first sensing round).  Defaults to
         :class:`~repro.sim.des.retry.ReadRetryModel` with its standard
         configuration.
+    registry:
+        Optional metrics registry; when set, the run publishes its
+        counters, gauges and response-time histograms into it.
+    tracer:
+        Optional tracer; when set, post-warmup requests are offered to
+        its sampling policy as full span trees.
+    sample_cap:
+        Overrides the result's exact-sample cap (None keeps
+        :data:`repro.sim.results.DEFAULT_SAMPLE_CAP`).
     """
 
     def __init__(
@@ -65,6 +84,9 @@ class DesSimulationEngine:
         n_channels: int = 1,
         gc_granule_us: float | None = None,
         retry_model: ReadRetryModel | None | object = _DEFAULT_RETRY,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        sample_cap: int | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction outside [0, 1)")
@@ -81,6 +103,11 @@ class DesSimulationEngine:
         if retry_model is _DEFAULT_RETRY:
             retry_model = ReadRetryModel()
         self.retry_model = retry_model
+        self.registry = registry
+        self.tracer = tracer
+        if sample_cap is not None and sample_cap < 0:
+            raise ConfigurationError("negative sample cap")
+        self.sample_cap = sample_cap
 
     def run(
         self, records: Iterable[TraceRecord], workload_name: str = "unnamed"
@@ -98,6 +125,8 @@ class DesSimulationEngine:
         result = DesSimulationResult(
             system_name=self.system.name, workload_name=workload_name
         )
+        if self.sample_cap is not None:
+            result.sample_cap = self.sample_cap
         scheduler = ChannelScheduler(self.n_channels, self.gc_granule_us)
         heap = EventHeap()
         heap.push(self._arrival_event(records, 0))
@@ -137,6 +166,8 @@ class DesSimulationEngine:
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
         result.stats["residual_backlog_us"] = scheduler.residual_backlog_us
         result.stats["mean_retry_rounds"] = result.mean_retry_rounds()
+        if self.registry is not None:
+            self._publish_metrics(result, scheduler)
         return result
 
     # --- internals ------------------------------------------------------------------
@@ -171,8 +202,18 @@ class DesSimulationEngine:
             channel = self.system.ssd.channel_of(lpn, self.n_channels)
             ops_by_channel.setdefault(channel, []).append(lpn)
 
+        trace: Span | None = None
+        if self.tracer is not None and index >= warmup_count:
+            trace = self.tracer.begin_request(
+                "write_request" if record.is_write else "read_request",
+                arrival,
+                index=index,
+                n_pages=record.n_pages,
+            )
+
         completion = arrival
         dispatched = 0
+        first_op_start: float | None = None
         for channel, lpns in ops_by_channel.items():
             report = scheduler.admit(channel, arrival)
             if report.drained_us + report.stall_us > 0.0:
@@ -184,10 +225,22 @@ class DesSimulationEngine:
                         value_us=report.drained_us + report.stall_us,
                     )
                 )
+                if trace is not None and report.stall_us > 0.0:
+                    trace.span(
+                        "gc_stall",
+                        report.start_us - report.stall_us,
+                        channel=channel,
+                        drained_us=report.drained_us,
+                    ).end(report.start_us)
             start = report.start_us
             for lpn in lpns:
-                service = self._service_us(record, lpn, start, index, warmup_count, result)
+                service, breakdown, rounds = self._service_us(
+                    record, lpn, start, index, warmup_count, result
+                )
                 op_done = scheduler.commit(channel, service)
+                op_start = op_done - service
+                if first_op_start is None or op_start < first_op_start:
+                    first_op_start = op_start
                 heap.push(
                     Event(
                         time_us=op_done,
@@ -198,6 +251,11 @@ class DesSimulationEngine:
                     )
                 )
                 dispatched += 1
+                if trace is not None:
+                    self._trace_op(
+                        trace, record, lpn, channel, op_start, service,
+                        breakdown, rounds,
+                    )
             completion = max(completion, scheduler.frontier(channel))
 
         scheduler.add_background(self.system.take_background_us())
@@ -209,6 +267,16 @@ class DesSimulationEngine:
                 value_us=completion - arrival,
             )
         )
+        queue_wait = (
+            max(0.0, first_op_start - arrival) if first_op_start is not None else 0.0
+        )
+        if trace is not None:
+            wait_span = Span("queue_wait", arrival)
+            wait_span.end(arrival + queue_wait)
+            trace.children.insert(0, wait_span)
+            self.tracer.finish_request(trace, completion)
+        if self.registry is not None and index >= warmup_count:
+            self.registry.histogram("sim.queue_wait_us").observe(queue_wait)
         return dispatched
 
     def _service_us(
@@ -219,18 +287,102 @@ class DesSimulationEngine:
         index: int,
         warmup_count: int,
         result: DesSimulationResult,
-    ) -> float:
-        """Service time of one page operation, retry rounds included."""
+    ) -> tuple[float, ReadServiceBreakdown | None, int]:
+        """One page operation's service time, retry rounds included.
+
+        Returns ``(service_us, read breakdown or None for writes,
+        retry rounds taken)`` so tracing can reconstruct the sensing
+        rounds the service time is made of.
+        """
         if record.is_write:
-            return self.system.serve_write_page(lpn, now_us)
+            return self.system.serve_write_page(lpn, now_us), None, 0
         breakdown = self.system.read_page_breakdown(lpn, now_us)
         service = breakdown.service_us
+        rounds = 0
         if self.retry_model is not None and not breakdown.buffer_hit:
             rounds, extra_us = self.retry_model.sample(breakdown)
             service += extra_us
             if index >= warmup_count:
                 result.record_retry_rounds(rounds)
-        return service
+        if self.registry is not None and not breakdown.buffer_hit:
+            decode_iterations = self.system.latency.decode_iterations
+            iterations = sum(
+                decode_iterations(breakdown.provisioned_levels + r)
+                for r in range(rounds + 1)
+            )
+            self.registry.counter("ecc.ldpc.decode_rounds").inc(1 + rounds)
+            self.registry.counter("ecc.ldpc.iterations").inc(iterations)
+            self.registry.counter("sim.read.retry_rounds").inc(rounds)
+        return service, breakdown, rounds
+
+    def _trace_op(
+        self,
+        trace: Span,
+        record: TraceRecord,
+        lpn: int,
+        channel: int,
+        op_start: float,
+        service: float,
+        breakdown: ReadServiceBreakdown | None,
+        rounds: int,
+    ) -> None:
+        """Attach one page operation's span subtree to the request."""
+        if record.is_write:
+            trace.span(
+                "buffered_write", op_start, channel=channel, lpn=lpn
+            ).end(op_start + service)
+            return
+        assert breakdown is not None
+        if breakdown.buffer_hit:
+            trace.span(
+                "buffer_hit_read", op_start, channel=channel, lpn=lpn
+            ).end(op_start + service)
+            return
+        op = trace.span(
+            "flash_read",
+            op_start,
+            channel=channel,
+            lpn=lpn,
+            required_levels=breakdown.required_levels,
+            provisioned_levels=breakdown.provisioned_levels,
+        )
+        latency = self.system.latency
+        t = op_start
+        for round_index in range(rounds + 1):
+            level = breakdown.provisioned_levels + round_index
+            if round_index == 0:
+                sense, transfer, decode = latency.round_components_us(level)
+            else:
+                sense, transfer, decode = latency.retry_round_components_us(level)
+            round_span = op.span(
+                "sensing_round", t, round=round_index, extra_levels=level
+            )
+            round_span.span("sense", t).end(t + sense)
+            round_span.span("transfer", t + sense).end(t + sense + transfer)
+            round_span.span(
+                "ldpc_decode",
+                t + sense + transfer,
+                iterations=latency.decode_iterations(level),
+            ).end(t + sense + transfer + decode)
+            t += sense + transfer + decode
+            round_span.end(t)
+        if breakdown.post_read_us > 0.0:
+            op.span("post_read", t).end(t + breakdown.post_read_us)
+        op.end(op_start + service)
+
+    def _publish_metrics(
+        self, result: DesSimulationResult, scheduler: ChannelScheduler
+    ) -> None:
+        """Push the run's counters and histograms into the registry."""
+        registry = self.registry
+        self.system.publish_metrics(registry)
+        registry.register("sim.read.response_us", result.read_hist)
+        registry.register("sim.write.response_us", result.write_hist)
+        registry.gauge("sim.makespan_us").set(result.makespan_us)
+        registry.gauge("sim.residual_backlog_us").set(scheduler.residual_backlog_us)
+        registry.gauge("sim.read.mean_retry_rounds").set(result.mean_retry_rounds())
+        for channel, busy_us in enumerate(result.channel_busy_us):
+            registry.gauge(f"sim.channel.{channel}.busy_us").set(busy_us)
 
     @staticmethod
     def _check_conservation(

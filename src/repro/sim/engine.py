@@ -22,6 +22,8 @@ from typing import Iterable
 
 from repro.baselines.systems import StorageSystem
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.sim.results import SimulationResult
 from repro.traces.schema import TraceRecord
 
@@ -45,6 +47,16 @@ class SimulationEngine:
         Largest non-preemptible slice of background work; a request
         arriving mid-backlog waits at most this long before service.
         Defaults to one page program.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`; when set, the run
+        publishes its counters and response-time histograms into it.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the single-queue engine has
+        no per-round visibility, so its request spans decompose into
+        queue wait, GC stall and service only.
+    sample_cap:
+        Overrides the result's exact-sample cap (None keeps
+        :data:`repro.sim.results.DEFAULT_SAMPLE_CAP`).
     """
 
     def __init__(
@@ -53,6 +65,9 @@ class SimulationEngine:
         warmup_fraction: float = 0.1,
         n_channels: int = 1,
         gc_granule_us: float | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        sample_cap: int | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction outside [0, 1)")
@@ -66,6 +81,11 @@ class SimulationEngine:
         if gc_granule_us < 0:
             raise ConfigurationError("negative GC granule")
         self.gc_granule_us = gc_granule_us
+        self.registry = registry
+        self.tracer = tracer
+        if sample_cap is not None and sample_cap < 0:
+            raise ConfigurationError("negative sample cap")
+        self.sample_cap = sample_cap
 
     def run(
         self, records: Iterable[TraceRecord], workload_name: str = "unnamed"
@@ -77,6 +97,8 @@ class SimulationEngine:
         result = SimulationResult(
             system_name=self.system.name, workload_name=workload_name
         )
+        if self.sample_cap is not None:
+            result.sample_cap = self.sample_cap
         warmup_count = int(len(records) * self.warmup_fraction)
         if warmup_count >= len(records):
             # A fraction < 1 can still round up to everything (float
@@ -97,6 +119,7 @@ class SimulationEngine:
             backlog_us -= drained
             device_free_at += drained
             start = max(arrival, device_free_at)
+            stall = 0.0
             if backlog_us > 0.0:
                 # The device is mid-granule on background work.
                 stall = min(backlog_us, self.gc_granule_us)
@@ -117,8 +140,46 @@ class SimulationEngine:
             backlog_us += self.system.take_background_us()
             if index >= warmup_count:
                 result.record(record.is_write, completion - record.timestamp_us)
+                if self.tracer is not None:
+                    self._trace_request(record, arrival, start, stall, completion)
+                if self.registry is not None:
+                    self.registry.histogram("sim.queue_wait_us").observe(
+                        start - arrival
+                    )
         result.stats = self.system.ssd.stats.snapshot()
         result.stats["reduced_logical_pages"] = self.system.ssd.reduced_logical_pages()
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
         result.stats["residual_backlog_us"] = backlog_us
+        if self.registry is not None:
+            self.system.publish_metrics(self.registry)
+            self.registry.register("sim.read.response_us", result.read_hist)
+            self.registry.register("sim.write.response_us", result.write_hist)
+            self.registry.gauge("sim.residual_backlog_us").set(backlog_us)
         return result
+
+    def _trace_request(
+        self,
+        record: TraceRecord,
+        arrival: float,
+        start: float,
+        stall: float,
+        completion: float,
+    ) -> None:
+        """Offer one request's coarse span tree to the tracer.
+
+        The single-queue engine knows only the queue wait, the GC
+        stall and the aggregate service; per-round decomposition needs
+        the DES engine.
+        """
+        trace = self.tracer.begin_request(
+            "write_request" if record.is_write else "read_request",
+            arrival,
+            n_pages=record.n_pages,
+        )
+        trace.span("queue_wait", arrival).end(start)
+        if stall > 0.0:
+            trace.span("gc_stall", start - stall).end(start)
+        trace.span(
+            "service", start, n_pages=record.n_pages
+        ).end(completion)
+        self.tracer.finish_request(trace, completion)

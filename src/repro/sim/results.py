@@ -7,6 +7,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram, merged_quantile
+
+#: Exact response-time samples kept per run before the result falls
+#: back to its streaming histograms.  Million-request traces then cost
+#: O(histogram buckets), not O(requests), while short runs (and every
+#: pinned regression test) still see exact percentiles.
+DEFAULT_SAMPLE_CAP = 65_536
+
+
+def response_histogram(name: str) -> Histogram:
+    """The shared response-time histogram layout (0.5 us – 50 s).
+
+    Both per-kind histograms of a result use the same layout so their
+    union quantile (:func:`repro.obs.metrics.merged_quantile`) is
+    well-defined; the 4 % geometric bucket growth bounds the streaming
+    percentile error at 4 % relative.
+    """
+    return Histogram(name, min_value=0.5, max_value=5.0e7, growth=1.04)
 
 
 @dataclass
@@ -14,6 +32,10 @@ class SimulationResult:
     """Response times and device counters from one trace run.
 
     Response times are per *request* (not per page), in microseconds.
+    Every response is streamed into a fixed-layout log-bucket histogram
+    (O(buckets) memory); the exact per-request lists are additionally
+    kept only while the run stays under ``sample_cap`` requests, after
+    which percentiles switch to the streaming estimate.
     """
 
     system_name: str
@@ -21,49 +43,74 @@ class SimulationResult:
     read_responses_us: list[float] = field(default_factory=list)
     write_responses_us: list[float] = field(default_factory=list)
     stats: dict[str, float] = field(default_factory=dict)
+    sample_cap: int = DEFAULT_SAMPLE_CAP
+    read_hist: Histogram = field(
+        default_factory=lambda: response_histogram("sim.read.response_us")
+    )
+    write_hist: Histogram = field(
+        default_factory=lambda: response_histogram("sim.write.response_us")
+    )
 
     def record(self, is_write: bool, response_us: float) -> None:
-        """Append one request's response time."""
+        """Record one request's response time."""
         if response_us < 0:
             raise ConfigurationError(f"negative response time: {response_us}")
+        keep_exact = (
+            len(self.read_responses_us) + len(self.write_responses_us)
+            < self.sample_cap
+        )
         if is_write:
-            self.write_responses_us.append(response_us)
+            self.write_hist.observe(response_us)
+            if keep_exact:
+                self.write_responses_us.append(response_us)
         else:
-            self.read_responses_us.append(response_us)
+            self.read_hist.observe(response_us)
+            if keep_exact:
+                self.read_responses_us.append(response_us)
 
     # --- aggregates -------------------------------------------------------------
 
     @property
     def n_requests(self) -> int:
-        return len(self.read_responses_us) + len(self.write_responses_us)
+        return self.read_hist.count + self.write_hist.count
+
+    @property
+    def exact_samples(self) -> bool:
+        """Whether the per-request lists still hold every response."""
+        return (
+            len(self.read_responses_us) + len(self.write_responses_us)
+            == self.n_requests
+        )
 
     def mean_response_us(self) -> float:
-        """Mean response time over all requests."""
-        all_responses = self.read_responses_us + self.write_responses_us
-        if not all_responses:
+        """Mean response time over all requests (exact at any scale)."""
+        if self.n_requests == 0:
             return 0.0
-        return float(np.mean(all_responses))
+        return (self.read_hist.sum + self.write_hist.sum) / self.n_requests
 
     def mean_read_response_us(self) -> float:
         """Mean response time of read requests."""
-        if not self.read_responses_us:
-            return 0.0
-        return float(np.mean(self.read_responses_us))
+        return self.read_hist.mean()
 
     def mean_write_response_us(self) -> float:
         """Mean response time of write requests."""
-        if not self.write_responses_us:
-            return 0.0
-        return float(np.mean(self.write_responses_us))
+        return self.write_hist.mean()
 
     def percentile_response_us(self, q: float) -> float:
-        """Response-time percentile (q in [0, 100]) over all requests."""
+        """Response-time percentile (q in [0, 100]) over all requests.
+
+        Exact (``np.percentile`` over the sample lists) while the run
+        is under ``sample_cap``; streamed from the log-bucket
+        histograms beyond it.
+        """
         if not 0 <= q <= 100:
             raise ConfigurationError(f"percentile {q} outside [0, 100]")
-        all_responses = self.read_responses_us + self.write_responses_us
-        if not all_responses:
+        if self.n_requests == 0:
             return 0.0
-        return float(np.percentile(all_responses, q))
+        if self.exact_samples:
+            all_responses = self.read_responses_us + self.write_responses_us
+            return float(np.percentile(all_responses, q))
+        return merged_quantile([self.read_hist, self.write_hist], q)
 
     def percentiles(self) -> dict[str, float]:
         """The tail-latency triple (p50/p95/p99) over all requests."""
@@ -74,13 +121,13 @@ class SimulationResult:
         }
 
     def summary(self) -> dict[str, float]:
-        """Flat summary for reports."""
+        """Flat summary for reports; every key appears exactly once."""
         return {
             "n_requests": self.n_requests,
             "mean_response_us": self.mean_response_us(),
             "mean_read_response_us": self.mean_read_response_us(),
             "mean_write_response_us": self.mean_write_response_us(),
-            "p99_response_us": self.percentile_response_us(99),
+            **self.percentiles(),
             **{f"stats.{k}": v for k, v in self.stats.items()},
         }
 
@@ -136,11 +183,14 @@ class DesSimulationResult(SimulationResult):
         return weighted / total
 
     def summary(self) -> dict[str, float]:
-        """Flat summary: the legacy fields plus the DES-only metrics."""
+        """Flat summary: the legacy fields plus the DES-only metrics.
+
+        The percentile triple comes from :meth:`SimulationResult.summary`
+        alone — no key is computed or emitted twice.
+        """
         utilization = self.channel_utilization()
         return {
             **super().summary(),
-            **self.percentiles(),
             "n_channels": self.n_channels,
             "makespan_us": self.makespan_us,
             "mean_channel_utilization": (

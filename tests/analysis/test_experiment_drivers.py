@@ -8,7 +8,6 @@ from repro.analysis.experiments import (
     run_fig6b,
     run_fig7_endurance,
 )
-from repro.core.level_adjust import LevelAdjustPolicy
 
 
 @pytest.fixture(scope="module")

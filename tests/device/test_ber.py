@@ -1,6 +1,5 @@
 """Tests for the BER engine, including Monte-Carlo cross-validation."""
 
-import numpy as np
 import pytest
 
 from repro.core.reduce_code import ReduceCodeCoding

@@ -9,7 +9,7 @@ from repro.device.c2c import (
     NeighborProfile,
     ODD_CELL_PROFILE,
 )
-from repro.device.voltages import normal_mlc_plan, reduced_plan
+from repro.device.voltages import normal_mlc_plan
 from repro.errors import ConfigurationError
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.device.coding import GRAY_MLC_MAP, CellCoding, GrayMlcCoding, TableCoding
+from repro.device.coding import GRAY_MLC_MAP, GrayMlcCoding, TableCoding
 from repro.errors import ConfigurationError
 
 

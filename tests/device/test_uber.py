@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.device.uber import (
     LDPC_CODEWORD_BITS,
     LDPC_INFO_BITS,
-    TARGET_UBER,
     code_margin,
     required_correctable_bits,
     uber,

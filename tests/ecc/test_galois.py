@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ecc.galois import GF2m, PRIMITIVE_POLYS
+from repro.ecc.galois import GF2m
 from repro.errors import ConfigurationError
 
 

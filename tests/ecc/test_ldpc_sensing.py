@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ecc.ldpc.code import LdpcCode
-from repro.ecc.ldpc.sensing import PAPER_SENSING_LADDER, SensingLevelPolicy
+from repro.ecc.ldpc.sensing import SensingLevelPolicy
 from repro.errors import ConfigurationError
 
 

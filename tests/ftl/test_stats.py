@@ -39,3 +39,61 @@ class TestStats:
             "mean_extra_levels",
         ):
             assert key in snapshot
+
+
+class TestExtraLevelCumulative:
+    def test_contiguous_le_keys(self):
+        stats = SsdStats()
+        for levels in (0, 0, 2, 2, 2, 5):
+            stats.record_extra_levels(levels)
+        cumulative = stats.extra_level_cumulative()
+        # Keys run 0..max even when intermediate levels never occurred.
+        assert list(cumulative) == [f"extra_levels.le_{k}" for k in range(6)]
+        assert cumulative["extra_levels.le_0"] == 2
+        assert cumulative["extra_levels.le_1"] == 2
+        assert cumulative["extra_levels.le_2"] == 5
+        assert cumulative["extra_levels.le_4"] == 5
+        assert cumulative["extra_levels.le_5"] == 6
+
+    def test_empty(self):
+        assert SsdStats().extra_level_cumulative() == {}
+
+    def test_snapshot_includes_cumulative(self):
+        stats = SsdStats()
+        stats.record_extra_levels(0)
+        stats.record_extra_levels(3)
+        snapshot = stats.snapshot()
+        assert snapshot["extra_levels.le_0"] == 1
+        assert snapshot["extra_levels.le_3"] == 2
+
+
+class TestPublish:
+    def test_counters_land_under_dotted_names(self):
+        from repro.obs import MetricsRegistry
+
+        stats = SsdStats(
+            host_write_pages=100,
+            flash_program_pages=120,
+            gc_runs=3,
+            ber_cache_hits=9,
+            ber_cache_misses=1,
+        )
+        stats.record_extra_levels(1)
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["ftl.host.write_pages"] == 100.0
+        assert snapshot["ftl.flash.program_pages"] == 120.0
+        assert snapshot["ftl.gc.runs"] == 3.0
+        assert snapshot["ftl.write_amplification"] == pytest.approx(1.2)
+        assert snapshot["device.ber_cache.hit_rate"] == pytest.approx(0.9)
+        assert snapshot["ftl.extra_levels.le_1"] == 1.0
+
+    def test_publish_is_idempotent(self):
+        from repro.obs import MetricsRegistry
+
+        stats = SsdStats(gc_runs=5)
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        stats.publish(registry)
+        assert registry.snapshot()["ftl.gc.runs"] == 5.0

@@ -1,0 +1,83 @@
+"""Tests for run manifests (provenance records)."""
+
+import json
+
+from repro.obs import ManifestBuilder, RunManifest, config_hash, git_sha
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"seed": 1}) != config_hash({"seed": 2})
+
+    def test_short_hex(self):
+        digest = config_hash({"x": 1})
+        assert len(digest) == 16
+        int(digest, 16)  # valid hex
+
+    def test_non_json_values_stringified(self):
+        # Paths and such fall back to str() instead of raising.
+        from pathlib import Path
+
+        assert config_hash({"p": Path("/tmp")}) == config_hash({"p": "/tmp"})
+
+
+class TestGitSha:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafe1234")
+        assert git_sha() == "cafe1234"
+
+    def test_returns_string(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        sha = git_sha()
+        assert isinstance(sha, str)
+        assert sha  # HEAD sha in a checkout, "unknown" otherwise
+
+
+class TestManifestBuilder:
+    def test_begin_finish_brackets_run(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+        builder = ManifestBuilder.begin(
+            "repro simulate", {"workload": "fin-2", "requests": 100}, seed=1
+        )
+        manifest = builder.finish(
+            metrics={"sim.read.response_us.p99": 1234.5}, note="smoke"
+        )
+        assert manifest.command == "repro simulate"
+        assert manifest.seed == 1
+        assert manifest.git_sha == "deadbeef"
+        assert manifest.config_hash == config_hash(manifest.config)
+        assert manifest.wall_time_s >= 0.0
+        assert manifest.started_utc  # ISO timestamp recorded at begin
+        assert manifest.metrics["sim.read.response_us.p99"] == 1234.5
+        assert manifest.extra == {"note": "smoke"}
+        assert manifest.peak_rss_kb is None or manifest.peak_rss_kb > 0
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        manifest = ManifestBuilder.begin("bench", {"n": 3}, seed=7).finish(
+            metrics={"m": 1.0}
+        )
+        path = manifest.write(tmp_path / "nested" / "run_manifest.json")
+        assert path.exists()
+        loaded = RunManifest.read(path)
+        assert loaded == manifest
+
+    def test_written_json_is_plain_data(self, tmp_path):
+        manifest = ManifestBuilder.begin("bench", {"n": 3}).finish()
+        path = manifest.write(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        for key in (
+            "command",
+            "config",
+            "config_hash",
+            "seed",
+            "git_sha",
+            "started_utc",
+            "wall_time_s",
+            "peak_rss_kb",
+            "metrics",
+            "extra",
+        ):
+            assert key in data
