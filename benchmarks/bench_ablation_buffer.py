@@ -5,21 +5,26 @@ Sweeps the buffer on a write-heavy workload: a larger buffer absorbs
 more rewrites of hot pages, cutting flash programs and hence GC.
 """
 
-from conftest import write_table
+from conftest import BENCH_SEED, QUICK, write_table
 
 from repro.analysis.experiments import SystemExperimentConfig
 from repro.baselines.systems import SystemConfig, build_system
 from repro.sim.engine import SimulationEngine
 from repro.traces.workloads import make_workload
 
+N_REQUESTS = 4_000 if QUICK else 20_000
+BUFFER_SWEEP = (0, 64, 512, 2048)
+
 
 def _run_sweep(shared_policy):
-    config = SystemExperimentConfig(n_blocks=256, n_requests=20_000)
+    config = SystemExperimentConfig(
+        n_blocks=256, n_requests=N_REQUESTS, seed=BENCH_SEED
+    )
     ssd_config = config.ssd_config()
     workload = make_workload("prj-1", ssd_config.logical_pages)
-    trace = workload.generate(config.n_requests, seed=1)
+    trace = workload.generate(config.n_requests, seed=BENCH_SEED)
     out = {}
-    for buffer_pages in (0, 64, 512, 2048):
+    for buffer_pages in BUFFER_SWEEP:
         system_config = SystemConfig(
             ssd=ssd_config,
             footprint_pages=workload.footprint_pages,
@@ -36,7 +41,8 @@ def _run_sweep(shared_policy):
     return out
 
 
-def test_ablation_buffer_size(benchmark, results_dir, shared_policy):
+def test_ablation_buffer_size(benchmark, results_dir, shared_policy, bench_case):
+    bench_case.configure(n_requests=N_REQUESTS, buffer_sweep=list(BUFFER_SWEEP))
     results = benchmark.pedantic(
         _run_sweep, args=(shared_policy,), rounds=1, iterations=1
     )
@@ -50,7 +56,20 @@ def test_ablation_buffer_size(benchmark, results_dir, shared_policy):
         )
     write_table(results_dir, "ablation_buffer", lines)
 
-    # A bigger buffer absorbs rewrites: flash programs fall monotonically.
-    programs = [results[p]["flash_programs"] for p in sorted(results)]
-    assert programs == sorted(programs, reverse=True)
+    bench_case.emit(
+        {
+            "buffer0_mean_response_us": results[0]["mean_response_us"],
+            "buffer512_mean_response_us": results[512]["mean_response_us"],
+            "buffer2048_flash_programs": results[2048]["flash_programs"],
+            "program_reduction": results[0]["flash_programs"]
+            / max(results[2048]["flash_programs"], 1.0),
+        },
+        specs={"program_reduction": {"direction": "higher"}},
+        table="ablation_buffer",
+    )
+
+    # A bigger buffer absorbs rewrites: flash programs fall.
     assert results[2048]["flash_programs"] < results[0]["flash_programs"]
+    if not QUICK:
+        programs = [results[p]["flash_programs"] for p in sorted(results)]
+        assert programs == sorted(programs, reverse=True)

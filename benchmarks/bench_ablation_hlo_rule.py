@@ -7,7 +7,7 @@ combined rule should promote far less than promote-everything while
 keeping most of the sensing-level reduction.
 """
 
-from conftest import write_table
+from conftest import BENCH_SEED, QUICK, write_table
 
 from repro.analysis.experiments import SystemExperimentConfig
 from repro.baselines.systems import SystemConfig, build_system
@@ -15,12 +15,16 @@ from repro.core.hlo import OverheadRule
 from repro.sim.engine import SimulationEngine
 from repro.traces.workloads import make_workload
 
+N_REQUESTS = 4_000 if QUICK else 20_000
+
 
 def _run_variants(shared_policy):
-    config = SystemExperimentConfig(n_blocks=256, n_requests=20_000)
+    config = SystemExperimentConfig(
+        n_blocks=256, n_requests=N_REQUESTS, seed=BENCH_SEED
+    )
     ssd_config = config.ssd_config()
     workload = make_workload("fin-2", ssd_config.logical_pages)
-    trace = workload.generate(config.n_requests, seed=1)
+    trace = workload.generate(config.n_requests, seed=BENCH_SEED)
     variants = {
         # the paper's rule: hot AND expensive
         "lf-x-lsensing": dict(freq_levels=2, sensing_buckets=2),
@@ -55,7 +59,8 @@ def _run_variants(shared_policy):
     return out
 
 
-def test_ablation_hlo_rule(benchmark, results_dir, shared_policy):
+def test_ablation_hlo_rule(benchmark, results_dir, shared_policy, bench_case):
+    bench_case.configure(n_requests=N_REQUESTS, workload="fin-2")
     results = benchmark.pedantic(
         _run_variants, args=(shared_policy,), rounds=1, iterations=1
     )
@@ -74,5 +79,18 @@ def test_ablation_hlo_rule(benchmark, results_dir, shared_policy):
 
     combined = results["lf-x-lsensing"]
     greedy = results["any-old-page"]
-    assert combined["promotions"] < greedy["promotions"]
-    assert combined["migration_programs"] < greedy["migration_programs"]
+    bench_case.emit(
+        {
+            "combined_mean_response_us": combined["mean_response_us"],
+            "combined_promotions": combined["promotions"],
+            "combined_migration_programs": combined["migration_programs"],
+            "greedy_promotions": greedy["promotions"],
+            "promotion_saving": greedy["promotions"]
+            / max(combined["promotions"], 1.0),
+        },
+        specs={"promotion_saving": {"direction": "higher"}},
+        table="ablation_hlo_rule",
+    )
+    if not QUICK:
+        assert combined["promotions"] < greedy["promotions"]
+        assert combined["migration_programs"] < greedy["migration_programs"]

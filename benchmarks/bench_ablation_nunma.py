@@ -32,7 +32,8 @@ def _run_ablation():
     return out
 
 
-def test_ablation_nunma_margins(benchmark, results_dir):
+def test_ablation_nunma_margins(benchmark, results_dir, bench_case):
+    bench_case.configure(pe=5000, hours=720.0)
     results = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
 
     lines = ["plan    retention BER (5000 P/E, 1 mo)   C2C BER     level-2 error share"]
@@ -46,6 +47,17 @@ def test_ablation_nunma_margins(benchmark, results_dir):
     lines.append("paper §4.2: with uniform margins, 78% of retention errors sit on "
                  "level 2 (15% on level 1) — the NUNMA motivation")
     write_table(results_dir, "ablation_nunma", lines)
+
+    bench_case.emit(
+        {
+            "basic_retention_ber": results["basic"]["retention_ber"],
+            "nunma2_retention_ber": results["nunma2"]["retention_ber"],
+            "nunma3_retention_ber": results["nunma3"]["retention_ber"],
+            "nunma3_c2c_ber": results["nunma3"]["c2c_ber"],
+            "basic_level2_share": results["basic"]["level2_share"],
+        },
+        table="ablation_nunma",
+    )
 
     # Uniform margins leave most retention errors on the top level...
     assert results["basic"]["level2_share"] > 0.5

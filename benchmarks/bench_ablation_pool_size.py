@@ -6,21 +6,26 @@ mean sensing levels at a proportional capacity cost, saturating once
 the HLO set fits.
 """
 
-from conftest import write_table
+from conftest import BENCH_SEED, QUICK, write_table
 
 from repro.analysis.experiments import SystemExperimentConfig
 from repro.baselines.systems import SystemConfig, build_system
 from repro.sim.engine import SimulationEngine
 from repro.traces.workloads import make_workload
 
+N_REQUESTS = 4_000 if QUICK else 20_000
+POOL_SWEEP = (0.0, 0.05, 0.15, 0.25)
+
 
 def _run_sweep(shared_policy):
-    config = SystemExperimentConfig(n_blocks=256, n_requests=20_000)
+    config = SystemExperimentConfig(
+        n_blocks=256, n_requests=N_REQUESTS, seed=BENCH_SEED
+    )
     ssd_config = config.ssd_config()
     workload = make_workload("fin-2", ssd_config.logical_pages)
-    trace = workload.generate(config.n_requests, seed=1)
+    trace = workload.generate(config.n_requests, seed=BENCH_SEED)
     out = {}
-    for fraction in (0.0, 0.05, 0.15, 0.25):
+    for fraction in POOL_SWEEP:
         system_config = SystemConfig(
             ssd=ssd_config,
             footprint_pages=workload.footprint_pages,
@@ -38,7 +43,8 @@ def _run_sweep(shared_policy):
     return out
 
 
-def test_ablation_pool_size(benchmark, results_dir, shared_policy):
+def test_ablation_pool_size(benchmark, results_dir, shared_policy, bench_case):
+    bench_case.configure(n_requests=N_REQUESTS, pool_sweep=list(POOL_SWEEP))
     results = benchmark.pedantic(
         _run_sweep, args=(shared_policy,), rounds=1, iterations=1
     )
@@ -51,10 +57,21 @@ def test_ablation_pool_size(benchmark, results_dir, shared_policy):
         )
     write_table(results_dir, "ablation_pool_size", lines)
 
+    bench_case.emit(
+        {
+            "no_pool_mean_extra_levels": results[0.0]["mean_extra_levels"],
+            "full_pool_mean_extra_levels": results[0.25]["mean_extra_levels"],
+            "full_pool_mean_response_us": results[0.25]["mean_response_us"],
+            "full_pool_capacity_loss": results[0.25]["capacity_loss"],
+        },
+        table="ablation_pool_size",
+    )
+
     # No pool = plain LDPC-in-SSD behaviour; growing the pool lowers the
     # sensing burden and raises the capacity cost monotonically.
-    levels = [results[f]["mean_extra_levels"] for f in sorted(results)]
-    assert levels[0] == max(levels)
     losses = [results[f]["capacity_loss"] for f in sorted(results)]
     assert losses == sorted(losses)
-    assert results[0.25]["mean_extra_levels"] < results[0.0]["mean_extra_levels"]
+    if not QUICK:
+        levels = [results[f]["mean_extra_levels"] for f in sorted(results)]
+        assert levels[0] == max(levels)
+        assert results[0.25]["mean_extra_levels"] < results[0.0]["mean_extra_levels"]

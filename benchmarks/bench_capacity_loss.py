@@ -5,9 +5,7 @@ Paper claims: limiting LevelAdjust to a 64 GB pool of a 256 GB system
 capacity; the observed loss per workload is at most that bound.
 """
 
-from conftest import write_table
-
-from repro.traces.workloads import workload_names
+from conftest import BENCH_WORKLOADS, write_table
 
 
 def _capacity_report(matrix, logical_pages):
@@ -23,15 +21,18 @@ def _capacity_report(matrix, logical_pages):
     return report
 
 
-def test_capacity_loss(benchmark, results_dir, matrix_6000, experiment_config):
+def test_capacity_loss(benchmark, results_dir, matrix_6000, experiment_config, bench_case):
     logical = experiment_config.ssd_config().logical_pages
+    bench_case.configure(
+        n_requests=experiment_config.n_requests, workloads=list(BENCH_WORKLOADS)
+    )
     report = benchmark.pedantic(
         _capacity_report, args=(matrix_6000, logical), rounds=1, iterations=1
     )
 
     bound = 0.25 * 0.25  # full pool at 25 % density loss = 6.25 %
     lines = ["workload  reduced fraction  capacity loss (25% of it)"]
-    for workload in workload_names():
+    for workload in BENCH_WORKLOADS:
         row = report[workload]
         lines.append(
             f"{workload:8s}  {row['reduced_fraction']:16.3f}  "
@@ -42,7 +43,16 @@ def test_capacity_loss(benchmark, results_dir, matrix_6000, experiment_config):
     lines.append("raw LevelAdjust-only loss: 25.00%")
     write_table(results_dir, "capacity_loss", lines)
 
-    for workload in workload_names():
+    losses = [report[w]["capacity_loss_fraction"] for w in BENCH_WORKLOADS]
+    bench_case.emit(
+        {
+            "max_capacity_loss": max(losses),
+            "mean_capacity_loss": sum(losses) / len(losses),
+        },
+        table="capacity_loss",
+    )
+
+    for workload in BENCH_WORKLOADS:
         loss = report[workload]["capacity_loss_fraction"]
         assert 0.0 <= loss <= bound + 1e-9
         # AccessEval's whole point: far below the raw 25 % loss

@@ -7,34 +7,29 @@ the paper workloads through the discrete-event multi-channel engine
 (4 channels, read retry on) and reports p50/p95/p99 response times and
 per-channel utilization for all four storage systems.
 
-Quick mode for CI smoke runs: set ``REPRO_BENCH_QUICK=1`` to shrink the
-workload set and trace length (import-rot and wiring coverage only, not
-meaningful numbers).
+Quick mode (``repro bench run --quick`` / ``REPRO_BENCH_QUICK=1``)
+shrinks the workload set and trace length: import-rot and wiring
+coverage only, not meaningful numbers.
 """
 
-import os
-
 import numpy as np
-from conftest import write_manifest, write_table
+from conftest import BENCH_SEED, BENCH_WORKLOADS, QUICK, write_table
 
 from repro.baselines.systems import SystemConfig, build_system, system_names
 from repro.ftl.config import SsdConfig
-from repro.obs import ManifestBuilder
 from repro.sim import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
-from repro.traces.workloads import make_workload, workload_names
+from repro.traces.workloads import make_workload
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 N_CHANNELS = 4
 N_REQUESTS = 3_000 if QUICK else 20_000
-WORKLOADS = workload_names()[:2] if QUICK else workload_names()
 
 
 def run_matrix(shared_policy):
     ssd_config = SsdConfig(n_blocks=256, pages_per_block=64, initial_pe_cycles=6000)
     results = {}
-    for workload_name in WORKLOADS:
+    for workload_name in BENCH_WORKLOADS:
         workload = make_workload(workload_name, ssd_config.logical_pages)
-        trace = workload.generate(N_REQUESTS, seed=1)
+        trace = workload.generate(N_REQUESTS, seed=BENCH_SEED)
         for system_name in system_names():
             config = SystemConfig(
                 ssd=ssd_config,
@@ -52,17 +47,12 @@ def run_matrix(shared_policy):
     return results
 
 
-def test_des_tail_latency(benchmark, results_dir, shared_policy):
-    builder = ManifestBuilder.begin(
-        "bench_des_tail_latency",
-        {
-            "quick": QUICK,
-            "n_channels": N_CHANNELS,
-            "n_requests": N_REQUESTS,
-            "workloads": list(WORKLOADS),
-            "retry_seed": 2015,
-        },
-        seed=1,
+def test_des_tail_latency(benchmark, results_dir, shared_policy, bench_case):
+    bench_case.configure(
+        n_channels=N_CHANNELS,
+        n_requests=N_REQUESTS,
+        workloads=list(BENCH_WORKLOADS),
+        retry_seed=2015,
     )
     results = benchmark.pedantic(run_matrix, args=(shared_policy,), rounds=1, iterations=1)
 
@@ -73,7 +63,7 @@ def test_des_tail_latency(benchmark, results_dir, shared_policy):
         f"{'workload':10s} {'system':18s} {'mean':>9s} {'p50':>9s} "
         f"{'p95':>9s} {'p99':>9s} {'mean util':>9s} {'per-channel util':>28s}",
     ]
-    for workload_name in WORKLOADS:
+    for workload_name in BENCH_WORKLOADS:
         for system_name in system_names():
             result = results[(workload_name, system_name)]
             percentiles = result.percentiles()
@@ -90,7 +80,7 @@ def test_des_tail_latency(benchmark, results_dir, shared_policy):
         lines.append("")
 
     p99_ratios = []
-    for workload_name in WORKLOADS:
+    for workload_name in BENCH_WORKLOADS:
         base = results[(workload_name, "baseline")].percentile_response_us(99)
         flex = results[(workload_name, "flexlevel")].percentile_response_us(99)
         if base > 0:
@@ -99,13 +89,16 @@ def test_des_tail_latency(benchmark, results_dir, shared_policy):
     lines.append(f"flexlevel p99 / baseline p99 (mean over workloads): {mean_ratio:.3f}")
     write_table(results_dir, "des_tail_latency", lines)
 
-    manifest_metrics = {"flexlevel_vs_baseline_p99_ratio": mean_ratio}
-    for (workload_name, system_name), result in results.items():
-        prefix = f"{workload_name}.{system_name}"
-        manifest_metrics[f"{prefix}.mean_response_us"] = result.mean_response_us()
-        for key, value in result.percentiles().items():
-            manifest_metrics[f"{prefix}.{key}"] = value
-    write_manifest(results_dir, "des_tail_latency", builder, manifest_metrics)
+    metrics = {"flexlevel_vs_baseline_p99_ratio": mean_ratio}
+    for workload_name in BENCH_WORKLOADS:
+        for system_name in ("baseline", "flexlevel"):
+            result = results[(workload_name, system_name)]
+            prefix = f"{workload_name}.{system_name}"
+            metrics[f"{prefix}.mean_response_us"] = result.mean_response_us()
+            metrics[f"{prefix}.p99_response_us"] = result.percentiles()[
+                "p99_response_us"
+            ]
+    bench_case.emit(metrics, table="des_tail_latency")
 
     # Every (workload, system) cell must have produced sane tail metrics.
     for result in results.values():

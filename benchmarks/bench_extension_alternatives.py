@@ -7,7 +7,7 @@ same capacity-loss budget, and (c) retention-aware refresh, which
 spends endurance instead of capacity?
 """
 
-from conftest import write_table
+from conftest import BENCH_SEED, QUICK, write_table
 
 from repro.analysis.experiments import SystemExperimentConfig
 from repro.baselines import (
@@ -19,12 +19,14 @@ from repro.core.level_adjust import CellMode
 from repro.sim.engine import SimulationEngine
 from repro.traces.workloads import make_workload
 
-
-_WORKLOADS = ("fin-2", "web-1", "prj-1")
+N_REQUESTS = 4_000 if QUICK else 25_000
+_WORKLOADS = ("fin-2",) if QUICK else ("fin-2", "web-1", "prj-1")
 
 
 def _run_alternatives(shared_policy):
-    config = SystemExperimentConfig(n_blocks=256, n_requests=25_000)
+    config = SystemExperimentConfig(
+        n_blocks=256, n_requests=N_REQUESTS, seed=BENCH_SEED
+    )
     ssd_config = config.ssd_config()
     names = (
         ("ldpc-in-ssd", build_system),
@@ -37,7 +39,7 @@ def _run_alternatives(shared_policy):
            for name, _ in names}
     for workload_name in _WORKLOADS:
         workload = make_workload(workload_name, ssd_config.logical_pages)
-        trace = workload.generate(config.n_requests, seed=1)
+        trace = workload.generate(config.n_requests, seed=BENCH_SEED)
         for name, builder in names:
             system_config = SystemConfig(
                 ssd=ssd_config,
@@ -76,7 +78,8 @@ def _run_alternatives(shared_policy):
     return summary
 
 
-def test_extension_alternatives(benchmark, results_dir, shared_policy):
+def test_extension_alternatives(benchmark, results_dir, shared_policy, bench_case):
+    bench_case.configure(n_requests=N_REQUESTS, workloads=list(_WORKLOADS))
     results = benchmark.pedantic(
         _run_alternatives, args=(shared_policy,), rounds=1, iterations=1
     )
@@ -94,12 +97,31 @@ def test_extension_alternatives(benchmark, results_dir, shared_policy):
     lines.append("flexlevel/slc-cache spend capacity; progressive retry spends latency.")
     write_table(results_dir, "extension_alternatives", lines)
 
-    # Structural expectations.
-    assert (
-        results["ldpc-in-ssd-progressive"]["mean_response_us"]
-        > results["ldpc-in-ssd"]["mean_response_us"]
+    bench_case.emit(
+        {
+            f"{name.replace('-', '_')}_mean_response_us": row["mean_response_us"]
+            for name, row in results.items()
+        }
+        | {
+            "flexlevel_capacity_loss": results["flexlevel"]["capacity_loss"],
+            "refresh_total_programs": results["refresh"]["total_programs"],
+        },
+        table="extension_alternatives",
     )
-    assert results["flexlevel"]["mean_response_us"] < results["ldpc-in-ssd"]["mean_response_us"]
-    # Refresh pays in programs what it wins in latency.
-    assert results["refresh"]["total_programs"] > results["ldpc-in-ssd"]["total_programs"] * 1.3
-    assert results["refresh"]["capacity_loss"] == 0.0
+
+    if not QUICK:
+        # Structural expectations.
+        assert (
+            results["ldpc-in-ssd-progressive"]["mean_response_us"]
+            > results["ldpc-in-ssd"]["mean_response_us"]
+        )
+        assert (
+            results["flexlevel"]["mean_response_us"]
+            < results["ldpc-in-ssd"]["mean_response_us"]
+        )
+        # Refresh pays in programs what it wins in latency.
+        assert (
+            results["refresh"]["total_programs"]
+            > results["ldpc-in-ssd"]["total_programs"] * 1.3
+        )
+        assert results["refresh"]["capacity_loss"] == 0.0

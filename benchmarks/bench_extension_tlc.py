@@ -7,7 +7,7 @@ and the generalized pair code (6-level reduced TLC) escapes it for a
 pair construction wastes a smaller fraction of a bigger grid.
 """
 
-from conftest import write_table
+from conftest import QUICK, write_table
 
 from repro.analysis.calibration import calibrated_analyzer
 from repro.core.pair_code import density_summary, optimize_pair_code, slip_cost
@@ -15,10 +15,12 @@ from repro.device.coding import GrayCoding
 from repro.device.voltages import reduced_tlc_plan, tlc_plan
 from repro.ecc.ldpc.sensing import SensingLevelPolicy
 
+PAIR_ITERATIONS = 200 if QUICK else 800
+
 
 def _run_tlc_study():
     tlc = calibrated_analyzer(tlc_plan(), coding=GrayCoding(8))
-    pair = optimize_pair_code(6, iterations=800)
+    pair = optimize_pair_code(6, iterations=PAIR_ITERATIONS)
     reduced = calibrated_analyzer(reduced_tlc_plan(), coding=pair)
     policy = SensingLevelPolicy()
     grid = {}
@@ -35,7 +37,8 @@ def _run_tlc_study():
     return grid, slip_cost(pair), density_summary(6)
 
 
-def test_extension_tlc(benchmark, results_dir):
+def test_extension_tlc(benchmark, results_dir, bench_case):
+    bench_case.configure(pair_iterations=PAIR_ITERATIONS)
     grid, pair_cost, density = benchmark.pedantic(
         _run_tlc_study, rounds=1, iterations=1
     )
@@ -55,6 +58,17 @@ def test_extension_tlc(benchmark, results_dir):
         f"slip cost mean {pair_cost[0]:.2f} / worst {pair_cost[1]} bits"
     )
     write_table(results_dir, "extension_tlc", lines)
+
+    bench_case.emit(
+        {
+            "tlc_corner_levels": grid[(3000, 720.0)]["tlc_levels"],
+            "reduced_corner_levels": grid[(3000, 720.0)]["reduced_levels"],
+            "pair_bits_per_cell": density["pair_bits_per_cell"],
+            "pair_slip_cost_mean": pair_cost[0],
+        },
+        specs={"pair_bits_per_cell": {"direction": "higher"}},
+        table="extension_tlc",
+    )
 
     # TLC needs soft sensing at moderate wear; the reduced form does not.
     assert grid[(3000, 720.0)]["tlc_levels"] >= 4

@@ -7,7 +7,7 @@ that the decoders are implemented correctly (BP >= min-sum >> hard).
 """
 
 import numpy as np
-from conftest import write_table
+from conftest import BENCH_SEED, QUICK, write_table
 
 from repro.ecc.ldpc.channel import NandReadChannel
 from repro.ecc.ldpc.code import LdpcCode
@@ -16,7 +16,7 @@ from repro.ecc.ldpc.sum_product import SumProductDecoder
 from repro.errors import DecodingFailure
 
 _BERS = (0.01, 0.03, 0.05)
-_FRAMES = 30
+_FRAMES = 10 if QUICK else 30
 
 
 def _run_curves():
@@ -28,7 +28,7 @@ def _run_curves():
     }
     curves = {name: {} for name in decoders}
     for raw_ber in _BERS:
-        rng = np.random.default_rng(7)
+        rng = np.random.default_rng(BENCH_SEED + 6)
         channel = NandReadChannel(raw_ber, extra_levels=5)
         frames = []
         for _ in range(_FRAMES):
@@ -51,7 +51,8 @@ def _run_curves():
     return curves
 
 
-def test_fer_curves(benchmark, results_dir):
+def test_fer_curves(benchmark, results_dir, bench_case):
+    bench_case.configure(bers=list(_BERS), n_frames=_FRAMES)
     curves = benchmark.pedantic(_run_curves, rounds=1, iterations=1)
 
     lines = ["decoder             " + "  ".join(f"BER {b:<6}" for b in _BERS)]
@@ -62,6 +63,16 @@ def test_fer_curves(benchmark, results_dir):
     lines.append("")
     lines.append(f"frame success over {_FRAMES} frames, LDPC(512), 5 extra sensing levels")
     write_table(results_dir, "fer_curves", lines)
+
+    bench_case.emit(
+        {
+            "hard_success_at_005": curves["bit-flip (hard)"][0.05],
+            "minsum_success_at_005": curves["min-sum (soft)"][0.05],
+            "sumproduct_success_at_005": curves["sum-product (soft)"][0.05],
+            "minsum_success_at_001": curves["min-sum (soft)"][0.01],
+        },
+        table="fer_curves",
+    )
 
     for name, curve in curves.items():
         values = [curve[b] for b in _BERS]

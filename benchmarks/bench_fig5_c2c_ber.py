@@ -10,7 +10,7 @@ from conftest import write_table
 from repro.analysis.experiments import run_fig5_c2c_ber
 
 
-def test_fig5_c2c_ber(benchmark, results_dir):
+def test_fig5_c2c_ber(benchmark, results_dir, bench_case):
     results = benchmark(run_fig5_c2c_ber)
 
     lines = ["scheme      C2C BER      reduction vs baseline"]
@@ -18,6 +18,17 @@ def test_fig5_c2c_ber(benchmark, results_dir):
     for name in ("baseline", "nunma1", "nunma2", "nunma3"):
         lines.append(f"{name:10s}  {results[name]:.4e}  {base / results[name]:8.1f}x")
     write_table(results_dir, "fig5_c2c_ber", lines)
+
+    bench_case.emit(
+        {
+            "baseline_c2c_ber": results["baseline"],
+            "nunma1_c2c_ber": results["nunma1"],
+            "nunma3_c2c_ber": results["nunma3"],
+            "nunma1_reduction": base / results["nunma1"],
+        },
+        specs={"nunma1_reduction": {"direction": "higher"}},
+        table="fig5_c2c_ber",
+    )
 
     # Paper shape: every reduced config beats baseline; NUNMA 3 is the
     # worst of the three reduced configs.

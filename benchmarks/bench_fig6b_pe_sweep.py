@@ -4,24 +4,35 @@ Paper claims: the average response-time reduction vs LDPC-in-SSD rises
 from 21 % at 4000 P/E to 33 % at 6000 P/E.
 """
 
-from conftest import write_table
+from conftest import BENCH_SEED, BENCH_WORKLOADS, QUICK, write_table
 
 from repro.analysis.experiments import SystemExperimentConfig
 
+_PE_POINTS = (4000, 5000, 6000)
 
-def test_fig6b_pe_sweep(benchmark, results_dir, experiment_config, shared_policy):
+
+def test_fig6b_pe_sweep(benchmark, results_dir, experiment_config, shared_policy, bench_case):
+    n_requests = experiment_config.n_requests // 2
+    bench_case.configure(
+        n_requests=n_requests,
+        workloads=list(BENCH_WORKLOADS),
+        pe_points=list(_PE_POINTS),
+    )
+
     def run():
         # Reuse the session policy's BER cache across P/E points.
         from repro.analysis import experiments
 
         config = SystemExperimentConfig(
             n_blocks=experiment_config.n_blocks,
-            n_requests=experiment_config.n_requests // 2,
+            n_requests=n_requests,
+            seed=BENCH_SEED,
         )
         reductions = {}
-        for pe in (4000, 5000, 6000):
+        for pe in _PE_POINTS:
             runs = experiments.run_workload_matrix(
                 config,
+                workloads=BENCH_WORKLOADS,
                 systems=("ldpc-in-ssd", "flexlevel"),
                 pe_cycles=pe,
                 policy=shared_policy,
@@ -42,6 +53,13 @@ def test_fig6b_pe_sweep(benchmark, results_dir, experiment_config, shared_policy
     lines.append("paper: +21% at 4000 rising to +33% at 6000")
     write_table(results_dir, "fig6b_pe_sweep", lines)
 
-    # Paper shape: the gain exists at every wear point and grows with P/E.
-    assert reductions[6000] > 0.0
-    assert reductions[6000] > reductions[4000]
+    bench_case.emit(
+        {f"reduction_pe{pe}": reductions[pe] for pe in _PE_POINTS},
+        specs={f"reduction_pe{pe}": {"direction": "higher"} for pe in _PE_POINTS},
+        table="fig6b_pe_sweep",
+    )
+
+    if not QUICK:
+        # Paper shape: the gain exists at high wear and grows with P/E.
+        assert reductions[6000] > 0.0
+        assert reductions[6000] > reductions[4000]

@@ -8,10 +8,9 @@ past 4000 P/E.
 """
 
 import numpy as np
-from conftest import write_table
+from conftest import BENCH_WORKLOADS, QUICK, write_table
 
 from repro.ftl.lifetime import lifetime_ratio
-from repro.traces.workloads import workload_names
 
 
 def _endurance_report(matrix):
@@ -40,13 +39,14 @@ def _endurance_report(matrix):
     return report
 
 
-def test_fig7_endurance(benchmark, results_dir, matrix_6000):
+def test_fig7_endurance(benchmark, results_dir, matrix_6000, bench_case):
+    bench_case.configure(workloads=list(BENCH_WORKLOADS))
     report = benchmark.pedantic(
         _endurance_report, args=(matrix_6000,), rounds=1, iterations=1
     )
 
     lines = ["workload  write increase  erase increase  lifetime ratio"]
-    for workload in workload_names():
+    for workload in BENCH_WORKLOADS:
         row = report[workload]
         erase = (
             f"{row['erase_increase']:+14.0%}"
@@ -57,28 +57,45 @@ def test_fig7_endurance(benchmark, results_dir, matrix_6000):
             f"{workload:8s}  {row['write_increase']:+14.0%}  {erase}  "
             f"{row['lifetime_ratio']:14.3f}"
         )
-    finite_writes = [report[w]["write_increase"] for w in workload_names()]
+    finite_writes = [report[w]["write_increase"] for w in BENCH_WORKLOADS]
     finite_erases = [
         report[w]["erase_increase"]
-        for w in workload_names()
+        for w in BENCH_WORKLOADS
         if np.isfinite(report[w]["erase_increase"])
     ]
-    lifetimes = [report[w]["lifetime_ratio"] for w in workload_names()]
+    lifetimes = [report[w]["lifetime_ratio"] for w in BENCH_WORKLOADS]
+    median_write = float(np.median(finite_writes))
+    median_erase = float(np.median(finite_erases)) if finite_erases else 0.0
+    median_lifetime = float(np.median(lifetimes))
     lines.append("")
     lines.append(
-        f"medians: write {np.median(finite_writes):+.0%} (paper avg +15%), "
-        f"erase {np.median(finite_erases):+.0%} (paper avg +13%), "
-        f"lifetime {1 - np.median(lifetimes):.0%} reduction (paper avg 6%)"
+        f"medians: write {median_write:+.0%} (paper avg +15%), "
+        f"erase {median_erase:+.0%} (paper avg +13%), "
+        f"lifetime {1 - median_lifetime:.0%} reduction (paper avg 6%)"
     )
     write_table(results_dir, "fig7_endurance", lines)
 
-    # Paper shape: overheads exist but are bounded; web traces show the
-    # largest relative write increase; lifetime loss stays small.
+    bench_case.emit(
+        {
+            "median_write_increase": median_write,
+            "median_erase_increase": median_erase,
+            "median_lifetime_ratio": median_lifetime,
+        },
+        specs={"median_lifetime_ratio": {"direction": "higher"}},
+        table="fig7_endurance",
+    )
+
+    # Overheads exist but never go negative at any scale.
     assert all(w >= 0.0 for w in finite_writes)
-    web_max = max(report["web-1"]["write_increase"], report["web-2"]["write_increase"])
-    others = [
-        report[w]["write_increase"]
-        for w in ("fin-2", "prj-1", "prj-2", "win-1", "win-2")
-    ]
-    assert web_max > max(others)  # paper Fig 7(a)'s observation
-    assert np.median(lifetimes) > 0.80  # moderate lifetime impact
+    if not QUICK:
+        # Paper Fig 7(a): web traces show the largest relative write
+        # increase; lifetime loss stays small.
+        web_max = max(
+            report["web-1"]["write_increase"], report["web-2"]["write_increase"]
+        )
+        others = [
+            report[w]["write_increase"]
+            for w in ("fin-2", "prj-1", "prj-2", "win-1", "win-2")
+        ]
+        assert web_max > max(others)
+        assert median_lifetime > 0.80  # moderate lifetime impact

@@ -1,19 +1,22 @@
 """Robustness: Table 5 under calibration-constant perturbations.
 
-Scales each of the eight fitted constants by 0.8x and 1.25x and checks
-whether the Table 5 structure (the zero 0-day column and monotonicity
-in wear and age) survives — the reproduction does not hinge on the
-exact fitted point.
+Scales each of the eight fitted constants by 0.8x and 1.25x (only 0.8x
+in quick mode) and checks whether the Table 5 structure (the zero 0-day
+column and monotonicity in wear and age) survives — the reproduction
+does not hinge on the exact fitted point.
 """
 
-from conftest import write_table
+from conftest import QUICK, write_table
 
 from repro.analysis.sensitivity import run_sensitivity
 
+_FACTORS = (0.8,) if QUICK else (0.8, 1.25)
 
-def test_sensitivity(benchmark, results_dir):
+
+def test_sensitivity(benchmark, results_dir, bench_case):
+    bench_case.configure(factors=list(_FACTORS))
     results = benchmark.pedantic(
-        run_sensitivity, rounds=1, iterations=1, kwargs={"factors": (0.8, 1.25)}
+        run_sensitivity, rounds=1, iterations=1, kwargs={"factors": _FACTORS}
     )
 
     lines = ["constant      factor  cells changed  max delta  shape preserved"]
@@ -26,11 +29,20 @@ def test_sensitivity(benchmark, results_dir):
     fragile = [r for r in results if not r.shape_preserved]
     lines.append("")
     lines.append(
-        "every +-25% single-constant perturbation preserves Table 5's structure"
+        "every perturbation preserves Table 5's structure"
         if not fragile
         else f"FRAGILE under: {[(r.constant, r.factor) for r in fragile]}"
     )
     write_table(results_dir, "sensitivity", lines)
+
+    bench_case.emit(
+        {
+            "n_fragile": len(fragile),
+            "max_cells_changed": max(r.cells_changed for r in results),
+            "max_level_delta": max(r.max_level_delta for r in results),
+        },
+        table="sensitivity",
+    )
 
     assert not fragile
     # The matrix is genuinely sensitive to the constants (cells move),

@@ -2,7 +2,8 @@
 
 Paper claims: zero extra levels at 0 days for all P/E counts, a
 monotone escalation with wear and age, and six extra levels at the
-6000 P/E / 1 month corner.
+6000 P/E / 1 month corner.  Fast analytic sweep — quick mode runs the
+full grid.
 """
 
 from conftest import write_table
@@ -12,7 +13,7 @@ from repro.analysis.experiments import PAPER_TABLE5, run_table5_sensing_levels
 _COLUMNS = ((0.0, "0 day"), (24.0, "1 day"), (48.0, "2 days"), (168.0, "1 week"), (720.0, "1 month"))
 
 
-def test_table5_sensing_levels(benchmark, results_dir):
+def test_table5_sensing_levels(benchmark, results_dir, bench_case):
     table = benchmark.pedantic(run_table5_sensing_levels, rounds=1, iterations=1)
 
     lines = ["P/E    " + "  ".join(f"{label:>8s}" for _, label in _COLUMNS)
@@ -29,6 +30,18 @@ def test_table5_sensing_levels(benchmark, results_dir):
     lines.append("")
     lines.append(f"exact matches: {exact}/20; all deviations within 2 levels")
     write_table(results_dir, "table5_sensing_levels", lines)
+
+    bench_case.emit(
+        {
+            "exact_matches": exact,
+            "corner_levels": table[(6000, 720.0)],
+            "max_deviation": max(
+                abs(table[key] - paper) for key, paper in PAPER_TABLE5.items()
+            ),
+        },
+        specs={"exact_matches": {"direction": "higher"}},
+        table="table5_sensing_levels",
+    )
 
     # Paper shape assertions.
     for pe in (3000, 4000, 5000, 6000):

@@ -17,7 +17,7 @@ from repro.device.uber import (
 )
 
 
-def test_uber_requirements(benchmark, results_dir):
+def test_uber_requirements(benchmark, results_dir, bench_case):
     bers = (1e-4, 5e-4, 1e-3, 4e-3, 1e-2, 1.6e-2)
 
     def run():
@@ -36,6 +36,14 @@ def test_uber_requirements(benchmark, results_dir):
         achieved = uber(k, LDPC_CODEWORD_BITS, LDPC_INFO_BITS, p)
         lines.append(f"{p:8.1e}  {k:26d}   {achieved:.2e}")
     write_table(results_dir, "uber_requirements", lines)
+
+    bench_case.emit(
+        {
+            "required_bits_at_1e3": required[1e-3],
+            "required_bits_at_corner": required[1.6e-2],
+        },
+        table="uber_requirements",
+    )
 
     values = [required[p] for p in bers]
     assert values == sorted(values)  # correction need grows with BER

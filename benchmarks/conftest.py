@@ -1,13 +1,24 @@
 """Shared fixtures for the benchmark harness.
 
 Heavy experiment results (the trace-simulation matrices) are computed
-once per session and shared across benches; every bench also writes its
-paper-style table to ``benchmarks/results/`` so the numbers survive the
-run.
+once per session and shared across benches; every bench writes its
+paper-style table to ``benchmarks/results/`` AND emits a structured
+:class:`~repro.obs.bench.BenchResult` through the ``bench_case``
+fixture — ``BENCH_<name>.json`` at the repo root plus one append-only
+record in ``benchmarks/results/ledger.jsonl``.
+
+Quick/full mode and the base seed are NOT per-script knobs: every bench
+reads the shared :data:`QUICK` / :data:`BENCH_SEED` values routed
+through ``REPRO_BENCH_QUICK`` / ``REPRO_BENCH_SEED`` (the ``repro
+bench run`` harness sets them).  Quick mode shrinks scales to CI-smoke
+size — wiring coverage, not meaningful numbers — so quick results are
+ledgered under ``mode="quick"`` and never compared against full runs.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from pathlib import Path
 
 import pytest
@@ -17,14 +28,53 @@ from repro.analysis.experiments import (
     run_workload_matrix,
 )
 from repro.core.level_adjust import LevelAdjustPolicy
+from repro.obs.bench import (
+    ROOT_ENV,
+    RUN_ID_ENV,
+    BenchCase,
+    bench_name_for,
+    bench_seed,
+    quick_mode,
+)
+from repro.traces.workloads import workload_names
 
-RESULTS_DIR = Path(__file__).parent / "results"
+_ROOT = Path(os.environ.get(ROOT_ENV) or Path(__file__).resolve().parent.parent)
+RESULTS_DIR = _ROOT / "benchmarks" / "results"
+
+QUICK = quick_mode()
+BENCH_SEED = bench_seed()
+
+#: The workload set system-level benches sweep (shrunk in quick mode).
+BENCH_WORKLOADS = tuple(workload_names()[:2] if QUICK else workload_names())
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_run_id() -> str:
+    """One ledger run id per pytest session (harness override wins)."""
+    return os.environ.get(RUN_ID_ENV) or f"pytest-{int(time.time())}"
+
+
+@pytest.fixture
+def bench_case(request, results_dir, bench_run_id) -> BenchCase:
+    """The emit handle for one bench test.
+
+    Created before the test body runs, so the embedded manifest's wall
+    time brackets the measured work; the bench name is derived from the
+    module and test names (``bench_uber.py::test_uber_requirements`` →
+    ``uber_requirements``).
+    """
+    return BenchCase(
+        bench_name_for(request.module.__name__, request.node.name),
+        root=_ROOT,
+        ledger_path=results_dir / "ledger.jsonl",
+        run_id=bench_run_id,
+    )
 
 
 def write_table(results_dir: Path, name: str, lines: list[str]) -> None:
@@ -35,24 +85,14 @@ def write_table(results_dir: Path, name: str, lines: list[str]) -> None:
     print(text)
 
 
-def write_manifest(results_dir: Path, name: str, builder, metrics=None, **extra):
-    """Persist a bench's run manifest next to its table.
-
-    ``builder`` is a :class:`repro.obs.ManifestBuilder` begun before
-    the measured run, so the manifest's wall time brackets it; the
-    manifest's ``config_hash`` makes ``*_manifest.json`` trajectories
-    comparable across PRs.
-    """
-    path = results_dir / f"{name}_manifest.json"
-    builder.finish(metrics=metrics, **extra).write(path)
-    print(f"manifest written to {path}")
-    return path
-
-
 @pytest.fixture(scope="session")
 def experiment_config() -> SystemExperimentConfig:
     """The standard system-experiment scale used by the figure benches."""
-    return SystemExperimentConfig(n_blocks=256, n_requests=40_000)
+    return SystemExperimentConfig(
+        n_blocks=256,
+        n_requests=6_000 if QUICK else 40_000,
+        seed=BENCH_SEED,
+    )
 
 
 @pytest.fixture(scope="session")
@@ -63,5 +103,7 @@ def shared_policy() -> LevelAdjustPolicy:
 
 @pytest.fixture(scope="session")
 def matrix_6000(experiment_config, shared_policy):
-    """The 7-workload x 4-system matrix at 6000 P/E (Figs. 6a and 7)."""
-    return run_workload_matrix(experiment_config, policy=shared_policy)
+    """The workload x 4-system matrix at 6000 P/E (Figs. 6a and 7)."""
+    return run_workload_matrix(
+        experiment_config, workloads=BENCH_WORKLOADS, policy=shared_policy
+    )

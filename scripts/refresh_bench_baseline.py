@@ -1,0 +1,68 @@
+"""Refresh the committed benchmark baseline the CI perf gate compares to.
+
+Runs the full bench suite through the harness (``repro bench run``) and
+snapshots the resulting ledger run into
+``benchmarks/baselines/bench_baseline_<mode>.json``.  Commit the updated
+file together with the change that legitimately moved the numbers —
+the diff is the reviewable record of what shifted.
+
+    PYTHONPATH=src python scripts/refresh_bench_baseline.py            # quick
+    PYTHONPATH=src python scripts/refresh_bench_baseline.py --mode full
+    PYTHONPATH=src python scripts/refresh_bench_baseline.py --from-ledger
+
+``--from-ledger`` skips the (slow) run and snapshots the most recent
+ledger run of the chosen mode instead — useful right after a manual
+``repro bench run``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.bench import BenchLedger  # noqa: E402
+from repro.obs.bench_cli import baseline_path, write_baseline  # noqa: E402
+from repro.obs.bench_harness import discover_benches, run_benches  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("quick", "full"), default="quick")
+    parser.add_argument(
+        "--seed", type=int, default=None, help="base RNG seed override"
+    )
+    parser.add_argument(
+        "--from-ledger",
+        action="store_true",
+        help="snapshot the latest ledger run instead of re-running benches",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.from_ledger:
+        scripts = discover_benches(REPO_ROOT / "benchmarks")
+        outcomes = run_benches(
+            scripts, quick=args.mode == "quick", seed=args.seed, root=REPO_ROOT
+        )
+        failed = [o.script.name for o in outcomes if not o.ok]
+        if failed:
+            print(f"refusing to snapshot a failing run: {', '.join(failed)}")
+            return 1
+
+    ledger = BenchLedger(REPO_ROOT / "benchmarks" / "results" / "ledger.jsonl")
+    try:
+        results = ledger.select("latest", mode=args.mode)
+    except LookupError as exc:
+        print(f"error: {exc}")
+        return 1
+    path = write_baseline(baseline_path(REPO_ROOT, args.mode), results, args.mode)
+    print(
+        f"baseline refreshed: {path.relative_to(REPO_ROOT)} "
+        f"({len(results)} benches, mode={args.mode})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,20 @@ Three pillars, one dependency-free subsystem:
   written alongside results.
 """
 
+from repro.obs.bench import (
+    BenchCase,
+    BenchLedger,
+    BenchModeMismatch,
+    BenchResult,
+    BenchSchemaError,
+    MetricSpec,
+    bench_mode,
+    bench_seed,
+    compare_metrics,
+    compare_results,
+    quick_mode,
+    validate_bench_dict,
+)
 from repro.obs.manifest import ManifestBuilder, RunManifest, config_hash, git_sha
 from repro.obs.metrics import (
     Counter,
@@ -24,15 +38,27 @@ from repro.obs.metrics import (
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "BenchCase",
+    "BenchLedger",
+    "BenchModeMismatch",
+    "BenchResult",
+    "BenchSchemaError",
     "Counter",
     "Gauge",
     "Histogram",
     "ManifestBuilder",
+    "MetricSpec",
     "MetricsRegistry",
     "RunManifest",
     "Span",
     "Tracer",
+    "bench_mode",
+    "bench_seed",
+    "compare_metrics",
+    "compare_results",
     "config_hash",
     "git_sha",
     "merged_quantile",
+    "quick_mode",
+    "validate_bench_dict",
 ]

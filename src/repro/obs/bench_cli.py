@@ -1,0 +1,362 @@
+"""``repro bench`` — the benchmark ledger's command-line surface.
+
+Four subcommands over :mod:`repro.obs.bench` and
+:mod:`repro.obs.bench_harness`:
+
+* ``list`` — the discovered bench scripts and their one-line titles.
+* ``run`` — execute every (or a filtered set of) bench script through
+  the harness with quick/full mode and seed control, emitting
+  ``BENCH_*.json`` files plus ledger records.
+* ``compare`` — classify every metric of two runs (ledger selectors,
+  BENCH/baseline files or directories) as improved/flat/regressed;
+  exit 1 on regressions, which is the CI perf gate.
+* ``report`` — a markdown trend table across the ledger's runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.obs.bench import (
+    BenchLedger,
+    BenchModeMismatch,
+    BenchResult,
+    compare_results,
+    default_bench_root,
+)
+from repro.obs.bench_harness import discover_benches, run_benches
+
+
+def _ledger_path(root: Path) -> Path:
+    return root / "benchmarks" / "results" / "ledger.jsonl"
+
+
+def baseline_path(root: Path, mode: str) -> Path:
+    """The committed baseline file gate comparisons default to."""
+    return root / "benchmarks" / "baselines" / f"bench_baseline_{mode}.json"
+
+
+def write_baseline(
+    path: Path, results: dict[str, BenchResult], mode: str
+) -> Path:
+    """Write a ``{bench: record}`` baseline snapshot file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "mode": mode,
+        "benches": {
+            name: result.to_dict() for name, result in sorted(results.items())
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_baseline(path: Path | str) -> dict[str, BenchResult]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        name: BenchResult.from_dict(record)
+        for name, record in payload.get("benches", {}).items()
+    }
+
+
+def _resolve_ref(
+    ref: str, root: Path, mode: str | None
+) -> dict[str, BenchResult]:
+    """A comparison side: ledger selector, baseline/BENCH file or dir."""
+    if ref == "baseline":
+        path = baseline_path(root, mode or "quick")
+        if not path.exists():
+            raise LookupError(
+                f"no committed baseline at {path}; run "
+                "scripts/refresh_bench_baseline.py to create one"
+            )
+        return read_baseline(path)
+    if ref in ("latest", "prev") or ref.startswith(("run:", "sha:")):
+        return BenchLedger(_ledger_path(root)).select(ref, mode=mode)
+    path = Path(ref)
+    if path.is_dir():
+        return {
+            result.name: result
+            for result in map(BenchResult.read, sorted(path.glob("BENCH_*.json")))
+        }
+    if path.is_file():
+        with open(path) as handle:
+            payload = json.load(handle)
+        if isinstance(payload, dict) and "benches" in payload:
+            return read_baseline(path)
+        result = BenchResult.from_dict(payload)
+        return {result.name: result}
+    raise LookupError(f"cannot resolve comparison side {ref!r}")
+
+
+def _seed_replicates(
+    ledger: BenchLedger, baseline: BenchResult, candidate: BenchResult
+) -> list[dict[str, float]]:
+    """Ledger metric snapshots usable as noise replicates.
+
+    Same bench, mode and config hash as the baseline, but from other
+    seeds and not from the candidate's own run — the band must reflect
+    pre-existing noise, not the change under test.
+    """
+    out: list[dict[str, float]] = []
+    for record in ledger.records():
+        if (
+            record.get("bench") == baseline.name
+            and record.get("mode") == baseline.mode
+            and record.get("config_hash") == baseline.config_hash
+            and record.get("run_id") != candidate.run_id
+            and record.get("seed") != candidate.seed
+        ):
+            out.append({k: float(v) for k, v in record["metrics"].items()})
+    return out
+
+
+def cmd_list(args: Any) -> int:
+    root = default_bench_root()
+    scripts = discover_benches(root / "benchmarks")
+    if not scripts:
+        print(f"no bench scripts under {root / 'benchmarks'}")
+        return 1
+    width = max(len(s.name) for s in scripts)
+    for script in scripts:
+        print(f"{script.name:{width}s}  {script.title}")
+    print(f"\n{len(scripts)} benches; run them with: repro bench run [--quick]")
+    return 0
+
+
+def cmd_run(args: Any) -> int:
+    root = default_bench_root()
+    scripts = discover_benches(root / "benchmarks")
+    if args.filter:
+        scripts = [
+            s for s in scripts if any(token in s.name for token in args.filter)
+        ]
+    if not scripts:
+        print("no benches match the filter")
+        return 1
+    outcomes = run_benches(
+        scripts, quick=args.quick, seed=args.seed, root=root
+    )
+    emitted = sum(len(o.emitted) for o in outcomes)
+    failed = [o for o in outcomes if not o.ok]
+    total = sum(o.duration_s for o in outcomes)
+    print(
+        f"\n{len(outcomes) - len(failed)}/{len(outcomes)} benches ok, "
+        f"{emitted} BENCH records, ledger at "
+        f"{_ledger_path(root).relative_to(root)}, {total:.1f}s total"
+    )
+    if failed:
+        print("failed: " + ", ".join(o.script.name for o in failed))
+        return 1
+    return 0
+
+
+def cmd_compare(args: Any) -> int:
+    root = default_bench_root()
+    mode = args.mode
+    try:
+        baselines = _resolve_ref(args.baseline, root, mode)
+        candidates = _resolve_ref(args.candidate, root, mode)
+    except LookupError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not baselines:
+        print(f"error: baseline {args.baseline!r} resolved to no benches")
+        return 2
+    ledger = BenchLedger(_ledger_path(root))
+    comparisons = []
+    missing_benches = sorted(set(baselines) - set(candidates))
+    new_benches = sorted(set(candidates) - set(baselines))
+    failures = list(missing_benches)
+    for name in sorted(set(baselines) & set(candidates)):
+        base, cand = baselines[name], candidates[name]
+        try:
+            comparison = compare_results(
+                base,
+                cand,
+                replicates=_seed_replicates(ledger, base, cand),
+                default_tolerance=args.tolerance,
+            )
+        except BenchModeMismatch as exc:
+            print(f"error: {exc}")
+            return 2
+        comparisons.append(comparison)
+        if not comparison.ok:
+            failures.append(name)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": not failures,
+                    "missing_benches": missing_benches,
+                    "new_benches": new_benches,
+                    "comparisons": [c.to_dict() for c in comparisons],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for comparison in comparisons:
+            lines = comparison.summary_lines(verbose=args.verbose)
+            status = "ok" if comparison.ok else "REGRESSED"
+            n_flat = sum(
+                d.classification == "flat" for d in comparison.deltas
+            )
+            print(
+                f"{comparison.bench} [{comparison.mode}]: {status} "
+                f"({len(comparison.improvements)} improved, {n_flat} flat, "
+                f"{len(comparison.regressions)} regressed)"
+            )
+            for line in lines:
+                print(line)
+        for name in missing_benches:
+            print(f"{name}: MISSING from candidate run")
+        for name in new_benches:
+            print(f"{name}: new bench (no baseline, not gated)")
+        verdict = "zero regressions" if not failures else (
+            f"regressions in: {', '.join(sorted(set(failures)))}"
+        )
+        print(f"\ncompared {len(comparisons)} benches: {verdict}")
+    return 1 if failures else 0
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def cmd_report(args: Any) -> int:
+    root = default_bench_root()
+    ledger = BenchLedger(_ledger_path(root))
+    runs = ledger.runs(mode=args.mode)
+    if not runs:
+        print(f"ledger {_ledger_path(root)} has no runs to report")
+        return 1
+    runs = runs[-args.last:]
+    # Column per run, row per bench.metric; within a run the last
+    # record per bench wins (re-runs supersede).
+    columns: list[tuple[str, dict[str, dict[str, float]]]] = []
+    for run_id, records in runs:
+        by_bench: dict[str, dict[str, float]] = {}
+        for record in records:
+            by_bench[record["bench"]] = {
+                k: float(v) for k, v in record["metrics"].items()
+            }
+        columns.append((run_id, by_bench))
+    row_keys = sorted(
+        {
+            (bench, metric)
+            for _, by_bench in columns
+            for bench, metrics in by_bench.items()
+            for metric in metrics
+        }
+    )
+    header = ["metric"] + [run_id for run_id, _ in columns]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for bench, metric in row_keys:
+        cells = [f"{bench}.{metric}"]
+        previous: float | None = None
+        for _, by_bench in columns:
+            value = by_bench.get(bench, {}).get(metric)
+            if value is None:
+                cells.append("—")
+            elif previous in (None, 0.0) or not math.isfinite(previous):
+                cells.append(_fmt(value))
+            else:
+                delta = (value - previous) / abs(previous)
+                cells.append(f"{_fmt(value)} ({delta:+.1%})")
+            previous = value if value is not None else previous
+        lines.append("| " + " | ".join(cells) + " |")
+    mode_note = f" (mode: {args.mode})" if args.mode else ""
+    text = (
+        f"# Bench trend — last {len(columns)} runs{mode_note}\n\n"
+        + "\n".join(lines)
+        + "\n"
+    )
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def add_bench_parser(commands: Any) -> None:
+    """Register the ``bench`` subcommand family on the repro CLI."""
+    bench = commands.add_parser(
+        "bench", help="benchmark ledger: list/run/compare/report"
+    )
+    sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    list_parser = sub.add_parser("list", help="discovered bench scripts")
+    list_parser.set_defaults(handler=cmd_list)
+
+    run = sub.add_parser(
+        "run", help="run benches through the harness, emit BENCH records"
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke scale (sets REPRO_BENCH_QUICK for every bench)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="base RNG seed override"
+    )
+    run.add_argument(
+        "-k",
+        "--filter",
+        action="append",
+        default=[],
+        help="only run benches whose name contains this substring "
+        "(repeatable)",
+    )
+    run.set_defaults(handler=cmd_run)
+
+    compare = sub.add_parser(
+        "compare",
+        help="classify metrics of two runs; exit 1 on regressions",
+    )
+    compare.add_argument(
+        "baseline",
+        nargs="?",
+        default="baseline",
+        help="'baseline' (committed file), 'latest', 'prev', 'run:<id>', "
+        "'sha:<sha>', a BENCH/baseline JSON file or a directory",
+    )
+    compare.add_argument("candidate", nargs="?", default="latest")
+    compare.add_argument(
+        "--mode",
+        choices=("quick", "full"),
+        default="quick",
+        help="ledger mode filter; quick and full runs never compare",
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="default relative flat band when a metric declares none",
+    )
+    compare.add_argument("--json", action="store_true")
+    compare.add_argument(
+        "--verbose", action="store_true", help="also print flat metrics"
+    )
+    compare.set_defaults(handler=cmd_compare)
+
+    report = sub.add_parser(
+        "report", help="markdown trend table across the ledger"
+    )
+    report.add_argument("--mode", choices=("quick", "full"), default=None)
+    report.add_argument(
+        "--last", type=int, default=5, help="number of trailing runs"
+    )
+    report.add_argument("--out", default=None, help="write markdown here")
+    report.set_defaults(handler=cmd_report)

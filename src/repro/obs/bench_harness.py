@@ -1,0 +1,203 @@
+"""One harness for all ``benchmarks/bench_*.py`` scripts.
+
+The scripts stay ordinary pytest modules (so ``pytest benchmarks/``
+keeps working), but ``repro bench run`` executes them one subprocess at
+a time with the quick/seed/run-id environment routed through
+:mod:`repro.obs.bench`'s env vars, live per-bench progress/ETA lines
+fed by a :class:`~repro.obs.metrics.MetricsRegistry`, and schema
+validation of every ``BENCH_*.json`` the scripts emit.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.bench import (
+    QUICK_ENV,
+    RUN_ID_ENV,
+    SEED_ENV,
+    BenchResult,
+    default_bench_root,
+)
+from repro.obs.manifest import git_sha
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class BenchScript:
+    """One discovered bench module."""
+
+    path: Path
+    name: str  # module stem without the bench_ prefix
+    title: str  # first docstring line ("" when absent)
+
+
+def discover_benches(bench_dir: Path | str | None = None) -> list[BenchScript]:
+    """All ``bench_*.py`` scripts under the benchmarks directory, sorted."""
+    if bench_dir is None:
+        bench_dir = default_bench_root() / "benchmarks"
+    bench_dir = Path(bench_dir)
+    scripts: list[BenchScript] = []
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        title = ""
+        try:
+            docstring = ast.get_docstring(ast.parse(path.read_text()))
+            if docstring:
+                title = docstring.strip().splitlines()[0]
+        except SyntaxError:
+            title = "(unparseable)"
+        scripts.append(
+            BenchScript(path=path, name=path.stem[len("bench_"):], title=title)
+        )
+    return scripts
+
+
+@dataclass
+class BenchRunOutcome:
+    """What happened when one script ran under the harness."""
+
+    script: BenchScript
+    returncode: int
+    duration_s: float
+    emitted: list[BenchResult] = field(default_factory=list)
+    output_tail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+
+def make_run_id(mode: str) -> str:
+    """A ledger run id: short SHA, mode and a second-resolution stamp."""
+    return f"{git_sha()[:10]}-{mode}-{int(time.time())}"
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+def run_benches(
+    scripts: list[BenchScript],
+    *,
+    quick: bool = False,
+    seed: int | None = None,
+    run_id: str | None = None,
+    root: Path | str | None = None,
+    registry: MetricsRegistry | None = None,
+    emit: Callable[[str], None] = print,
+    pytest_args: tuple[str, ...] = (),
+) -> list[BenchRunOutcome]:
+    """Execute each script via ``pytest`` in its own subprocess.
+
+    Environment routing (one mechanism for every bench): quick mode via
+    :data:`~repro.obs.bench.QUICK_ENV`, the base seed via
+    :data:`~repro.obs.bench.SEED_ENV` and a shared ledger run id via
+    :data:`~repro.obs.bench.RUN_ID_ENV`.  The registry accumulates
+    ``bench.harness.*`` instruments (runs, failures, per-script wall
+    time) that drive the live ETA line.
+    """
+    root = default_bench_root() if root is None else Path(root)
+    mode = "quick" if quick else "full"
+    run_id = make_run_id(mode) if run_id is None else run_id
+    registry = MetricsRegistry() if registry is None else registry
+    durations = registry.histogram("bench.harness.duration_s")
+    runs = registry.counter("bench.harness.runs")
+    failures = registry.counter("bench.harness.failures")
+    progress = registry.gauge("bench.harness.progress")
+
+    env = dict(os.environ)
+    env[QUICK_ENV] = "1" if quick else ""
+    env[RUN_ID_ENV] = run_id
+    if seed is not None:
+        env[SEED_ENV] = str(seed)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    emit(
+        f"run {run_id}: {len(scripts)} benches, mode={mode}"
+        + (f", seed={seed}" if seed is not None else "")
+    )
+    outcomes: list[BenchRunOutcome] = []
+    for index, script in enumerate(scripts, start=1):
+        if durations.count:
+            eta = _format_eta(durations.mean() * (len(scripts) - index + 1))
+            eta_note = f" (ETA {eta})"
+        else:
+            eta_note = ""
+        emit(f"[{index}/{len(scripts)}] {script.name} ...{eta_note}")
+        t0 = time.perf_counter()
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(script.path),
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                *pytest_args,
+            ],
+            cwd=root,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        duration = time.perf_counter() - t0
+        durations.observe(duration)
+        runs.inc()
+        progress.set(index / len(scripts))
+        emitted = collect_bench_results(root, run_id, bench_prefix=script.name)
+        outcome = BenchRunOutcome(
+            script=script,
+            returncode=completed.returncode,
+            duration_s=duration,
+            emitted=emitted,
+            output_tail="\n".join(
+                (completed.stdout + completed.stderr).strip().splitlines()[-15:]
+            ),
+        )
+        outcomes.append(outcome)
+        if outcome.ok:
+            emit(
+                f"[{index}/{len(scripts)}] {script.name} ok "
+                f"({duration:.1f}s, {len(emitted)} BENCH record"
+                f"{'' if len(emitted) == 1 else 's'})"
+            )
+        else:
+            failures.inc()
+            emit(f"[{index}/{len(scripts)}] {script.name} FAILED ({duration:.1f}s)")
+            if outcome.output_tail:
+                emit(outcome.output_tail)
+    return outcomes
+
+
+def collect_bench_results(
+    root: Path | str, run_id: str | None = None, bench_prefix: str | None = None
+) -> list[BenchResult]:
+    """Schema-validated ``BENCH_*.json`` records under ``root``.
+
+    ``run_id`` restricts to records emitted by one harness run;
+    ``bench_prefix`` to one script's cases (a script may emit several
+    records, one per test).  Invalid files raise — a bench that emits a
+    schema-breaking record is a failure, not background noise.
+    """
+    root = Path(root)
+    results: list[BenchResult] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        result = BenchResult.read(path)
+        if run_id is not None and result.run_id != run_id:
+            continue
+        if bench_prefix is not None and not result.name.startswith(bench_prefix):
+            continue
+        results.append(result)
+    return results

@@ -21,6 +21,7 @@ import hashlib
 import json
 import os
 import subprocess
+import sys
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -58,6 +59,19 @@ def git_sha() -> str:
     return completed.stdout.strip()
 
 
+def _ru_maxrss_to_kb(ru_maxrss: int, platform: str) -> int:
+    """Normalise ``getrusage().ru_maxrss`` to KiB.
+
+    Linux counts KiB, macOS counts bytes; the unit is a platform
+    convention, not something inferable from the magnitude (a 50 MB
+    macOS process reports < 2**32 "bytes" and a large Linux process can
+    legitimately exceed 2**32 KiB), so branch on the platform.
+    """
+    if platform == "darwin":
+        return int(ru_maxrss) // 1024
+    return int(ru_maxrss)
+
+
 def peak_rss_kb() -> int | None:
     """Peak resident set size of this process in KiB (None if unknown)."""
     try:
@@ -65,11 +79,7 @@ def peak_rss_kb() -> int | None:
     except ImportError:  # non-POSIX platform
         return None
     usage = resource.getrusage(resource.RUSAGE_SELF)
-    # Linux reports KiB; macOS reports bytes.
-    rss = usage.ru_maxrss
-    if rss > 1 << 32:
-        rss //= 1024
-    return int(rss)
+    return _ru_maxrss_to_kb(usage.ru_maxrss, sys.platform)
 
 
 @dataclass(frozen=True)
@@ -161,6 +171,11 @@ class ManifestBuilder:
         seed: int | None = None,
     ) -> "ManifestBuilder":
         return cls(command, dict(config or {}), seed)
+
+    def update_config(self, config: dict[str, Any]) -> "ManifestBuilder":
+        """Merge knobs discovered after ``begin`` into the run config."""
+        self.config.update(config)
+        return self
 
     def finish(
         self,

@@ -1,0 +1,503 @@
+"""Tests for the benchmark ledger: schema, comparator, ledger, harness, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.bench import (
+    CLASS_FLAT,
+    CLASS_IMPROVED,
+    CLASS_MISSING_BASELINE,
+    CLASS_MISSING_CANDIDATE,
+    CLASS_REGRESSED,
+    QUICK_ENV,
+    SEED_ENV,
+    BenchCase,
+    BenchLedger,
+    BenchModeMismatch,
+    BenchResult,
+    BenchSchemaError,
+    MetricSpec,
+    bench_mode,
+    bench_name_for,
+    bench_seed,
+    compare_metrics,
+    compare_results,
+    infer_direction,
+    noise_band,
+    quick_mode,
+    validate_bench_dict,
+)
+from repro.obs.bench_harness import (
+    collect_bench_results,
+    discover_benches,
+    make_run_id,
+)
+from repro.obs.manifest import ManifestBuilder
+
+
+def make_result(
+    name="demo",
+    mode="quick",
+    seed=1,
+    run_id="run-a",
+    metrics=None,
+    specs=None,
+    config=None,
+):
+    builder = ManifestBuilder.begin(f"bench {name}", {"mode": mode, **(config or {})})
+    manifest = builder.finish(metrics=dict(metrics or {"m": 1.0}))
+    return BenchResult(
+        name=name,
+        mode=mode,
+        seed=seed,
+        run_id=run_id,
+        metrics=dict(metrics or {"m": 1.0}),
+        specs={k: MetricSpec.from_dict(v) for k, v in (specs or {}).items()},
+        manifest=manifest,
+    )
+
+
+class TestModeAndSeedRouting:
+    def test_quick_mode_env(self):
+        assert not quick_mode({})
+        assert not quick_mode({QUICK_ENV: ""})
+        assert not quick_mode({QUICK_ENV: "0"})
+        assert quick_mode({QUICK_ENV: "1"})
+        assert bench_mode({QUICK_ENV: "1"}) == "quick"
+        assert bench_mode({}) == "full"
+
+    def test_bench_seed_parsing(self):
+        assert bench_seed(env={}) == 1
+        assert bench_seed(default=9, env={}) == 9
+        assert bench_seed(env={SEED_ENV: "42"}) == 42
+        with pytest.raises(BenchSchemaError):
+            bench_seed(env={SEED_ENV: "not-an-int"})
+
+
+class TestNaming:
+    def test_single_test_module_collapses(self):
+        assert bench_name_for("bench_uber", "test_uber_requirements") == (
+            "uber_requirements"
+        )
+
+    def test_multi_test_module_is_namespaced(self):
+        assert bench_name_for("bench_ablation_codecs", "test_soft_vs_hard") == (
+            "ablation_codecs__soft_vs_hard"
+        )
+
+    def test_prefix_preserved_for_harness_collection(self):
+        name = bench_name_for("bench_table4_retention_ber", "test_table4_monotone")
+        assert name.startswith("table4")
+
+
+class TestDirectionInference:
+    @pytest.mark.parametrize(
+        ("metric", "direction"),
+        [
+            ("mean_response_us", "lower"),
+            ("p99_latency", "lower"),
+            ("retention_ber", "lower"),
+            ("total_programs", "lower"),
+            ("unknown_metric", "lower"),  # costs are the default
+            ("throughput_mb_s", "higher"),
+            ("buffer_hits", "higher"),
+            ("decode_success", "higher"),
+            # Rightmost token wins: loss beats capacity, gain beats time.
+            ("capacity_loss", "lower"),
+            ("response_time_gain", "higher"),
+        ],
+    )
+    def test_inference(self, metric, direction):
+        assert infer_direction(metric) == direction
+
+    def test_explicit_spec_overrides_inference(self):
+        deltas = compare_metrics(
+            {"weird_levels": 10.0},
+            {"weird_levels": 12.0},
+            specs={"weird_levels": {"direction": "higher"}},
+        )
+        assert deltas[0].classification == CLASS_IMPROVED
+
+    def test_spec_validation(self):
+        with pytest.raises(BenchSchemaError):
+            MetricSpec(direction="sideways")
+        with pytest.raises(BenchSchemaError):
+            MetricSpec(tolerance=0.0)
+        with pytest.raises(BenchSchemaError):
+            MetricSpec(tolerance=-0.1)
+
+
+class TestSchema:
+    def test_roundtrip_via_file(self, tmp_path):
+        result = make_result(metrics={"a": 1.5, "b": 2}, specs={"a": {"tolerance": 0.1}})
+        path = result.write(tmp_path)
+        assert path == tmp_path / "BENCH_demo.json"
+        loaded = BenchResult.read(path)
+        assert loaded.name == "demo"
+        assert loaded.metrics == {"a": 1.5, "b": 2.0}
+        assert loaded.specs["a"].tolerance == 0.1
+        assert loaded.git_sha == result.git_sha
+        assert loaded.config_hash == result.config_hash
+
+    def test_validate_rejects_bad_records(self):
+        good = make_result().to_dict()
+        assert validate_bench_dict(good) == []
+
+        for mutate, fragment in [
+            (lambda d: d.update(bench="Bad Name"), "bench"),
+            (lambda d: d.update(mode="fast"), "mode"),
+            (lambda d: d.update(metrics={}), "empty"),
+            (lambda d: d.update(metrics={"m": float("nan")}), "finite"),
+            (lambda d: d.update(metrics={"m": "high"}), "number"),
+            (lambda d: d.update(metrics={"m": True}), "number"),
+            (lambda d: d.update(seed="one"), "seed"),
+            (lambda d: d.update(schema_version=0), "schema_version"),
+        ]:
+            record = make_result().to_dict()
+            mutate(record)
+            errors = validate_bench_dict(record)
+            assert errors, fragment
+            assert any(fragment in e for e in errors)
+
+    def test_from_dict_raises_on_invalid(self):
+        record = make_result().to_dict()
+        record["metrics"] = {}
+        with pytest.raises(BenchSchemaError):
+            BenchResult.from_dict(record)
+
+
+class TestNoiseBand:
+    def test_default_floor(self):
+        assert noise_band(None, None) == pytest.approx(0.02)
+        assert noise_band([], None, default=0.05) == pytest.approx(0.05)
+
+    def test_declared_tolerance_wins_over_default(self):
+        assert noise_band(None, 0.3) == pytest.approx(0.3)
+
+    def test_replicates_widen_the_band(self):
+        band = noise_band([100.0, 110.0, 90.0], None)
+        assert band > 0.02
+
+    def test_zero_variance_falls_back_to_declared(self):
+        assert noise_band([5.0, 5.0, 5.0], 0.1) == pytest.approx(0.1)
+        assert noise_band([5.0, 5.0], None) == pytest.approx(0.02)
+
+    def test_single_replicate_is_not_a_band(self):
+        assert noise_band([123.0], None) == pytest.approx(0.02)
+
+    def test_nan_replicates_ignored(self):
+        assert noise_band([float("nan"), 5.0], 0.07) == pytest.approx(0.07)
+
+
+class TestComparator:
+    def test_flat_within_band(self):
+        deltas = compare_metrics({"lat_us": 100.0}, {"lat_us": 101.0})
+        assert deltas[0].classification == CLASS_FLAT
+
+    def test_lower_is_better_regression(self):
+        deltas = compare_metrics({"lat_us": 100.0}, {"lat_us": 110.0})
+        assert deltas[0].classification == CLASS_REGRESSED
+        assert deltas[0].failing
+
+    def test_lower_is_better_improvement(self):
+        deltas = compare_metrics({"lat_us": 100.0}, {"lat_us": 80.0})
+        assert deltas[0].classification == CLASS_IMPROVED
+
+    def test_higher_is_better_direction_flip(self):
+        up = compare_metrics({"throughput": 100.0}, {"throughput": 120.0})
+        down = compare_metrics({"throughput": 100.0}, {"throughput": 80.0})
+        assert up[0].classification == CLASS_IMPROVED
+        assert down[0].classification == CLASS_REGRESSED
+
+    def test_missing_baseline_is_not_failing(self):
+        deltas = compare_metrics({}, {"new_metric": 5.0})
+        assert deltas[0].classification == CLASS_MISSING_BASELINE
+        assert not deltas[0].failing
+
+    def test_missing_candidate_fails(self):
+        deltas = compare_metrics({"old_metric": 5.0}, {})
+        assert deltas[0].classification == CLASS_MISSING_CANDIDATE
+        assert deltas[0].failing
+
+    def test_nan_candidate_fails(self):
+        deltas = compare_metrics({"m": 5.0}, {"m": float("nan")})
+        assert deltas[0].classification == CLASS_MISSING_CANDIDATE
+        assert deltas[0].failing
+
+    def test_nan_baseline_is_missing_baseline(self):
+        deltas = compare_metrics({"m": float("nan")}, {"m": 5.0})
+        assert deltas[0].classification == CLASS_MISSING_BASELINE
+
+    def test_zero_baseline(self):
+        both_zero = compare_metrics({"m": 0.0}, {"m": 0.0})
+        assert both_zero[0].classification == CLASS_FLAT
+        worse = compare_metrics({"m": 0.0}, {"m": 1.0})
+        assert worse[0].classification == CLASS_REGRESSED
+        assert math.isinf(worse[0].rel_change)
+
+    def test_replicate_noise_absorbs_a_jump(self):
+        # 10% swing: regressed under the default band, flat once the
+        # replicates show the metric is that noisy.
+        base, cand = {"lat_us": 100.0}, {"lat_us": 110.0}
+        assert compare_metrics(base, cand)[0].classification == CLASS_REGRESSED
+        deltas = compare_metrics(
+            base, cand, replicates=[{"lat_us": 90.0}, {"lat_us": 105.0}, {"lat_us": 112.0}]
+        )
+        assert deltas[0].classification == CLASS_FLAT
+
+    def test_mode_mismatch_raises(self):
+        quick = make_result(mode="quick")
+        full = make_result(mode="full")
+        with pytest.raises(BenchModeMismatch):
+            compare_results(quick, full)
+
+    def test_identical_results_have_zero_regressions(self):
+        result = make_result(metrics={"lat_us": 100.0, "hits": 7.0})
+        comparison = compare_results(result, result)
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert all(d.classification == CLASS_FLAT for d in comparison.deltas)
+
+    def test_perturbed_metric_is_flagged(self):
+        baseline = make_result(metrics={"lat_us": 100.0, "hits": 7.0})
+        perturbed = make_result(metrics={"lat_us": 150.0, "hits": 7.0})
+        comparison = compare_results(baseline, perturbed)
+        assert not comparison.ok
+        assert [d.metric for d in comparison.regressions] == ["lat_us"]
+        text = "\n".join(comparison.summary_lines())
+        assert "lat_us" in text and "regressed" in text
+
+
+class TestLedger:
+    def test_append_and_select(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.jsonl")
+        ledger.append(make_result(run_id="run-a", metrics={"m": 1.0}))
+        ledger.append(make_result(run_id="run-b", metrics={"m": 2.0}))
+        assert len(ledger.records()) == 2
+        assert ledger.select("latest")["demo"].metrics["m"] == 2.0
+        assert ledger.select("prev")["demo"].metrics["m"] == 1.0
+        assert ledger.select("run:run-a")["demo"].metrics["m"] == 1.0
+        sha = make_result().git_sha
+        if sha != "unknown":
+            assert ledger.select(f"sha:{sha[:8]}")["demo"].metrics["m"] == 2.0
+
+    def test_select_errors(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.jsonl")
+        with pytest.raises(LookupError):
+            ledger.select("latest")
+        ledger.append(make_result(run_id="run-a"))
+        with pytest.raises(LookupError):
+            ledger.select("prev")
+        with pytest.raises(LookupError):
+            ledger.select("run:nope")
+        with pytest.raises(LookupError):
+            ledger.select("gibberish")
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = BenchLedger(path)
+        ledger.append(make_result())
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('{"bench": "half-a-record"}\n')
+        assert len(ledger.records()) == 1
+
+    def test_mode_filter_in_runs(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.jsonl")
+        ledger.append(make_result(mode="quick", run_id="q-1"))
+        ledger.append(make_result(mode="full", run_id="f-1"))
+        assert [rid for rid, _ in ledger.runs(mode="quick")] == ["q-1"]
+        assert [rid for rid, _ in ledger.runs(mode="full")] == ["f-1"]
+
+    def test_replicates_restrict_to_config_hash(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.jsonl")
+        a = make_result(seed=1, run_id="r1", config={"n": 10})
+        b = make_result(seed=2, run_id="r2", config={"n": 10})
+        other = make_result(seed=3, run_id="r3", config={"n": 99})
+        for result in (a, b, other):
+            ledger.append(result)
+        assert a.config_hash == b.config_hash != other.config_hash
+        reps = ledger.replicates("demo", "quick", config_hash=a.config_hash)
+        assert len(reps) == 2
+        assert len(ledger.replicates("demo", "quick")) == 3
+
+
+class TestBenchCase:
+    def test_emit_writes_json_and_ledger(self, tmp_path):
+        case = BenchCase(
+            "smoke_case", root=tmp_path, mode="quick", seed=5, run_id="r-1"
+        )
+        case.configure(n_requests=100)
+        result = case.emit(
+            {"lat_us": 9.5}, specs={"lat_us": {"tolerance": 0.1}}, table="smoke"
+        )
+        path = tmp_path / "BENCH_smoke_case.json"
+        assert path.exists()
+        record = json.loads(path.read_text())
+        assert record["mode"] == "quick"
+        assert record["seed"] == 5
+        assert record["run_id"] == "r-1"
+        assert record["manifest"]["config"]["n_requests"] == 100
+        assert record["manifest"]["extra"]["table"] == "smoke"
+        ledger = BenchLedger(tmp_path / "benchmarks" / "results" / "ledger.jsonl")
+        assert ledger.select("latest")["smoke_case"].metrics["lat_us"] == 9.5
+        assert result.config_hash == record["config_hash"]
+
+    def test_seed_replicates_share_config_hash(self, tmp_path):
+        hashes = set()
+        for seed in (1, 2, 3):
+            case = BenchCase("rep", root=tmp_path, mode="quick", seed=seed)
+            case.configure(n=7)
+            hashes.add(case.emit({"m": float(seed)}).config_hash)
+        assert len(hashes) == 1  # seed must not leak into the config hash
+
+    def test_quick_and_full_hash_differently(self, tmp_path):
+        quick = BenchCase("modal", root=tmp_path, mode="quick").emit({"m": 1.0})
+        full = BenchCase("modal", root=tmp_path, mode="full").emit({"m": 1.0})
+        assert quick.config_hash != full.config_hash
+
+    def test_rejects_bad_names_and_metrics(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            BenchCase("Bad Name", root=tmp_path)
+        case = BenchCase("ok_name", root=tmp_path, mode="quick")
+        with pytest.raises(BenchSchemaError):
+            case.emit({"m": float("inf")})
+
+
+class TestHarness:
+    def test_discover_benches(self, tmp_path):
+        (tmp_path / "bench_alpha.py").write_text('"""Alpha title.\n\nBody."""\n')
+        (tmp_path / "bench_beta.py").write_text("x = 1\n")
+        (tmp_path / "not_a_bench.py").write_text("x = 1\n")
+        scripts = discover_benches(tmp_path)
+        assert [s.name for s in scripts] == ["alpha", "beta"]
+        assert scripts[0].title == "Alpha title."
+        assert scripts[1].title == ""
+
+    def test_make_run_id_embeds_mode(self):
+        assert "-quick-" in make_run_id("quick")
+
+    def test_collect_filters_by_run_and_prefix(self, tmp_path):
+        BenchCase("alpha_one", root=tmp_path, mode="quick", run_id="r-1").emit(
+            {"m": 1.0}
+        )
+        BenchCase("beta_one", root=tmp_path, mode="quick", run_id="r-2").emit(
+            {"m": 2.0}
+        )
+        assert {r.name for r in collect_bench_results(tmp_path)} == {
+            "alpha_one",
+            "beta_one",
+        }
+        assert [r.name for r in collect_bench_results(tmp_path, run_id="r-1")] == [
+            "alpha_one"
+        ]
+        assert [
+            r.name for r in collect_bench_results(tmp_path, bench_prefix="beta")
+        ] == ["beta_one"]
+
+    def test_collect_raises_on_invalid_file(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text('{"bench": "broken"}\n')
+        with pytest.raises(BenchSchemaError):
+            collect_bench_results(tmp_path)
+
+
+@pytest.fixture
+def bench_root(tmp_path, monkeypatch):
+    """An isolated bench root the CLI resolves via REPRO_BENCH_ROOT."""
+    (tmp_path / "benchmarks").mkdir()
+    monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+    return tmp_path
+
+
+class TestCli:
+    def _emit(self, root, run_id, lat):
+        case = BenchCase(
+            "cli_case", root=root, mode="quick", seed=1, run_id=run_id
+        )
+        case.configure(n=3)
+        case.emit({"lat_us": lat})
+
+    def test_compare_identical_runs_is_clean(self, bench_root, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        self._emit(bench_root, "r-2", 100.0)
+        code = main(["bench", "compare", "prev", "latest", "--mode", "quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zero regressions" in out
+
+    def test_compare_flags_perturbed_metric(self, bench_root, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        self._emit(bench_root, "r-2", 140.0)
+        code = main(["bench", "compare", "prev", "latest", "--mode", "quick"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regressions in: cli_case" in out
+
+    def test_compare_json_output(self, bench_root, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        self._emit(bench_root, "r-2", 140.0)
+        code = main(
+            ["bench", "compare", "prev", "latest", "--mode", "quick", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        deltas = payload["comparisons"][0]["deltas"]
+        assert deltas[0]["classification"] == "regressed"
+
+    def test_compare_missing_baseline_file_errors(self, bench_root, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        code = main(["bench", "compare", "baseline", "latest", "--mode", "quick"])
+        assert code == 2
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_compare_against_baseline_file(self, bench_root, capsys):
+        from repro.obs.bench_cli import baseline_path, write_baseline
+
+        self._emit(bench_root, "r-1", 100.0)
+        ledger = BenchLedger(bench_root / "benchmarks" / "results" / "ledger.jsonl")
+        write_baseline(
+            baseline_path(bench_root, "quick"), ledger.select("latest"), "quick"
+        )
+        self._emit(bench_root, "r-2", 101.0)
+        code = main(["bench", "compare", "--mode", "quick"])
+        assert code == 0
+        assert "zero regressions" in capsys.readouterr().out
+
+    def test_compare_missing_bench_fails_gate(self, bench_root, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        BenchCase(
+            "cli_case_extra", root=bench_root, mode="quick", run_id="r-1"
+        ).emit({"m": 1.0})
+        # Candidate run lacks cli_case_extra entirely.
+        self._emit(bench_root, "r-2", 100.0)
+        code = main(["bench", "compare", "prev", "latest", "--mode", "quick"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISSING from candidate" in out
+
+    def test_report_renders_markdown_trend(self, bench_root, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        self._emit(bench_root, "r-2", 110.0)
+        code = main(["bench", "report", "--mode", "quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "| metric | r-1 | r-2 |" in out
+        assert "cli_case.lat_us" in out
+        assert "+10.0%" in out
+
+    def test_report_out_file(self, bench_root, tmp_path, capsys):
+        self._emit(bench_root, "r-1", 100.0)
+        target = tmp_path / "trend.md"
+        assert main(["bench", "report", "--out", str(target)]) == 0
+        assert "cli_case.lat_us" in target.read_text()
+
+    def test_list_names_the_real_benches(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_ROOT", raising=False)
+        code = main(["bench", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uber" in out and "des_tail_latency" in out

@@ -36,6 +36,41 @@ class TestGitSha:
         assert sha  # HEAD sha in a checkout, "unknown" otherwise
 
 
+class TestPeakRss:
+    def test_linux_maxrss_already_in_kb(self):
+        from repro.obs.manifest import _ru_maxrss_to_kb
+
+        assert _ru_maxrss_to_kb(114796, "linux") == 114796
+
+    def test_darwin_maxrss_is_in_bytes(self):
+        from repro.obs.manifest import _ru_maxrss_to_kb
+
+        # macOS getrusage reports bytes; 512 MiB must not read as 512 GiB.
+        assert _ru_maxrss_to_kb(512 * 1024 * 1024, "darwin") == 512 * 1024
+
+    def test_darwin_small_process_still_converts(self):
+        from repro.obs.manifest import _ru_maxrss_to_kb
+
+        # The old heuristic (divide only when > 2**32) got this wrong: a
+        # 100 MiB macOS process is below the threshold but still bytes.
+        assert _ru_maxrss_to_kb(100 * 1024 * 1024, "darwin") == 100 * 1024
+
+    def test_peak_rss_kb_uses_current_platform(self, monkeypatch):
+        import sys
+
+        from repro.obs import manifest as manifest_mod
+
+        seen = {}
+
+        def fake_convert(value, platform):
+            seen["platform"] = platform
+            return 42
+
+        monkeypatch.setattr(manifest_mod, "_ru_maxrss_to_kb", fake_convert)
+        assert manifest_mod.peak_rss_kb() == 42
+        assert seen["platform"] == sys.platform
+
+
 class TestManifestBuilder:
     def test_begin_finish_brackets_run(self, monkeypatch):
         monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
