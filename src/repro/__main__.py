@@ -72,6 +72,17 @@ def _run_config(args: argparse.Namespace, n_channels: int) -> dict:
     }
 
 
+def _fault_config(args: argparse.Namespace):
+    """The run's FaultConfig, or None when ``--faults`` was not given."""
+    from repro.faults import FaultConfig
+
+    if not args.faults:
+        return None
+    return FaultConfig(enabled=True, seed=args.fault_seed).scaled(
+        args.fault_scale
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.baselines import SystemConfig, build_system, system_names
@@ -85,9 +96,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     ssd_config, workload, trace, n_channels = _simulation_inputs(args)
     policy = LevelAdjustPolicy()
+    fault_config = _fault_config(args)
     builder = ManifestBuilder.begin(
         "repro simulate", _run_config(args, n_channels), seed=args.seed
     )
+    if fault_config is not None:
+        builder.set_fault_config(fault_config.to_dict())
     rows = []
     json_rows = []
     manifest_metrics: dict[str, float] = {}
@@ -100,7 +114,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             # can warm up within the trace.
             hotness_window=max(64, min(4096, args.requests // 8)),
         )
-        system = build_system(name, config, level_adjust=policy)
+        # A fresh injector per system: each system's run sees the same
+        # fault schedule, drawn from the same seeded streams.
+        injector = None
+        if fault_config is not None:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(fault_config)
+        system = build_system(
+            name, config, level_adjust=policy, fault_injector=injector
+        )
         registry = MetricsRegistry() if args.json else None
         if args.engine == "des":
             engine = DesSimulationEngine(
@@ -134,6 +157,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 percentiles["p99_response_us"],
                 sum(utilization) / len(utilization),
             ]
+        if fault_config is not None:
+            row += [
+                result.uncorrectable_reads if args.engine == "des" else 0,
+                int(system.ssd.stats.blocks_retired),
+                "yes" if system.ssd.read_only else "no",
+            ]
         rows.append(tuple(row))
         if args.json:
             json_rows.append({"system": name, "summary": result.summary()})
@@ -165,6 +194,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.engine == "des":
         headers += ["p50", "p95", "p99", "mean util"]
     headers += ["extra levels", "WA", "erases"]
+    if fault_config is not None:
+        headers += ["uncorr", "retired", "read-only"]
     print(format_table(headers, rows))
     return 0
 
@@ -189,7 +220,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         buffer_pages=512,
         hotness_window=max(64, min(4096, args.requests // 8)),
     )
-    system = build_system(args.system, config, level_adjust=LevelAdjustPolicy())
+    fault_config = _fault_config(args)
+    injector = None
+    if fault_config is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_config)
+    system = build_system(
+        args.system,
+        config,
+        level_adjust=LevelAdjustPolicy(),
+        fault_injector=injector,
+    )
     tracer = Tracer(
         sample_every=args.sample_every, keep_slowest=args.keep_slowest
     )
@@ -214,6 +256,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     run_config = _run_config(args, n_channels)
     run_config["system"] = args.system
     builder = ManifestBuilder.begin("repro trace", run_config, seed=args.seed)
+    if fault_config is not None:
+        builder.set_fault_config(fault_config.to_dict())
     result = engine.run(trace, args.workload)
 
     out = Path(args.out or f"trace_{args.workload}_{args.system}.json")
@@ -272,6 +316,25 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-retry",
         action="store_true",
         help="disable the DES read-retry model",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="enable seeded fault injection (bad blocks, program/erase "
+        "failures, uncorrectable reads); see docs/FAULTS.md",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=2027,
+        help="fault-injection RNG seed (independent of --seed)",
+    )
+    parser.add_argument(
+        "--fault-scale",
+        type=float,
+        default=1.0,
+        help="multiply the program/erase/uncorrectable fault rates "
+        "(accelerated-aging factor for smoke tests and sweeps)",
     )
 
 

@@ -29,6 +29,7 @@ from repro.core.hotness import MultiBloomHotness
 from repro.core.level_adjust import CellMode, LevelAdjustPolicy
 from repro.ecc.ldpc.latency import ReadLatencyModel
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector
 from repro.ftl.config import SsdConfig
 from repro.ftl.ssd import Ssd
 from repro.ftl.write_buffer import WriteBuffer
@@ -167,6 +168,7 @@ class StorageSystem(ABC):
         level_adjust: LevelAdjustPolicy | None = None,
         latency_model: ReadLatencyModel | None = None,
         reduced_prefix_pages: int = 0,
+        fault_injector: "FaultInjector | None" = None,
     ):
         self.config = config
         self.level_adjust = level_adjust or LevelAdjustPolicy()
@@ -176,6 +178,7 @@ class StorageSystem(ABC):
             prefill_pages=config.ssd.logical_pages,
             reduced_prefix_pages=reduced_prefix_pages,
             initial_age_hours=config.initial_ages(),
+            fault_injector=fault_injector,
         )
         self.buffer = WriteBuffer(config.buffer_pages)
         self._pending_background_us = 0.0
@@ -219,6 +222,12 @@ class StorageSystem(ABC):
         provisioned = self._provisioned_levels(required, info.mode)
         first_round = self._read_latency(required, info.mode)
         post_read = self._after_read(lpn, info.mode, required, now_us)
+        if self.ssd.fault_injector is not None:
+            # Read scrub: refresh pages whose BER crossed the trigger;
+            # the rewrite is background work, not this read's latency.
+            self._pending_background_us += self.ssd.scrub_if_needed(
+                lpn, required, now_us
+            )
         return ReadServiceBreakdown(
             lpn=lpn,
             buffer_hit=False,
@@ -424,6 +433,10 @@ class FlexLevelSystem(StorageSystem):
     def _after_read(
         self, lpn: int, mode: CellMode, required_levels: int, now_us: float
     ) -> float:
+        if self.ssd.read_only:
+            # Degraded mode: migrations are writes; stop promoting and
+            # demoting (AccessEval bookkeeping would drift from reality).
+            return 0.0
         decision = self.access_eval.on_read(lpn, required_levels)
         if decision.promote:
             # The host already has its data; re-writing the page into a
@@ -454,6 +467,7 @@ def build_system(
     config: SystemConfig,
     level_adjust: LevelAdjustPolicy | None = None,
     latency_model: ReadLatencyModel | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> StorageSystem:
     """Instantiate a system by its paper name."""
     if name not in _SYSTEMS:
@@ -461,5 +475,8 @@ def build_system(
             f"unknown system {name!r}; choose from {system_names()}"
         )
     return _SYSTEMS[name](
-        config, level_adjust=level_adjust, latency_model=latency_model
+        config,
+        level_adjust=level_adjust,
+        latency_model=latency_model,
+        fault_injector=fault_injector,
     )

@@ -37,44 +37,55 @@ class CellArray:
         self.n_cells = n_cells
         self.n_levels = n_levels
         self.levels = np.zeros(n_cells, dtype=np.int8)
+        # Permanently failed cells: they hold whatever level they died
+        # at — erase cannot reset them and ISPP cannot move them.
+        self.stuck = np.zeros(n_cells, dtype=bool)
         self.program_count = 0
         self.erase_count = 0
 
     # --- operations -------------------------------------------------------------
 
     def erase(self) -> None:
-        """Reset every cell to level 0 (the erased state)."""
-        self.levels.fill(0)
+        """Reset every working cell to level 0 (the erased state)."""
+        self.levels[~self.stuck] = 0
         self.erase_count += 1
 
-    def program(self, indices: np.ndarray, targets: np.ndarray) -> None:
+    def program(self, indices: np.ndarray, targets: np.ndarray) -> int:
         """Raise the selected cells to their target levels.
+
+        Stuck cells are skipped: their level does not change, and they
+        are exempt from the ISPP raise-only check (the data is already
+        lost either way).  Returns the number of stuck cells touched,
+        so callers can decide whether the program "failed" (nonzero on
+        a page whose ECC budget can't absorb that many hard errors).
 
         Raises
         ------
         ProgramError
-            If any target is below the cell's current level (ISPP cannot
-            remove charge) or outside the level range.
+            If any target is below a working cell's current level (ISPP
+            cannot remove charge) or outside the level range.
         """
         indices = np.asarray(indices, dtype=np.intp)
         targets = np.asarray(targets, dtype=np.int8)
         if indices.shape != targets.shape:
             raise ConfigurationError("indices and targets must have the same shape")
         if indices.size == 0:
-            return
+            return 0
         if indices.min() < 0 or indices.max() >= self.n_cells:
             raise ProgramError("program index outside the array")
         if targets.min() < 0 or targets.max() >= self.n_levels:
             raise ProgramError(
                 f"target level outside [0, {self.n_levels}) in program operation"
             )
+        working = ~self.stuck[indices]
         current = self.levels[indices]
-        if np.any(targets < current):
+        if np.any(targets[working] < current[working]):
             raise ProgramError(
                 "program would lower a cell's Vth level; erase the block first"
             )
-        self.levels[indices] = targets
+        self.levels[indices[working]] = targets[working]
         self.program_count += 1
+        return int(indices.size - working.sum())
 
     def read(self, indices: np.ndarray | None = None) -> np.ndarray:
         """Sensed level of the selected cells (all cells by default)."""
@@ -86,6 +97,23 @@ class CellArray:
         return self.levels[indices].copy()
 
     # --- fault injection ---------------------------------------------------------
+
+    def fail_cells(self, indices: np.ndarray) -> int:
+        """Permanently fail the selected cells at their current level.
+
+        Models oxide breakdown / charge-trap wear-out: the cell keeps
+        whatever level it holds now, and no later erase or program can
+        move it.  Failing an already-stuck cell is a no-op.  Returns
+        the number of newly stuck cells.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            return 0
+        if indices.min() < 0 or indices.max() >= self.n_cells:
+            raise ConfigurationError("fail_cells index outside the array")
+        fresh = ~self.stuck[indices]
+        self.stuck[indices] = True
+        return int(fresh.sum())
 
     def inject_drift(
         self,
@@ -104,12 +132,13 @@ class CellArray:
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(f"{name} outside [0, 1]: {rate}")
         draws = rng.random(self.n_cells)
-        down = (draws < downward_rate) & (self.levels > 0)
+        down = (draws < downward_rate) & (self.levels > 0) & ~self.stuck
         up = (
             (draws >= downward_rate)
             & (draws < downward_rate + upward_rate)
             & (self.levels < self.n_levels - 1)
             & (self.levels > 0)  # erased cells gain charge only via programming
+            & ~self.stuck  # stuck cells are frozen at their failure level
         )
         self.levels[down] -= 1
         self.levels[up] += 1

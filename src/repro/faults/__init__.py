@@ -1,0 +1,30 @@
+"""Seeded fault injection and failure handling (`repro.faults`).
+
+NAND is an unreliable medium — the paper's whole premise — yet a
+simulator without faults can only model the *latency* consequences of
+that unreliability, never the *failure* consequences.  This package
+supplies the missing half:
+
+* :class:`FaultConfig` — one frozen, hashable bundle of fault knobs
+  (master-switched off by default, so fault-free runs are untouched).
+* :class:`FaultInjector` — seeded sampling of manufacture-time bad
+  blocks, P/E- and age-accelerated program/erase failures, and
+  uncorrectable reads, with independent RNG streams per fault class.
+* :class:`BadBlockTable` — factory and grown bad blocks tracked
+  against a spare budget; its exhaustion is what drops the FTL into
+  read-only degraded mode.
+
+The FTL-side handling (rewrite-and-retire, read scrub, degraded mode)
+lives in :mod:`repro.ftl.ssd`; the uncorrectable-read terminal outcome
+in :mod:`repro.sim.des`.  See docs/FAULTS.md.
+"""
+
+from repro.faults.bbt import BadBlockTable
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "BadBlockTable",
+    "FaultConfig",
+    "FaultInjector",
+]

@@ -1,0 +1,94 @@
+"""The bad-block table: factory-bad blocks, grown failures, spares.
+
+Every NAND controller keeps one: factory-marked bad blocks are mapped
+out before first use, and blocks that later fail a program or erase
+status check are *grown* bad blocks, retired against a finite spare
+budget.  When the budget is spent the drive cannot guarantee writes any
+more and drops to read-only degraded mode — the table is what the FTL
+consults to decide which of those two worlds it is in.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, FtlError
+
+
+class BadBlockTable:
+    """Tracks retired blocks against a spare budget.
+
+    Parameters
+    ----------
+    n_blocks:
+        Total blocks in the drive (bounds-checks retirements).
+    spare_blocks:
+        Spare budget available to cover grown bad blocks.
+    manufacture_bad:
+        Factory-marked bad blocks, mapped out at init; they do not
+        consume the spare budget (the factory capacity accounting
+        already excluded them).
+    """
+
+    def __init__(
+        self,
+        n_blocks: int,
+        spare_blocks: int,
+        manufacture_bad: list[int] | None = None,
+    ):
+        if n_blocks <= 0:
+            raise ConfigurationError(f"non-positive block count: {n_blocks}")
+        if spare_blocks < 0:
+            raise ConfigurationError(f"negative spare budget: {spare_blocks}")
+        manufacture_bad = sorted(manufacture_bad or [])
+        for block in manufacture_bad:
+            if not 0 <= block < n_blocks:
+                raise ConfigurationError(
+                    f"manufacture-bad block {block} outside [0, {n_blocks})"
+                )
+        self.n_blocks = n_blocks
+        self.spare_blocks = spare_blocks
+        self.manufacture_bad: tuple[int, ...] = tuple(manufacture_bad)
+        #: Grown bad blocks in retirement order (the determinism tests
+        #: compare this sequence across equally-seeded runs).
+        self.grown: list[int] = []
+        self._bad = set(manufacture_bad)
+
+    # --- views -------------------------------------------------------------------
+
+    @property
+    def spare_remaining(self) -> int:
+        """Spare blocks still available to cover future retirements."""
+        return self.spare_blocks - len(self.grown)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no spare remains — the next failure degrades the drive."""
+        return self.spare_remaining <= 0
+
+    def is_bad(self, block: int) -> bool:
+        """Whether a block is factory-bad or grown-bad."""
+        return block in self._bad
+
+    def __len__(self) -> int:
+        return len(self._bad)
+
+    # --- mutation ----------------------------------------------------------------
+
+    def retire(self, block: int) -> None:
+        """Record a grown bad block, consuming one spare."""
+        if not 0 <= block < self.n_blocks:
+            raise ConfigurationError(f"block {block} outside [0, {self.n_blocks})")
+        if block in self._bad:
+            raise FtlError(f"block {block} retired twice")
+        if self.exhausted:
+            raise FtlError("spare pool exhausted — cannot retire another block")
+        self.grown.append(block)
+        self._bad.add(block)
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat counters for stats and manifests."""
+        return {
+            "manufacture_bad": len(self.manufacture_bad),
+            "grown_bad": len(self.grown),
+            "spare_blocks": self.spare_blocks,
+            "spare_remaining": self.spare_remaining,
+        }

@@ -1,0 +1,112 @@
+"""Seeded sampling of device faults.
+
+The injector owns four independent RNG streams (spawned from one
+:class:`numpy.random.SeedSequence`) so the bad-block map, the program-
+failure schedule, the erase-failure schedule and the uncorrectable-read
+draws are each reproducible in isolation: adding erase failures to a
+run does not shift which programs fail, and none of them perturb the
+read-retry model's own stream.
+
+Failure rates are physical, not arbitrary: programs and erases fail
+more often as the tunnel oxide degrades, and the repository already
+has a calibrated law for that degradation — the
+:class:`~repro.device.wear.WearModel` sigma broadening fitted to the
+paper's Table 4.  The injector reuses it: a block at P/E count ``N``
+fails at ``base * (sigma_w(N) / sigma_w(N_ref)) ** wear_exponent``,
+so fault pressure grows with cycling on exactly the curve the BER
+model says the oxide damage grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.wear import WearModel
+from repro.faults.config import FaultConfig
+
+
+class FaultInjector:
+    """Samples manufacture-time and operational faults for one device.
+
+    Parameters
+    ----------
+    config:
+        Fault rates and policy knobs.  With ``config.enabled`` False
+        the injector is valid but the SSD ignores it entirely.
+    wear:
+        Wear law used for P/E acceleration; defaults to the calibrated
+        :class:`~repro.device.wear.WearModel`.
+    """
+
+    def __init__(self, config: FaultConfig | None = None, wear: WearModel | None = None):
+        self.config = config or FaultConfig()
+        self.wear = wear or WearModel()
+        streams = np.random.SeedSequence(self.config.seed).spawn(4)
+        self._bad_block_rng = np.random.default_rng(streams[0])
+        self._program_rng = np.random.default_rng(streams[1])
+        self._erase_rng = np.random.default_rng(streams[2])
+        self._read_rng = np.random.default_rng(streams[3])
+        self._sigma_reference = self.wear.sigma(self.config.pe_reference)
+
+    # --- manufacture-time faults -------------------------------------------------
+
+    def sample_manufacture_bad(self, n_blocks: int) -> list[int]:
+        """Factory-marked bad blocks for an ``n_blocks`` drive (sorted)."""
+        if n_blocks <= 0:
+            return []
+        draws = self._bad_block_rng.random(n_blocks)
+        return [int(b) for b in np.flatnonzero(draws < self.config.initial_bad_block_rate)]
+
+    def spare_blocks(self, n_blocks: int) -> int:
+        """Spare-block budget backing grown-bad-block retirement."""
+        if n_blocks <= 0:
+            return 0
+        return max(1, round(self.config.spare_block_fraction * n_blocks))
+
+    # --- operational faults ------------------------------------------------------
+
+    def wear_acceleration(self, pe_cycles: float) -> float:
+        """Failure-rate multiplier from cycling damage at ``pe_cycles``."""
+        if self._sigma_reference <= 0.0:
+            return 1.0
+        ratio = self.wear.sigma(pe_cycles) / self._sigma_reference
+        return float(ratio**self.config.wear_exponent)
+
+    def program_fail_probability(self, pe_cycles: float, age_hours: float) -> float:
+        """Per-program failure probability at this wear and device age."""
+        probability = (
+            self.config.program_fail_base
+            * self.wear_acceleration(pe_cycles)
+            * (1.0 + self.config.age_rate_per_khour * max(age_hours, 0.0) / 1000.0)
+        )
+        return min(self.config.failure_cap, probability)
+
+    def program_fails(self, pe_cycles: float, age_hours: float) -> bool:
+        """Sample one page program's status check."""
+        return bool(
+            self._program_rng.random()
+            < self.program_fail_probability(pe_cycles, age_hours)
+        )
+
+    def erase_fail_probability(self, pe_cycles: float) -> float:
+        """Per-erase failure probability at this wear."""
+        probability = self.config.erase_fail_base * self.wear_acceleration(pe_cycles)
+        return min(self.config.failure_cap, probability)
+
+    def erase_fails(self, pe_cycles: float) -> bool:
+        """Sample one block erase's status check."""
+        return bool(self._erase_rng.random() < self.erase_fail_probability(pe_cycles))
+
+    def read_uncorrectable(self, final_failure_probability: float) -> bool:
+        """Sample whether a ladder-exhausted read is uncorrectable.
+
+        ``final_failure_probability`` is the retry model's residual
+        failure probability of the maximum-precision round
+        (:attr:`repro.sim.des.retry.RetryOutcome.final_failure_probability`);
+        the config's ``uncorrectable_scale`` discounts it for the
+        recovery heroics real controllers attempt past the ladder.
+        """
+        probability = min(
+            1.0, max(final_failure_probability, 0.0) * self.config.uncorrectable_scale
+        )
+        return bool(self._read_rng.random() < probability)

@@ -13,6 +13,13 @@ Mode and capacity: a reduced-mode block stores only 75 % as many pages
 (ReduceCode), so converting blocks to reduced mode shrinks the physical
 page supply and — exactly as the paper argues — eats into the
 over-provisioning, raising garbage-collection pressure.
+
+Fault handling: with a :class:`~repro.faults.FaultInjector` attached,
+factory-bad blocks are mapped out at init, failed programs are
+rewritten elsewhere and the failing block retired against the spare
+budget (likewise failed erases), read scrub refreshes pages whose BER
+crossed the sensing trigger, and spare-pool exhaustion drops the drive
+into read-only degraded mode instead of crashing — see docs/FAULTS.md.
 """
 
 from __future__ import annotations
@@ -24,12 +31,17 @@ import numpy as np
 
 from repro.core.level_adjust import CellMode
 from repro.errors import ConfigurationError, FtlError, OutOfSpaceError
+from repro.faults import BadBlockTable, FaultInjector
 from repro.ftl.config import SsdConfig
 from repro.ftl.stats import SsdStats
 from repro.ftl.wear_leveling import WearLeveler
 from repro.units import us_to_hours
 
 _FREE = -1
+#: Block-mode sentinel for retired (factory- or grown-bad) blocks: they
+#: hold no pages, are never allocated, picked as GC victims or rotated
+#: by wear leveling, and contribute nothing to the page supply.
+_BAD = -2
 
 #: Block-mode encoding in the metadata arrays.
 _MODE_TO_INT = {CellMode.NORMAL: 0, CellMode.REDUCED: 1, CellMode.SLC: 2}
@@ -69,6 +81,11 @@ class Ssd:
     wear_leveler:
         Optional static wear-leveling policy evaluated after garbage
         collections (None disables wear leveling).
+    fault_injector:
+        Optional seeded :class:`~repro.faults.FaultInjector`.  Ignored
+        unless its config is enabled; when active, manufacture-bad
+        blocks are mapped out before prefill and program/erase faults
+        are sampled during operation.
     """
 
     def __init__(
@@ -78,6 +95,7 @@ class Ssd:
         reduced_prefix_pages: int = 0,
         initial_age_hours: np.ndarray | float = 0.0,
         wear_leveler: WearLeveler | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
         if not 0 <= prefill_pages <= config.logical_pages:
             raise ConfigurationError(
@@ -119,7 +137,35 @@ class Ssd:
         if np.any(ages < 0):
             raise ConfigurationError("initial ages must be non-negative")
         self._initial_age_hours[:prefill_pages] = ages
+        # Fault handling: map out factory-bad blocks before any page is
+        # placed, so prefill and the free pool never see them.
+        if fault_injector is not None and not fault_injector.config.enabled:
+            fault_injector = None
+        self.fault_injector = fault_injector
+        self.read_only = False
+        self.bad_block_table: BadBlockTable | None = None
+        if fault_injector is not None:
+            manufacture_bad = fault_injector.sample_manufacture_bad(config.n_blocks)
+            self.bad_block_table = BadBlockTable(
+                n_blocks=config.n_blocks,
+                spare_blocks=fault_injector.spare_blocks(config.n_blocks),
+                manufacture_bad=manufacture_bad,
+            )
+            for block in manufacture_bad:
+                self._block_mode[block] = _BAD
+                self._free_blocks.remove(block)
         self._prefill(prefill_pages, reduced_prefix_pages)
+        if fault_injector is not None:
+            if self.free_block_count() <= config.gc_free_block_threshold:
+                raise ConfigurationError(
+                    f"{len(self.bad_block_table.manufacture_bad)} manufacture-bad "
+                    f"blocks leave only {self.free_block_count()} free blocks "
+                    f"after prefill (GC needs > {config.gc_free_block_threshold}) "
+                    "— lower the bad-block rate or add over-provisioning"
+                )
+            self.stats.manufacture_bad_blocks = len(
+                self.bad_block_table.manufacture_bad
+            )
 
     # --- capacity views ---------------------------------------------------------
 
@@ -128,9 +174,12 @@ class Ssd:
         return len(self._free_blocks)
 
     def block_usable_pages(self, block: int) -> int:
-        """Pages a block can hold in its current mode (full size if free)."""
+        """Pages a block can hold in its current mode (full size if
+        free, zero if retired)."""
         if not 0 <= block < self.config.n_blocks:
             raise ConfigurationError(f"block {block} outside [0, {self.config.n_blocks})")
+        if self._block_mode[block] == _BAD:
+            return 0
         if self._block_mode[block] == _FREE:
             return self.config.pages_per_block
         return self._usable_pages_by_mode(self._mode_of_block(block))
@@ -161,6 +210,8 @@ class Ssd:
         supply = 0
         for block in range(self.config.n_blocks):
             mode = self._block_mode[block]
+            if mode == _BAD:
+                continue
             if mode == _FREE:
                 supply += self.config.pages_per_block
             else:
@@ -198,6 +249,13 @@ class Ssd:
         registry.gauge("ftl.capacity.reduced_logical_pages").set(
             self.reduced_logical_pages()
         )
+        if self.fault_injector is not None:
+            registry.gauge("ftl.bbt.spare_remaining").set(
+                self.bad_block_table.spare_remaining
+            )
+            registry.gauge("ftl.degraded.read_only").set(
+                1.0 if self.read_only else 0.0
+            )
 
     # --- host operations ------------------------------------------------------------
 
@@ -224,8 +282,14 @@ class Ssd:
         Returns ``(foreground_us, background_us)``: the program itself
         is foreground work, garbage collection it triggered is
         background work the controller overlaps with idle time.
+
+        In read-only degraded mode (spare pool exhausted) the write is
+        rejected — counted, zero cost — instead of crashing the run.
         """
         self._check_lpn(lpn)
+        if self.read_only:
+            self.stats.rejected_writes += 1
+            return 0.0, 0.0
         self.stats.host_write_pages += 1
         return self._write_page(lpn, mode, now_us, kind="host")
 
@@ -257,6 +321,8 @@ class Ssd:
         self._check_lpn(lpn)
         if self._l2p[lpn] == _FREE:
             raise FtlError(f"cannot migrate unmapped page {lpn}")
+        if self.read_only:
+            return 0.0, 0.0
         current_mode = self.mode_of(lpn)
         if current_mode == target_mode:
             return 0.0, 0.0
@@ -268,6 +334,46 @@ class Ssd:
         # Restore the age: migrated data is old data in a new location.
         self._write_time_hours[lpn] = us_to_hours(now_us) - age_before
         return foreground, background
+
+    def refresh(self, lpn: int, now_us: float) -> float:
+        """Rewrite a page in its current mode to reset its data age.
+
+        The read-scrub primitive: one flash read plus one program (same
+        mechanism as :meth:`migrate`, without the mode change), after
+        which the page's retention clock restarts at ``now_us``.
+        Returns the flash work in microseconds; zero for unmapped pages
+        and in read-only mode (skipped scrubs are counted).
+        """
+        self._check_lpn(lpn)
+        if self._l2p[lpn] == _FREE:
+            return 0.0
+        if self.read_only:
+            self.stats.scrub_skipped_pages += 1
+            return 0.0
+        mode = self.mode_of(lpn)
+        service = self.config.timing.read_us
+        self.stats.flash_read_pages += 1
+        program, gc = self._write_page(lpn, mode, now_us, kind="scrub")
+        self.stats.scrub_refreshed_pages += 1
+        return service + program + gc
+
+    def scrub_if_needed(self, lpn: int, required_levels: int, now_us: float) -> float:
+        """Refresh the page if its BER crossed the scrub trigger.
+
+        Called on the read path with the sensing-level requirement the
+        tracking policy just computed; refreshes (background work) when
+        the requirement reaches the fault config's trigger and the data
+        is old enough for a rewrite to actually lower its BER.  Returns
+        the background flash work, zero when no scrub ran.
+        """
+        injector = self.fault_injector
+        if injector is None or not injector.config.scrub_enabled:
+            return 0.0
+        if required_levels < injector.config.scrub_trigger_levels:
+            return 0.0
+        if self._age_hours(lpn, now_us) < injector.config.scrub_min_age_hours:
+            return 0.0
+        return self.refresh(lpn, now_us)
 
     # --- internals ------------------------------------------------------------------
 
@@ -291,6 +397,23 @@ class Ssd:
         # Allocate before invalidating: an out-of-space failure must not
         # lose the page's current copy.
         block, offset, gc_service = self._allocate_page_with_gc(mode)
+        injector = self.fault_injector
+        if injector is not None:
+            device_age = us_to_hours(now_us)
+            while injector.program_fails(self._current_pe(block), device_age):
+                # Program-status fail: the attempt is paid for, the
+                # failing block retired (rewrite-and-retire), and the
+                # write moves to a fresh block.
+                self.stats.program_fail_events += 1
+                service += self.config.timing.program_us
+                service += self._retire_block(block)
+                if self.read_only:
+                    # No spare remained: the drive just degraded.  The
+                    # write is dropped; the old copy stays valid.
+                    self.stats.rejected_writes += 1
+                    return service, gc_service
+                block, offset, gc_extra = self._allocate_page_with_gc(mode)
+                gc_service += gc_extra
         # Re-read the old mapping after allocation — GC may have
         # relocated the old copy while making room.
         old_ppn = self._l2p[lpn]
@@ -307,6 +430,8 @@ class Ssd:
             self.stats.flash_program_pages += 1
         elif kind == "migration":
             self.stats.migration_program_pages += 1
+        elif kind == "scrub":
+            self.stats.scrub_program_pages += 1
         else:
             self.stats.gc_program_pages += 1
         return service, gc_service
@@ -343,8 +468,10 @@ class Ssd:
     def _take_free_block(self, mode: CellMode, slot: str = "host") -> int:
         if not self._free_blocks:
             raise OutOfSpaceError(
-                "no free blocks left — over-provisioning exhausted "
-                "(too much space converted to reduced mode?)"
+                f"free-block pool exhausted allocating a {mode.name.lower()}-mode "
+                f"block for the {slot!r} frontier — over-provisioning consumed, "
+                "too much space converted to reduced mode or lost to bad blocks "
+                f"({self._space_report()})"
             )
         # Dynamic wear leveling at allocation time: host data goes to the
         # least-worn free block, parked cold data to the most-worn one.
@@ -371,7 +498,8 @@ class Ssd:
                 victim = self._pick_victim()
                 if victim is None:
                     raise OutOfSpaceError(
-                        "garbage collection found no reclaimable block"
+                        "garbage collection found no reclaimable block — "
+                        f"GC victim pool exhausted ({self._space_report()})"
                     )
                 service += self._reclaim(victim)
                 guard += 1
@@ -390,6 +518,7 @@ class Ssd:
             return 0.0
         excluded = {b for b in self._active.values() if b is not None}
         excluded.update(self._free_blocks)
+        excluded.update(int(b) for b in np.flatnonzero(self._block_mode == _BAD))
         usable = np.array(
             [self.block_usable_pages(b) for b in range(self.config.n_blocks)]
         )
@@ -411,7 +540,7 @@ class Ssd:
         best = None
         best_key = None
         for block in range(self.config.n_blocks):
-            if self._block_mode[block] == _FREE or block in active_blocks:
+            if self._block_mode[block] in (_FREE, _BAD) or block in active_blocks:
                 continue
             mode = self._mode_of_block(block)
             usable = self._usable_pages_by_mode(mode)
@@ -426,6 +555,34 @@ class Ssd:
         return best
 
     def _reclaim(self, victim: int, slot: str = "host") -> float:
+        service = self._relocate_valid_pages(victim, slot)
+        injector = self.fault_injector
+        if injector is not None and injector.erase_fails(self._current_pe(victim)):
+            # Erase-status fail: the attempt is paid for and the block
+            # retired instead of rejoining the free pool (its wear
+            # count is not advanced — the erase never completed).
+            self.stats.erase_fail_events += 1
+            service += self.config.timing.erase_us
+            self._block_write_ptr[victim] = 0
+            self._block_mode[victim] = _BAD
+            bbt = self.bad_block_table
+            if bbt.exhausted:
+                self.stats.retirements_skipped += 1
+                self._enter_read_only()
+            else:
+                bbt.retire(victim)
+                self.stats.blocks_retired += 1
+            return service
+        self._block_mode[victim] = _FREE
+        self._block_write_ptr[victim] = 0
+        self._free_blocks.append(victim)
+        self._block_erase[victim] += 1
+        self.stats.erase_blocks += 1
+        service += self.config.timing.erase_us
+        return service
+
+    def _relocate_valid_pages(self, victim: int, slot: str = "host") -> float:
+        """Copy every valid page off ``victim``; returns the flash work."""
         service = 0.0
         mode = self._mode_of_block(victim)
         ppb = self.config.pages_per_block
@@ -451,15 +608,62 @@ class Ssd:
             self.stats.gc_program_pages += 1
         if self._block_valid[victim] != 0:
             raise FtlError(f"victim block {victim} still has valid pages")
-        self._block_mode[victim] = _FREE
-        self._block_write_ptr[victim] = 0
-        self._free_blocks.append(victim)
-        self._block_erase[victim] += 1
-        self.stats.erase_blocks += 1
-        service += self.config.timing.erase_us
         return service
 
+    def _retire_block(self, victim: int) -> float:
+        """Retire a block that failed a program status check.
+
+        Valid pages are relocated, the block is marked bad and a spare
+        consumed; with no spare remaining the drive enters read-only
+        degraded mode instead (the block stays in service — nothing
+        better exists to move its data to).  Returns the relocation
+        flash work in microseconds.
+        """
+        bbt = self.bad_block_table
+        if bbt.exhausted:
+            self.stats.retirements_skipped += 1
+            self._enter_read_only()
+            return 0.0
+        # Close any write frontier on the victim first, so relocation
+        # cannot allocate pages back into the block being retired.
+        for key, active in self._active.items():
+            if active == victim:
+                self._active[key] = None
+        service = self._relocate_valid_pages(victim)
+        self._block_mode[victim] = _BAD
+        self._block_write_ptr[victim] = 0
+        bbt.retire(victim)
+        self.stats.blocks_retired += 1
+        return service
+
+    def _enter_read_only(self) -> None:
+        """Degrade to read-only: writes, migrations and scrubs stop."""
+        self.read_only = True
+
     # --- helpers ------------------------------------------------------------------------
+
+    def _space_report(self) -> str:
+        """Pool accounting embedded in OutOfSpaceError messages."""
+        counts = {mode: 0 for mode in CellMode}
+        for block in range(self.config.n_blocks):
+            code = self._block_mode[block]
+            if code not in (_FREE, _BAD):
+                counts[_INT_TO_MODE[int(code)]] += 1
+        parts = [
+            f"free={self.free_block_count()}",
+            "in-use "
+            + " ".join(f"{mode.name.lower()}={n}" for mode, n in counts.items()),
+            f"gc_threshold={self.config.gc_free_block_threshold}",
+        ]
+        bbt = self.bad_block_table
+        if bbt is not None:
+            parts.append(
+                f"bad-blocks manufacture={len(bbt.manufacture_bad)} "
+                f"grown={len(bbt.grown)} spares_remaining={bbt.spare_remaining}"
+            )
+        if self.read_only:
+            parts.append("read-only degraded mode")
+        return "; ".join(parts)
 
     def _usable_pages_by_mode(self, mode: CellMode) -> int:
         if mode is CellMode.NORMAL:
@@ -472,6 +676,8 @@ class Ssd:
         mode = self._block_mode[block]
         if mode == _FREE:
             raise FtlError(f"block {block} is free, it has no mode")
+        if mode == _BAD:
+            raise FtlError(f"block {block} is retired, it has no mode")
         return _INT_TO_MODE[int(mode)]
 
     def _age_hours(self, lpn: int, now_us: float) -> float:

@@ -25,6 +25,15 @@ _REGISTRY_NAMES = {
     "demotions": "core.access_eval.demotions",
     "ber_cache_hits": "device.ber_cache.hits",
     "ber_cache_misses": "device.ber_cache.misses",
+    "manufacture_bad_blocks": "ftl.bbt.manufacture_bad",
+    "program_fail_events": "ftl.bbt.program_failures",
+    "erase_fail_events": "ftl.bbt.erase_failures",
+    "blocks_retired": "ftl.bbt.retired",
+    "retirements_skipped": "ftl.bbt.retirements_skipped",
+    "rejected_writes": "ftl.degraded.rejected_writes",
+    "scrub_refreshed_pages": "ftl.scrub.refreshed_pages",
+    "scrub_skipped_pages": "ftl.scrub.skipped_pages",
+    "scrub_program_pages": "ftl.scrub.program_pages",
 }
 
 
@@ -51,6 +60,16 @@ class SsdStats:
     demotions: int = 0
     ber_cache_hits: int = 0
     ber_cache_misses: int = 0
+    # Fault-injection counters (all zero on fault-free runs).
+    manufacture_bad_blocks: int = 0
+    program_fail_events: int = 0
+    erase_fail_events: int = 0
+    blocks_retired: int = 0
+    retirements_skipped: int = 0
+    rejected_writes: int = 0
+    scrub_refreshed_pages: int = 0
+    scrub_skipped_pages: int = 0
+    scrub_program_pages: int = 0
     extra_level_histogram: dict[int, int] = field(default_factory=dict)
 
     def record_extra_levels(self, levels: int) -> None:
@@ -59,11 +78,12 @@ class SsdStats:
 
     @property
     def total_program_pages(self) -> int:
-        """All programs: host-driven, GC relocations and migrations."""
+        """All programs: host-driven, GC relocations, migrations, scrub."""
         return (
             self.flash_program_pages
             + self.gc_program_pages
             + self.migration_program_pages
+            + self.scrub_program_pages
         )
 
     def write_amplification(self) -> float:
@@ -146,6 +166,15 @@ class SsdStats:
             "ber_cache_hits": self.ber_cache_hits,
             "ber_cache_misses": self.ber_cache_misses,
             "ber_cache_hit_rate": self.ber_cache_hit_rate(),
+            "manufacture_bad_blocks": self.manufacture_bad_blocks,
+            "program_fail_events": self.program_fail_events,
+            "erase_fail_events": self.erase_fail_events,
+            "blocks_retired": self.blocks_retired,
+            "retirements_skipped": self.retirements_skipped,
+            "rejected_writes": self.rejected_writes,
+            "scrub_refreshed_pages": self.scrub_refreshed_pages,
+            "scrub_skipped_pages": self.scrub_skipped_pages,
+            "scrub_program_pages": self.scrub_program_pages,
             "write_amplification": self.write_amplification(),
             "mean_extra_levels": self.mean_extra_levels(),
             **self.extra_level_cumulative(),

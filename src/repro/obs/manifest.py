@@ -106,6 +106,11 @@ class RunManifest:
         Peak resident set size in KiB (None when unavailable).
     metrics:
         Flat metric snapshot (typically ``MetricsRegistry.snapshot()``).
+    fault_config:
+        The active :class:`repro.faults.FaultConfig` as a plain dict,
+        or None on fault-free runs.  Also merged into ``config`` under
+        ``"faults"`` so it participates in ``config_hash`` — a faulty
+        and a fault-free run never share a comparison key.
     extra:
         Free-form extras (per-system summaries, artifact paths, ...).
     """
@@ -119,6 +124,7 @@ class RunManifest:
     wall_time_s: float = 0.0
     peak_rss_kb: int | None = None
     metrics: dict[str, float] = field(default_factory=dict)
+    fault_config: dict[str, Any] | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
@@ -132,6 +138,7 @@ class RunManifest:
             "wall_time_s": self.wall_time_s,
             "peak_rss_kb": self.peak_rss_kb,
             "metrics": self.metrics,
+            "fault_config": self.fault_config,
             "extra": self.extra,
         }
 
@@ -158,6 +165,7 @@ class ManifestBuilder:
         self.command = command
         self.config = config
         self.seed = seed
+        self._fault_config: dict[str, Any] | None = None
         self._started_utc = datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         )
@@ -177,20 +185,38 @@ class ManifestBuilder:
         self.config.update(config)
         return self
 
+    def set_fault_config(
+        self, fault_config: dict[str, Any] | None
+    ) -> "ManifestBuilder":
+        """Record the active fault-injection configuration.
+
+        Pass :meth:`repro.faults.FaultConfig.to_dict`; the dict lands
+        both in the manifest's ``fault_config`` field and (as
+        ``config["faults"]``) in the hashed config, so enabling faults
+        changes ``config_hash``.  Leave unset (or pass None) on
+        fault-free runs — the hash then matches pre-fault manifests.
+        """
+        self._fault_config = dict(fault_config) if fault_config else None
+        return self
+
     def finish(
         self,
         metrics: dict[str, float] | None = None,
         **extra: Any,
     ) -> RunManifest:
+        config = dict(self.config)
+        if self._fault_config is not None:
+            config["faults"] = self._fault_config
         return RunManifest(
             command=self.command,
-            config=self.config,
-            config_hash=config_hash(self.config),
+            config=config,
+            config_hash=config_hash(config),
             seed=self.seed,
             git_sha=git_sha(),
             started_utc=self._started_utc,
             wall_time_s=time.perf_counter() - self._t0,
             peak_rss_kb=peak_rss_kb(),
             metrics=dict(metrics or {}),
+            fault_config=self._fault_config,
             extra=extra,
         )

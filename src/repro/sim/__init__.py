@@ -14,7 +14,12 @@ from repro.sim.results import (
     DesSimulationResult,
     SimulationResult,
 )
-from repro.sim.des import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
+from repro.sim.des import (
+    DesSimulationEngine,
+    ReadRetryConfig,
+    ReadRetryModel,
+    RetryOutcome,
+)
 
 __all__ = [
     "DEFAULT_SAMPLE_CAP",
@@ -24,4 +29,5 @@ __all__ = [
     "DesSimulationResult",
     "ReadRetryConfig",
     "ReadRetryModel",
+    "RetryOutcome",
 ]

@@ -8,7 +8,7 @@ read-retry model — the machinery needed to measure tail latency
 
 from repro.sim.des.engine import DesSimulationEngine
 from repro.sim.des.events import Event, EventHeap, EventKind
-from repro.sim.des.retry import ReadRetryConfig, ReadRetryModel
+from repro.sim.des.retry import ReadRetryConfig, ReadRetryModel, RetryOutcome
 from repro.sim.des.scheduler import ChannelScheduler, ChannelState, DrainReport
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "EventKind",
     "ReadRetryConfig",
     "ReadRetryModel",
+    "RetryOutcome",
     "ChannelScheduler",
     "ChannelState",
     "DrainReport",

@@ -108,6 +108,11 @@ class DesSimulationEngine:
         if sample_cap is not None and sample_cap < 0:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
+        # With a fault injector on the SSD, ladder exhaustion gains its
+        # terminal branch: the final round's residual failure probability
+        # is sampled into uncorrectable reads.  Without one, exhaustion
+        # keeps the legacy optimistic semantics (top round succeeds).
+        self._fault_injector = system.ssd.fault_injector
 
     def run(
         self, records: Iterable[TraceRecord], workload_name: str = "unnamed"
@@ -166,6 +171,15 @@ class DesSimulationEngine:
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
         result.stats["residual_backlog_us"] = scheduler.residual_backlog_us
         result.stats["mean_retry_rounds"] = result.mean_retry_rounds()
+        if self._fault_injector is not None:
+            # Fault-gated keys: absent on fault-free runs so their
+            # stats snapshots stay byte-identical to pre-fault builds.
+            result.stats["uncorrectable_reads"] = result.uncorrectable_reads
+            result.stats["uncorrectable_rate"] = result.uncorrectable_rate()
+            result.stats["read_only"] = float(self.system.ssd.read_only)
+            bbt = self.system.ssd.bad_block_table
+            if bbt is not None:
+                result.stats["spare_blocks_remaining"] = bbt.spare_remaining
         if self.registry is not None:
             self._publish_metrics(result, scheduler)
         return result
@@ -234,8 +248,8 @@ class DesSimulationEngine:
                     ).end(report.start_us)
             start = report.start_us
             for lpn in lpns:
-                service, breakdown, rounds = self._service_us(
-                    record, lpn, start, index, warmup_count, result
+                service, breakdown, rounds, uncorrectable = self._service_us(
+                    record, lpn, start, index, warmup_count, result, channel
                 )
                 op_done = scheduler.commit(channel, service)
                 op_start = op_done - service
@@ -254,7 +268,7 @@ class DesSimulationEngine:
                 if trace is not None:
                     self._trace_op(
                         trace, record, lpn, channel, op_start, service,
-                        breakdown, rounds,
+                        breakdown, rounds, uncorrectable,
                     )
             completion = max(completion, scheduler.frontier(channel))
 
@@ -287,23 +301,36 @@ class DesSimulationEngine:
         index: int,
         warmup_count: int,
         result: DesSimulationResult,
-    ) -> tuple[float, ReadServiceBreakdown | None, int]:
+        channel: int,
+    ) -> tuple[float, ReadServiceBreakdown | None, int, bool]:
         """One page operation's service time, retry rounds included.
 
         Returns ``(service_us, read breakdown or None for writes,
-        retry rounds taken)`` so tracing can reconstruct the sensing
-        rounds the service time is made of.
+        retry rounds taken, uncorrectable)`` so tracing can reconstruct
+        the sensing rounds the service time is made of.  A read is
+        uncorrectable when the sensing ladder was exhausted *and* the
+        fault injector's draw against the final round's residual
+        failure probability comes up failed — the terminal outcome the
+        optimistic legacy model lacks.
         """
         if record.is_write:
-            return self.system.serve_write_page(lpn, now_us), None, 0
+            return self.system.serve_write_page(lpn, now_us), None, 0, False
         breakdown = self.system.read_page_breakdown(lpn, now_us)
         service = breakdown.service_us
         rounds = 0
+        uncorrectable = False
         if self.retry_model is not None and not breakdown.buffer_hit:
-            rounds, extra_us = self.retry_model.sample(breakdown)
-            service += extra_us
+            outcome = self.retry_model.sample_outcome(breakdown)
+            rounds = outcome.extra_rounds
+            service += outcome.extra_us
+            if self._fault_injector is not None and outcome.exhausted:
+                uncorrectable = self._fault_injector.read_uncorrectable(
+                    outcome.final_failure_probability
+                )
             if index >= warmup_count:
                 result.record_retry_rounds(rounds)
+                if uncorrectable:
+                    result.record_uncorrectable(channel)
         if self.registry is not None and not breakdown.buffer_hit:
             decode_iterations = self.system.latency.decode_iterations
             iterations = sum(
@@ -313,7 +340,12 @@ class DesSimulationEngine:
             self.registry.counter("ecc.ldpc.decode_rounds").inc(1 + rounds)
             self.registry.counter("ecc.ldpc.iterations").inc(iterations)
             self.registry.counter("sim.read.retry_rounds").inc(rounds)
-        return service, breakdown, rounds
+            if uncorrectable:
+                self.registry.counter("sim.uncorrectable.reads").inc()
+                self.registry.counter(
+                    f"sim.uncorrectable.channel.{channel}.reads"
+                ).inc()
+        return service, breakdown, rounds, uncorrectable
 
     def _trace_op(
         self,
@@ -325,6 +357,7 @@ class DesSimulationEngine:
         service: float,
         breakdown: ReadServiceBreakdown | None,
         rounds: int,
+        uncorrectable: bool = False,
     ) -> None:
         """Attach one page operation's span subtree to the request."""
         if record.is_write:
@@ -346,6 +379,8 @@ class DesSimulationEngine:
             required_levels=breakdown.required_levels,
             provisioned_levels=breakdown.provisioned_levels,
         )
+        if uncorrectable:
+            op.attrs["uncorrectable"] = True
         latency = self.system.latency
         t = op_start
         for round_index in range(rounds + 1):
@@ -381,6 +416,8 @@ class DesSimulationEngine:
         registry.gauge("sim.makespan_us").set(result.makespan_us)
         registry.gauge("sim.residual_backlog_us").set(scheduler.residual_backlog_us)
         registry.gauge("sim.read.mean_retry_rounds").set(result.mean_retry_rounds())
+        if self._fault_injector is not None:
+            registry.gauge("sim.uncorrectable.rate").set(result.uncorrectable_rate())
         for channel, busy_us in enumerate(result.channel_busy_us):
             registry.gauge(f"sim.channel.{channel}.busy_us").set(busy_us)
 

@@ -17,6 +17,16 @@ failure probability by ``margin_factor``.  With the defaults, a page at
 the paper's 4e-3 sensing trigger fails its first round 10 % of the
 time, and a month-old 6000-P/E page (BER 1.6e-2) 40 % of the time.
 Sampling is seeded, so runs are reproducible.
+
+Ladder exhaustion is a real terminal outcome, not a guaranteed success:
+a read that burns through every escalation round ends at the ladder's
+maximum precision with a *residual* failure probability, which
+:class:`RetryOutcome` exposes (``exhausted`` +
+``final_failure_probability``).  Without fault injection the engine
+keeps the legacy optimistic reading — the top round is treated as
+successful — but with an injector attached that residual probability
+feeds the uncorrectable-read branch
+(:meth:`repro.faults.FaultInjector.read_uncorrectable`).
 """
 
 from __future__ import annotations
@@ -61,6 +71,34 @@ class ReadRetryConfig:
             raise ConfigurationError("margin_factor outside (0, 1)")
 
 
+@dataclass(frozen=True)
+class RetryOutcome:
+    """One flash read's sampled trip through the sensing ladder.
+
+    Attributes
+    ----------
+    extra_rounds:
+        Escalations beyond the first sensing round.
+    extra_us:
+        Service time the escalations added.
+    exhausted:
+        True when the read ended at the ladder's maximum precision —
+        either every escalation round's decode failed, or the first
+        round was already provisioned at the top level.  Only an
+        exhausted read can be uncorrectable.
+    final_failure_probability:
+        Failure probability of the maximum-precision decode the read
+        ended on (0.0 when not exhausted, or on buffer hits).  The
+        legacy behaviour treats this round as successful; fault
+        injection samples it.
+    """
+
+    extra_rounds: int
+    extra_us: float
+    exhausted: bool
+    final_failure_probability: float
+
+
 class ReadRetryModel:
     """Samples the retry rounds of one flash read from its breakdown."""
 
@@ -82,26 +120,41 @@ class ReadRetryModel:
         return base * self.config.margin_factor**margin_levels
 
     def sample(self, breakdown: ReadServiceBreakdown) -> tuple[int, float]:
-        """Sample one read's retry sequence.
+        """Sample one read's retry sequence (legacy scalar view).
 
-        Returns ``(extra_rounds, extra_us)``: how many escalations the
-        read needed beyond its first sensing round and the service time
-        they added.  Buffer hits never retry; a read that exhausts the
-        ladder decodes at maximum precision (the ladder is provisioned
-        so its top level always succeeds).
+        Returns ``(extra_rounds, extra_us)``.  Equivalent to
+        :meth:`sample_outcome` with the terminal fields dropped — the
+        legacy optimistic semantics where an exhausted ladder is read
+        as a success at maximum precision.
         """
-        if breakdown.buffer_hit or not breakdown.retry_rounds_us:
-            return 0, 0.0
+        outcome = self.sample_outcome(breakdown)
+        return outcome.extra_rounds, outcome.extra_us
+
+    def sample_outcome(self, breakdown: ReadServiceBreakdown) -> RetryOutcome:
+        """Sample one read's trip through the sensing ladder.
+
+        Buffer hits never retry.  A read whose first round is already
+        at the ladder's top (empty retry tail) consumes no RNG draw and
+        is reported exhausted with its first-round failure probability;
+        a read that fails every escalation ends exhausted with the
+        residual failure probability of the maximum-precision round.
+        The draw sequence is identical to the pre-outcome ``sample``
+        implementation, so equally-seeded runs reproduce bit-for-bit.
+        """
+        if breakdown.buffer_hit:
+            return RetryOutcome(0, 0.0, False, 0.0)
         probability = self.failure_probability(
             breakdown.raw_ber,
             breakdown.provisioned_levels - breakdown.required_levels,
         )
+        if not breakdown.retry_rounds_us:
+            return RetryOutcome(0, 0.0, True, probability)
         rounds = 0
         extra_us = 0.0
         for increment_us in breakdown.retry_rounds_us:
             if self._rng.random() >= probability:
-                break
+                return RetryOutcome(rounds, extra_us, False, 0.0)
             rounds += 1
             extra_us += increment_us
             probability *= self.config.margin_factor
-        return rounds, extra_us
+        return RetryOutcome(rounds, extra_us, True, probability)

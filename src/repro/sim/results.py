@@ -150,11 +150,20 @@ class DesSimulationResult(SimulationResult):
     retry_rounds_histogram:
         ``{extra retry rounds: flash reads}`` — 0 means the first
         sensing round decoded.
+    uncorrectable_reads:
+        Flash reads that exhausted the sensing ladder and failed the
+        final round (terminal outcome; only nonzero with fault
+        injection enabled).
+    uncorrectable_by_channel:
+        ``{channel: uncorrectable reads}`` for the channels that saw
+        any.
     """
 
     channel_busy_us: list[float] = field(default_factory=list)
     makespan_us: float = 0.0
     retry_rounds_histogram: dict[int, int] = field(default_factory=dict)
+    uncorrectable_reads: int = 0
+    uncorrectable_by_channel: dict[int, int] = field(default_factory=dict)
 
     @property
     def n_channels(self) -> int:
@@ -167,6 +176,22 @@ class DesSimulationResult(SimulationResult):
         self.retry_rounds_histogram[extra_rounds] = (
             self.retry_rounds_histogram.get(extra_rounds, 0) + 1
         )
+
+    def record_uncorrectable(self, channel: int) -> None:
+        """Count a flash read the sensing ladder could not recover."""
+        if channel < 0:
+            raise ConfigurationError(f"negative channel: {channel}")
+        self.uncorrectable_reads += 1
+        self.uncorrectable_by_channel[channel] = (
+            self.uncorrectable_by_channel.get(channel, 0) + 1
+        )
+
+    def uncorrectable_rate(self) -> float:
+        """Uncorrectable reads per retry-sampled flash read."""
+        total = sum(self.retry_rounds_histogram.values())
+        if total == 0:
+            return 0.0
+        return self.uncorrectable_reads / total
 
     def channel_utilization(self) -> list[float]:
         """Per-channel busy fraction of the run's makespan."""
@@ -197,4 +222,6 @@ class DesSimulationResult(SimulationResult):
                 float(np.mean(utilization)) if utilization else 0.0
             ),
             "mean_retry_rounds": self.mean_retry_rounds(),
+            "uncorrectable_reads": self.uncorrectable_reads,
+            "uncorrectable_rate": self.uncorrectable_rate(),
         }

@@ -64,6 +64,62 @@ class TestBasics:
         assert arr.program_count == 0
 
 
+class TestStuckCells:
+    def test_fail_cells_freeze_level(self):
+        arr = CellArray(8, 4)
+        arr.program(np.array([2]), np.array([3]))
+        assert arr.fail_cells(np.array([2])) == 1
+        arr.erase()
+        assert arr.read([2])[0] == 3  # erase cannot reset a stuck cell
+        assert arr.read([3])[0] == 0
+
+    def test_program_skips_stuck_and_counts_them(self):
+        arr = CellArray(8, 4)
+        arr.fail_cells(np.array([1, 2]))
+        touched = arr.program(np.array([0, 1, 2]), np.array([2, 2, 2]))
+        assert touched == 2
+        assert arr.read([0])[0] == 2
+        assert arr.read([1])[0] == 0  # stuck at its failure level
+        assert arr.read([2])[0] == 0
+
+    def test_stuck_cell_exempt_from_ispp_check(self):
+        """Programming a stuck high cell to a lower target is not an
+        ISPP violation — the cell is skipped, not lowered."""
+        arr = CellArray(8, 4)
+        arr.program(np.array([0]), np.array([3]))
+        arr.fail_cells(np.array([0]))
+        arr.erase()
+        touched = arr.program(np.array([0]), np.array([1]))
+        assert touched == 1
+        assert arr.read([0])[0] == 3
+
+    def test_working_cells_still_ispp_checked(self):
+        arr = CellArray(8, 4)
+        arr.fail_cells(np.array([0]))
+        arr.program(np.array([1]), np.array([3]))
+        with pytest.raises(ProgramError):
+            arr.program(np.array([0, 1]), np.array([2, 1]))
+
+    def test_refailing_is_noop(self):
+        arr = CellArray(8, 4)
+        assert arr.fail_cells(np.array([3])) == 1
+        assert arr.fail_cells(np.array([3, 4])) == 1
+
+    def test_empty_and_bounds(self):
+        arr = CellArray(8, 4)
+        assert arr.fail_cells(np.array([], dtype=np.intp)) == 0
+        with pytest.raises(ConfigurationError):
+            arr.fail_cells(np.array([8]))
+
+    def test_stuck_cells_do_not_drift(self):
+        arr = CellArray(64, 4)
+        arr.program(np.arange(64), np.full(64, 2))
+        arr.fail_cells(np.arange(64))
+        rng = np.random.default_rng(0)
+        assert arr.inject_drift(rng, downward_rate=1.0) == 0
+        assert np.all(arr.read() == 2)
+
+
 class TestDriftInjection:
     def test_downward_drift_only_lowers(self, rng):
         arr = CellArray(1000, 4)

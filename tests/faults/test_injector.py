@@ -1,0 +1,186 @@
+"""Tests for the fault-injection config, injector and bad-block table."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FtlError
+from repro.faults import BadBlockTable, FaultConfig, FaultInjector
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        assert FaultConfig().enabled is False
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("initial_bad_block_rate", -0.1),
+            ("initial_bad_block_rate", 1.5),
+            ("program_fail_base", 2.0),
+            ("erase_fail_base", -1e-9),
+            ("failure_cap", 1.01),
+            ("spare_block_fraction", -0.5),
+            ("uncorrectable_scale", 7.0),
+        ],
+    )
+    def test_rejects_rates_outside_unit_interval(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: value})
+
+    def test_rejects_bad_reference_and_exponent(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(pe_reference=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(wear_exponent=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(age_rate_per_khour=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(scrub_trigger_levels=0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(scrub_min_age_hours=-1.0)
+
+    def test_scaled_multiplies_stochastic_rates_only(self):
+        config = FaultConfig(enabled=True)
+        scaled = config.scaled(10.0)
+        assert scaled.program_fail_base == pytest.approx(
+            config.program_fail_base * 10
+        )
+        assert scaled.erase_fail_base == pytest.approx(config.erase_fail_base * 10)
+        assert scaled.uncorrectable_scale == pytest.approx(
+            min(1.0, config.uncorrectable_scale * 10)
+        )
+        # Structural knobs are untouched.
+        assert scaled.initial_bad_block_rate == config.initial_bad_block_rate
+        assert scaled.spare_block_fraction == config.spare_block_fraction
+        assert scaled.seed == config.seed
+        assert scaled.enabled is True
+
+    def test_scaled_caps_at_one(self):
+        scaled = FaultConfig().scaled(1e9)
+        assert scaled.program_fail_base == 1.0
+        assert scaled.uncorrectable_scale == 1.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig().scaled(-1.0)
+
+    def test_to_dict_round_trips(self):
+        config = FaultConfig(enabled=True, seed=7)
+        rebuilt = FaultConfig(**config.to_dict())
+        assert rebuilt == config
+
+
+class TestFaultInjector:
+    def test_manufacture_bad_deterministic(self):
+        config = FaultConfig(enabled=True, initial_bad_block_rate=0.05)
+        first = FaultInjector(config).sample_manufacture_bad(4096)
+        second = FaultInjector(config).sample_manufacture_bad(4096)
+        assert first == second
+        assert first == sorted(first)
+        assert first  # 4096 blocks at 5 % — statistically certain
+
+    def test_manufacture_bad_depends_on_seed(self):
+        a = FaultInjector(FaultConfig(seed=1, initial_bad_block_rate=0.05))
+        b = FaultInjector(FaultConfig(seed=2, initial_bad_block_rate=0.05))
+        assert a.sample_manufacture_bad(4096) != b.sample_manufacture_bad(4096)
+
+    def test_zero_rate_yields_no_bad_blocks(self):
+        injector = FaultInjector(FaultConfig(initial_bad_block_rate=0.0))
+        assert injector.sample_manufacture_bad(4096) == []
+
+    def test_spare_budget(self):
+        injector = FaultInjector(FaultConfig(spare_block_fraction=0.02))
+        assert injector.spare_blocks(256) == 5
+        assert injector.spare_blocks(4) == 1  # never zero on a real drive
+        assert injector.spare_blocks(0) == 0
+
+    def test_failure_probability_monotonic_in_pe(self):
+        injector = FaultInjector(FaultConfig())
+        probabilities = [
+            injector.program_fail_probability(pe, 0.0)
+            for pe in (1000, 3000, 6000, 12000)
+        ]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[0] < probabilities[-1]
+
+    def test_failure_probability_monotonic_in_age(self):
+        injector = FaultInjector(FaultConfig())
+        young = injector.program_fail_probability(3000, 0.0)
+        old = injector.program_fail_probability(3000, 5000.0)
+        assert old > young
+
+    def test_failure_probability_capped(self):
+        injector = FaultInjector(
+            FaultConfig(program_fail_base=1.0, failure_cap=0.25)
+        )
+        assert injector.program_fail_probability(50000, 1e6) == 0.25
+        assert injector.erase_fail_probability(50000) <= 0.25
+
+    def test_reference_pe_gives_base_rate(self):
+        config = FaultConfig(program_fail_base=1e-3, pe_reference=3000.0)
+        injector = FaultInjector(config)
+        assert injector.wear_acceleration(3000.0) == pytest.approx(1.0)
+        assert injector.program_fail_probability(3000.0, 0.0) == pytest.approx(1e-3)
+
+    def test_uncorrectable_scaling(self):
+        always = FaultInjector(FaultConfig(uncorrectable_scale=1.0))
+        never = FaultInjector(FaultConfig(uncorrectable_scale=0.0))
+        assert always.read_uncorrectable(1.0) is True
+        assert never.read_uncorrectable(1.0) is False
+        assert always.read_uncorrectable(0.0) is False
+
+    def test_streams_independent(self):
+        """Draining one fault stream does not shift another."""
+        config = FaultConfig(enabled=True, program_fail_base=0.5, failure_cap=0.5)
+        plain = FaultInjector(config)
+        drained = FaultInjector(config)
+        for _ in range(100):
+            drained.erase_fails(6000)  # burn the erase stream only
+        a = [plain.program_fails(6000, 0.0) for _ in range(50)]
+        b = [drained.program_fails(6000, 0.0) for _ in range(50)]
+        assert a == b
+
+
+class TestBadBlockTable:
+    def test_manufacture_bad_marked_without_spares(self):
+        table = BadBlockTable(64, spare_blocks=2, manufacture_bad=[3, 9])
+        assert table.is_bad(3) and table.is_bad(9)
+        assert not table.is_bad(4)
+        assert table.spare_remaining == 2
+        assert len(table) == 2
+
+    def test_retire_consumes_spares_in_order(self):
+        table = BadBlockTable(64, spare_blocks=2)
+        table.retire(10)
+        table.retire(20)
+        assert table.grown == [10, 20]
+        assert table.spare_remaining == 0
+        assert table.exhausted
+
+    def test_retire_past_budget_raises(self):
+        table = BadBlockTable(64, spare_blocks=1)
+        table.retire(10)
+        with pytest.raises(FtlError):
+            table.retire(11)
+
+    def test_double_retire_raises(self):
+        table = BadBlockTable(64, spare_blocks=4)
+        table.retire(10)
+        with pytest.raises(FtlError):
+            table.retire(10)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            BadBlockTable(64, spare_blocks=1, manufacture_bad=[64])
+        table = BadBlockTable(64, spare_blocks=1)
+        with pytest.raises(ConfigurationError):
+            table.retire(-1)
+
+    def test_snapshot(self):
+        table = BadBlockTable(64, spare_blocks=3, manufacture_bad=[1])
+        table.retire(5)
+        assert table.snapshot() == {
+            "manufacture_bad": 1,
+            "grown_bad": 1,
+            "spare_blocks": 3,
+            "spare_remaining": 2,
+        }

@@ -1,0 +1,272 @@
+"""FTL fault handling: retirement, degraded mode, scrub, error context."""
+
+import numpy as np
+import pytest
+
+from repro.core.level_adjust import CellMode
+from repro.errors import ConfigurationError, OutOfSpaceError
+from repro.faults import FaultConfig, FaultInjector
+from repro.ftl.config import SsdConfig
+from repro.ftl.ssd import Ssd
+from repro.units import HOUR_US
+
+
+class ScriptedInjector(FaultInjector):
+    """Injector whose program/erase status checks follow a script.
+
+    Each script entry answers one status check; past the end every
+    check passes.  Manufacture-bad sampling is disabled so tests
+    control the block population exactly.
+    """
+
+    def __init__(self, program_script=(), erase_script=(), spare_fraction=0.02):
+        super().__init__(
+            FaultConfig(
+                enabled=True,
+                initial_bad_block_rate=0.0,
+                spare_block_fraction=spare_fraction,
+            )
+        )
+        self._program_script = list(program_script)
+        self._erase_script = list(erase_script)
+
+    def program_fails(self, pe_cycles, age_hours):
+        if self._program_script:
+            return self._program_script.pop(0)
+        return False
+
+    def erase_fails(self, pe_cycles):
+        if self._erase_script:
+            return self._erase_script.pop(0)
+        return False
+
+
+def make_ssd(prefill_fraction=0.5, injector=None, **overrides):
+    config = SsdConfig(
+        n_blocks=64,
+        pages_per_block=16,
+        gc_free_block_threshold=2,
+        initial_pe_cycles=6000,
+        **overrides,
+    )
+    prefill = int(config.logical_pages * prefill_fraction)
+    return Ssd(config, prefill_pages=prefill, fault_injector=injector)
+
+
+class TestManufactureBadBlocks:
+    def test_bad_blocks_mapped_out(self):
+        injector = FaultInjector(
+            FaultConfig(enabled=True, initial_bad_block_rate=0.1, seed=3)
+        )
+        ssd = make_ssd(0.3, injector=injector)
+        bad = ssd.bad_block_table.manufacture_bad
+        assert bad  # 64 blocks at 10 % — expected ~6
+        assert ssd.stats.manufacture_bad_blocks == len(bad)
+        for block in bad:
+            assert ssd.block_usable_pages(block) == 0
+
+    def test_bad_blocks_shrink_page_supply(self):
+        injector = FaultInjector(
+            FaultConfig(enabled=True, initial_bad_block_rate=0.1, seed=3)
+        )
+        plain = make_ssd(0.0)
+        faulty = make_ssd(0.0, injector=injector)
+        n_bad = len(faulty.bad_block_table.manufacture_bad)
+        assert (
+            faulty.physical_page_supply()
+            == plain.physical_page_supply() - n_bad * 16
+        )
+
+    def test_too_many_bad_blocks_rejected(self):
+        injector = FaultInjector(
+            FaultConfig(enabled=True, initial_bad_block_rate=1.0)
+        )
+        with pytest.raises(ConfigurationError):
+            make_ssd(0.0, injector=injector)
+
+    def test_disabled_injector_is_dropped(self):
+        ssd = make_ssd(0.0, injector=FaultInjector(FaultConfig(enabled=False)))
+        assert ssd.fault_injector is None
+        assert ssd.bad_block_table is None
+
+
+class TestProgramFailure:
+    def test_failed_program_retires_block_and_rewrites(self):
+        injector = ScriptedInjector(program_script=[True])
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(5, CellMode.NORMAL, now_us=0.0)
+        assert ssd.stats.program_fail_events == 1
+        assert ssd.stats.blocks_retired == 1
+        assert not ssd.read_only
+        # The write still landed: the page is mapped, outside the bad block.
+        assert ssd.mode_of(5) is CellMode.NORMAL
+        [retired] = ssd.bad_block_table.grown
+        assert ssd.block_usable_pages(retired) == 0
+
+    def test_spare_exhaustion_enters_read_only(self):
+        # One spare (64 blocks x 0.02); two consecutive failures burn it
+        # and degrade the drive — without raising.
+        injector = ScriptedInjector(program_script=[True, True])
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(5, CellMode.NORMAL, now_us=0.0)
+        assert ssd.read_only
+        assert ssd.stats.blocks_retired == 1
+        assert ssd.stats.retirements_skipped == 1
+        assert ssd.stats.rejected_writes == 1
+        assert ssd.bad_block_table.exhausted
+
+    def test_read_only_rejects_writes_keeps_reads(self):
+        injector = ScriptedInjector(program_script=[False, True, True])
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)  # survives (pre-fail)
+        # The scripted failures trip on the next write.
+        ssd.host_write(5, CellMode.NORMAL, now_us=0.0)
+        assert ssd.read_only
+        rejected_before = ssd.stats.rejected_writes
+        fg, bg = ssd.host_write(7, CellMode.NORMAL, now_us=0.0)
+        assert (fg, bg) == (0.0, 0.0)
+        assert ssd.stats.rejected_writes == rejected_before + 1
+        assert ssd.mode_of(7) is None  # never landed
+        # Reads still serve; old data is intact.
+        info = ssd.read_info(3, now_us=0.0)
+        assert info.mode is CellMode.NORMAL
+
+    def test_read_only_skips_migration(self):
+        injector = ScriptedInjector(program_script=[False, True, True])
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        ssd.host_write(5, CellMode.NORMAL, now_us=0.0)  # degrades here
+        assert ssd.read_only
+        assert ssd.migrate(3, CellMode.SLC, now_us=0.0) == (0.0, 0.0)
+        assert ssd.mode_of(3) is CellMode.NORMAL  # unmoved
+
+    def test_retired_block_preserves_relocated_data(self):
+        injector = ScriptedInjector(program_script=[False] * 10 + [True])
+        ssd = make_ssd(0.0, injector=injector)
+        for lpn in range(11):
+            ssd.host_write(lpn, CellMode.NORMAL, now_us=0.0)
+        assert ssd.stats.blocks_retired == 1
+        # Every page written before the failure is still readable.
+        for lpn in range(11):
+            assert ssd.mode_of(lpn) is CellMode.NORMAL
+
+
+class TestEraseFailure:
+    def test_failed_erase_retires_victim(self):
+        injector = ScriptedInjector(erase_script=[True])
+        ssd = make_ssd(0.9, injector=injector)
+        rng = np.random.default_rng(4)
+        footprint = int(ssd.config.logical_pages * 0.9)
+        for _ in range(2000):
+            ssd.host_write(int(rng.integers(footprint)), CellMode.NORMAL, 0.0)
+            if ssd.stats.erase_fail_events:
+                break
+        assert ssd.stats.erase_fail_events == 1
+        assert ssd.stats.blocks_retired == 1
+        [retired] = ssd.bad_block_table.grown
+        assert ssd.block_usable_pages(retired) == 0
+
+
+class TestScrub:
+    def test_refresh_resets_data_age(self):
+        ssd = make_ssd(0.0, injector=ScriptedInjector())
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        work = ssd.refresh(3, now_us=100 * HOUR_US)
+        assert work > 0.0
+        assert ssd.stats.scrub_refreshed_pages == 1
+        assert ssd.stats.scrub_program_pages == 1
+        info = ssd.read_info(3, now_us=100 * HOUR_US)
+        assert info.age_hours == pytest.approx(0.0)
+
+    def test_refresh_unmapped_is_noop(self):
+        ssd = make_ssd(0.0, injector=ScriptedInjector())
+        assert ssd.refresh(3, now_us=0.0) == 0.0
+        assert ssd.stats.scrub_refreshed_pages == 0
+
+    def test_scrub_skips_young_pages(self):
+        ssd = make_ssd(0.0, injector=ScriptedInjector())
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        assert ssd.scrub_if_needed(3, required_levels=2, now_us=HOUR_US) == 0.0
+        assert ssd.stats.scrub_refreshed_pages == 0
+
+    def test_scrub_skips_below_trigger(self):
+        ssd = make_ssd(0.0, injector=ScriptedInjector())
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        assert (
+            ssd.scrub_if_needed(3, required_levels=0, now_us=100 * HOUR_US)
+            == 0.0
+        )
+
+    def test_scrub_refreshes_old_hot_ber_pages(self):
+        ssd = make_ssd(0.0, injector=ScriptedInjector())
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        work = ssd.scrub_if_needed(3, required_levels=1, now_us=100 * HOUR_US)
+        assert work > 0.0
+        assert ssd.stats.scrub_refreshed_pages == 1
+
+    def test_scrub_counted_not_run_in_read_only(self):
+        injector = ScriptedInjector(program_script=[False, True, True])
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        ssd.host_write(5, CellMode.NORMAL, now_us=0.0)  # degrades
+        assert ssd.read_only
+        work = ssd.scrub_if_needed(3, required_levels=2, now_us=100 * HOUR_US)
+        assert work == 0.0
+        assert ssd.stats.scrub_skipped_pages == 1
+        assert ssd.stats.scrub_refreshed_pages == 0
+
+    def test_scrub_disabled_by_config(self):
+        injector = FaultInjector(
+            FaultConfig(
+                enabled=True, initial_bad_block_rate=0.0, scrub_enabled=False
+            )
+        )
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(3, CellMode.NORMAL, now_us=0.0)
+        assert (
+            ssd.scrub_if_needed(3, required_levels=5, now_us=100 * HOUR_US)
+            == 0.0
+        )
+
+
+class TestOutOfSpaceContext:
+    def test_error_names_the_exhausted_pool(self):
+        """The error message carries the pool accounting needed to act
+        on it — free count, per-mode in-use counts, GC threshold."""
+        ssd = make_ssd(0.0, over_provisioning=0.1)
+        with pytest.raises(OutOfSpaceError) as excinfo:
+            for lpn in range(ssd.config.logical_pages):
+                ssd.host_write(lpn, CellMode.REDUCED, now_us=0.0)
+        message = str(excinfo.value)
+        assert "pool exhausted" in message
+        assert "free=" in message
+        assert "reduced=" in message
+        assert "gc_threshold=" in message
+
+    def test_error_reports_bad_block_state_when_faulty(self):
+        injector = FaultInjector(
+            FaultConfig(enabled=True, initial_bad_block_rate=0.1, seed=3)
+        )
+        ssd = make_ssd(0.0, injector=injector, over_provisioning=0.1)
+        with pytest.raises(OutOfSpaceError) as excinfo:
+            for lpn in range(ssd.config.logical_pages):
+                ssd.host_write(lpn, CellMode.REDUCED, now_us=0.0)
+        message = str(excinfo.value)
+        assert "bad-blocks manufacture=" in message
+        assert "spares_remaining=" in message
+
+
+class TestMetricsPublish:
+    def test_fault_gauges_published(self):
+        from repro.obs import MetricsRegistry
+
+        injector = ScriptedInjector(program_script=[True])
+        ssd = make_ssd(0.0, injector=injector)
+        ssd.host_write(5, CellMode.NORMAL, now_us=0.0)
+        registry = MetricsRegistry()
+        ssd.publish_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["ftl.bbt.retired"] == 1.0
+        assert snapshot["ftl.bbt.program_failures"] == 1.0
+        assert snapshot["ftl.degraded.read_only"] == 0.0
+        assert snapshot["ftl.bbt.spare_remaining"] == 0.0

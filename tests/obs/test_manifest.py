@@ -113,6 +113,52 @@ class TestManifestBuilder:
             "wall_time_s",
             "peak_rss_kb",
             "metrics",
+            "fault_config",
             "extra",
         ):
             assert key in data
+
+
+class TestFaultConfigRecording:
+    def test_fault_config_recorded_and_hashed(self):
+        from repro.faults import FaultConfig
+
+        fault_dict = FaultConfig(enabled=True, seed=9).to_dict()
+        plain = ManifestBuilder.begin("repro simulate", {"n": 3}).finish()
+        faulty = (
+            ManifestBuilder.begin("repro simulate", {"n": 3})
+            .set_fault_config(fault_dict)
+            .finish()
+        )
+        assert plain.fault_config is None
+        assert "faults" not in plain.config
+        assert faulty.fault_config == fault_dict
+        assert faulty.config["faults"] == fault_dict
+        # Enabling faults changes the comparison key.
+        assert faulty.config_hash != plain.config_hash
+        assert faulty.config_hash == config_hash(faulty.config)
+
+    def test_unset_fault_config_keeps_legacy_hash(self):
+        """A fault-free run's hash is identical to a build that never
+        heard of fault injection."""
+        manifest = ManifestBuilder.begin("bench", {"n": 3}).finish()
+        assert manifest.config_hash == config_hash({"n": 3})
+
+    def test_set_none_clears(self):
+        builder = ManifestBuilder.begin("bench", {})
+        builder.set_fault_config({"enabled": True})
+        builder.set_fault_config(None)
+        manifest = builder.finish()
+        assert manifest.fault_config is None
+        assert "faults" not in manifest.config
+
+    def test_roundtrips_through_json(self, tmp_path):
+        from repro.faults import FaultConfig
+
+        manifest = (
+            ManifestBuilder.begin("bench", {})
+            .set_fault_config(FaultConfig(enabled=True).to_dict())
+            .finish()
+        )
+        path = manifest.write(tmp_path / "m.json")
+        assert RunManifest.read(path) == manifest

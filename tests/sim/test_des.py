@@ -7,7 +7,13 @@ from repro.baselines.systems import ReadServiceBreakdown, SystemConfig, build_sy
 from repro.ecc.ldpc.latency import ReadLatencyModel
 from repro.errors import ConfigurationError, SimulationError
 from repro.ftl.config import SsdConfig
-from repro.sim import DesSimulationEngine, ReadRetryConfig, ReadRetryModel, SimulationEngine
+from repro.sim import (
+    DesSimulationEngine,
+    ReadRetryConfig,
+    ReadRetryModel,
+    RetryOutcome,
+    SimulationEngine,
+)
 from repro.sim.des.events import Event, EventHeap, EventKind
 from repro.sim.des.scheduler import ChannelScheduler
 from repro.traces.schema import TraceRecord
@@ -212,6 +218,119 @@ class TestReadRetry:
             return engine.run(mixed_trace(400), "t").percentile_response_us(99)
 
         assert p99(ReadRetryModel(ReadRetryConfig(seed=5))) >= p99(None)
+
+
+class TestRetryOutcome:
+    def synthetic_breakdown(self, ber, provisioned=0, required=0, n_retries=6):
+        return ReadServiceBreakdown(
+            lpn=0,
+            buffer_hit=False,
+            mode=None,
+            required_levels=required,
+            provisioned_levels=provisioned,
+            first_round_us=100.0,
+            retry_rounds_us=tuple(10.0 for _ in range(n_retries)),
+            post_read_us=0.0,
+            raw_ber=ber,
+        )
+
+    def test_buffer_hit_outcome(self):
+        model = ReadRetryModel()
+        breakdown = ReadServiceBreakdown(
+            lpn=0, buffer_hit=True, mode=None, required_levels=0,
+            provisioned_levels=0, first_round_us=2.0, retry_rounds_us=(),
+            post_read_us=0.0, raw_ber=0.0,
+        )
+        outcome = model.sample_outcome(breakdown)
+        assert outcome == RetryOutcome(0, 0.0, False, 0.0)
+
+    def test_empty_ladder_is_exhausted_without_a_draw(self):
+        """A read already provisioned at the ladder top has no retry
+        rounds: it is terminally exhausted with its first-round failure
+        probability, and consumes no RNG draw (draw-sequence parity
+        with the legacy sampler)."""
+        model = ReadRetryModel(ReadRetryConfig(seed=3))
+        reference = ReadRetryModel(ReadRetryConfig(seed=3))
+        outcome = model.sample_outcome(self.synthetic_breakdown(1e-2, n_retries=0))
+        assert outcome.exhausted
+        assert outcome.extra_rounds == 0
+        assert outcome.final_failure_probability == pytest.approx(0.25)
+        # Next draws still line up with an untouched equally-seeded model.
+        probe = self.synthetic_breakdown(1e-2)
+        assert model.sample_outcome(probe) == reference.sample_outcome(probe)
+
+    def test_full_ladder_failure_reports_residual_probability(self):
+        """A read that fails every escalation ends exhausted with the
+        capped base probability after every margin halving; a sampled
+        population at max BER contains such reads."""
+        model = ReadRetryModel(ReadRetryConfig(seed=13))
+        exhausted = [
+            outcome
+            for outcome in (
+                model.sample_outcome(self.synthetic_breakdown(1.0, n_retries=2))
+                for _ in range(400)
+            )
+            if outcome.exhausted
+        ]
+        # P(exhaust) = 0.5 * 0.25 = 12.5 % per read: plenty in 400.
+        assert exhausted
+        for outcome in exhausted:
+            assert outcome.extra_rounds == 2
+            assert outcome.extra_us == pytest.approx(20.0)
+            # 0.5 capped base, halved once per burnt round.
+            assert outcome.final_failure_probability == pytest.approx(0.125)
+
+    def test_successful_read_not_exhausted(self):
+        model = ReadRetryModel()
+        outcome = model.sample_outcome(self.synthetic_breakdown(0.0))
+        assert outcome == RetryOutcome(0, 0.0, False, 0.0)
+
+    def test_sample_matches_sample_outcome(self):
+        """The legacy scalar view draws the same sequence."""
+        a = ReadRetryModel(ReadRetryConfig(seed=7))
+        b = ReadRetryModel(ReadRetryConfig(seed=7))
+        for _ in range(200):
+            breakdown = self.synthetic_breakdown(1e-2)
+            outcome = a.sample_outcome(breakdown)
+            assert b.sample(breakdown) == (outcome.extra_rounds, outcome.extra_us)
+
+    def test_uncorrectable_reads_counted_with_faults(self, shared_policy):
+        """A faulty high-wear system records uncorrectable reads; the
+        identically-seeded fault-free run records none and carries no
+        fault keys in its stats."""
+        from repro.faults import FaultConfig, FaultInjector
+
+        def run(injector):
+            ssd = SsdConfig(
+                n_blocks=64, pages_per_block=16, gc_free_block_threshold=2,
+                initial_pe_cycles=16000,
+            )
+            config = SystemConfig(
+                ssd=ssd, footprint_pages=int(ssd.logical_pages * 0.4),
+                buffer_pages=16,
+            )
+            system = build_system("baseline", config, fault_injector=injector)
+            engine = DesSimulationEngine(
+                system,
+                warmup_fraction=0.0,
+                n_channels=2,
+                retry_model=ReadRetryModel(ReadRetryConfig(seed=11)),
+            )
+            return engine.run(mixed_trace(400), "t")
+
+        faulty = run(
+            FaultInjector(
+                FaultConfig(enabled=True, initial_bad_block_rate=0.0).scaled(100)
+            )
+        )
+        clean = run(None)
+        assert faulty.uncorrectable_reads > 0
+        assert faulty.stats["uncorrectable_reads"] == faulty.uncorrectable_reads
+        assert sum(faulty.uncorrectable_by_channel.values()) == (
+            faulty.uncorrectable_reads
+        )
+        assert clean.uncorrectable_reads == 0
+        assert "uncorrectable_reads" not in clean.stats
 
 
 class TestValidationAndWarmup:
