@@ -17,6 +17,11 @@ trace
     Run one system through the DES engine with per-request tracing and
     export the sampled span trees (Chrome trace JSON and/or JSONL)
     with a run manifest.
+explain
+    Attribute end-to-end latency exactly to named causes (queue wait,
+    GC stalls, sensing, transfer, LDPC decode, retry rounds, ...) per
+    percentile band, alongside virtual-time-windowed telemetry series;
+    ``--vs`` diffs the blame tables of two systems.
 profile
     Profile a CSV trace file into workload statistics.
 """
@@ -290,6 +295,180 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _blame_csv(report: dict) -> str:
+    """The blame tables as flat CSV rows (band, cause, us, fraction)."""
+    lines = ["band,cause,blame_us,blame_fraction"]
+    for band, table in report["bands"].items():
+        for cause in report["causes"]:
+            lines.append(
+                f"{band},{cause},{table['blame_us'][cause]:.6f},"
+                f"{table['blame_fraction'][cause]:.6f}"
+            )
+    return "\n".join(lines)
+
+
+def _blame_markdown(artifact: dict) -> str:
+    """The report artifact rendered as a markdown blame table."""
+    report = artifact["report"]
+    bands = list(report["bands"])
+    lines = [
+        f"# Latency attribution — {artifact['system']} on "
+        f"{artifact['workload']} ({artifact['engine']} engine)",
+        "",
+        f"{report['n_requests']} attributed requests, "
+        f"{report['total_us']:.1f} us total latency, "
+        f"{report['off_path_us']:.1f} us absorbed by channel parallelism, "
+        f"{report['uncorrectable_requests']} uncorrectable.",
+        "",
+        "Blame fraction by percentile band:",
+        "",
+        "| cause | " + " | ".join(bands) + " |",
+        "|---" * (len(bands) + 1) + "|",
+    ]
+    for cause in report["causes"]:
+        cells = [
+            f"{report['bands'][band]['blame_fraction'][cause]:.3f}"
+            for band in bands
+        ]
+        lines.append(f"| {cause} | " + " | ".join(cells) + " |")
+    if "vs" in artifact:
+        diff = artifact["vs"]["diff"]
+        lines += [
+            "",
+            f"## vs {artifact['vs']['system']} "
+            "(blame-fraction delta, all requests)",
+            "",
+            "| cause | delta |",
+            "|---|---|",
+        ]
+        for cause in report["causes"]:
+            delta = diff["bands"]["all"]["blame_fraction_delta"][cause]
+            lines.append(f"| {cause} | {delta:+.3f} |")
+    return "\n".join(lines)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.core.level_adjust import LevelAdjustPolicy
+    from repro.obs import (
+        AttributionReport,
+        ManifestBuilder,
+        MetricsRegistry,
+        Tracer,
+        WindowedRecorder,
+        diff_reports,
+    )
+    from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
+    from repro.traces import workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    for name in [args.system] + ([args.vs] if args.vs else []):
+        if name not in system_names():
+            print(f"unknown system {name!r}; choose from {system_names()}")
+            return 2
+    if args.vs == args.system:
+        print(f"--vs {args.vs!r} must name a different system")
+        return 2
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
+    fault_config = _fault_config(args)
+
+    def run_one(system_name: str):
+        config = SystemConfig(
+            ssd=ssd_config,
+            footprint_pages=workload.footprint_pages,
+            buffer_pages=512,
+            hotness_window=max(64, min(4096, args.requests // 8)),
+        )
+        injector = None
+        if fault_config is not None:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(fault_config)
+        system = build_system(
+            system_name,
+            config,
+            level_adjust=LevelAdjustPolicy(),
+            fault_injector=injector,
+        )
+        tracer = Tracer(
+            sample_every=args.sample_every, keep_slowest=args.keep_slowest
+        )
+        registry = MetricsRegistry()
+        recorder = WindowedRecorder(window_us=args.window_us)
+        if args.engine == "des":
+            engine = DesSimulationEngine(
+                system,
+                warmup_fraction=0.25,
+                n_channels=n_channels,
+                retry_model=None if args.no_retry else ReadRetryModel(),
+                registry=registry,
+                tracer=tracer,
+                recorder=recorder,
+            )
+        else:
+            engine = SimulationEngine(
+                system,
+                warmup_fraction=0.25,
+                n_channels=n_channels,
+                registry=registry,
+                tracer=tracer,
+                recorder=recorder,
+            )
+        engine.run(trace, args.workload)
+        report = AttributionReport.from_spans(tracer.spans)
+        return tracer, registry, recorder, report
+
+    run_config = _run_config(args, n_channels)
+    run_config.update(
+        {"system": args.system, "vs": args.vs, "window_us": args.window_us}
+    )
+    builder = ManifestBuilder.begin("repro explain", run_config, seed=args.seed)
+    if fault_config is not None:
+        builder.set_fault_config(fault_config.to_dict())
+    tracer, registry, recorder, report = run_one(args.system)
+    # The report artifact holds only virtual-time quantities, so a
+    # fixed seed and config reproduce it byte for byte; wall-clock
+    # provenance goes into the separate manifest.
+    artifact = {
+        "workload": args.workload,
+        "system": args.system,
+        "engine": args.engine,
+        "n_channels": n_channels,
+        "window_us": args.window_us,
+        "report": report.to_dict(include_requests=args.include_requests),
+        "windows": recorder.to_dict(),
+    }
+    if args.vs:
+        _, _, vs_recorder, vs_report = run_one(args.vs)
+        artifact["vs"] = {
+            "system": args.vs,
+            "report": vs_report.to_dict(),
+            "windows": vs_recorder.to_dict(),
+            "diff": diff_reports(report, vs_report),
+        }
+    out = Path(args.out or f"explain_{args.workload}_{args.system}.json")
+    text = json.dumps(artifact, indent=2, sort_keys=True)
+    out.write_text(text + "\n")
+    manifest = builder.finish(
+        metrics=registry.snapshot(),
+        artifacts=[str(out)],
+        traces_kept=len(tracer.spans),
+        requests_seen=tracer.n_seen,
+    )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    if args.json:
+        print(text)
+    elif args.csv:
+        print(_blame_csv(artifact["report"]))
+    else:
+        print(_blame_markdown(artifact))
+    print(f"report written to {out}", file=sys.stderr)
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.traces import profile_trace, read_trace_csv
 
@@ -418,6 +597,76 @@ def main(argv: list[str] | None = None) -> int:
         help="output path (default: trace_<workload>_<system>.json)",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    explain = commands.add_parser(
+        "explain",
+        help="attribute end-to-end latency to causes per percentile band",
+    )
+    _add_run_arguments(explain)
+    explain.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to explain (default: flexlevel)",
+    )
+    explain.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="des",
+        help="des decomposes sensing rounds and channels; queue only "
+        "queue-wait/GC-stall/service",
+    )
+    explain.add_argument(
+        "--vs",
+        default=None,
+        metavar="SYSTEM",
+        help="also run SYSTEM and report blame-fraction deltas "
+        "(candidate - SYSTEM)",
+    )
+    explain.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="attribute every N-th post-warmup request (default 1: all "
+        "of them, so blame reconciles with the response histograms)",
+    )
+    explain.add_argument(
+        "--keep-slowest",
+        type=int,
+        default=0,
+        help="additionally keep the K slowest requests' traces",
+    )
+    explain.add_argument(
+        "--window-us",
+        type=float,
+        default=1000.0,
+        help="telemetry window width in simulated microseconds "
+        "(default 1000 = 1 ms)",
+    )
+    explain.add_argument(
+        "--include-requests",
+        action="store_true",
+        help="embed per-request attribution records in the JSON artifact",
+    )
+    explain_format = explain.add_mutually_exclusive_group()
+    explain_format.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report artifact JSON to stdout",
+    )
+    explain_format.add_argument(
+        "--csv", action="store_true", help="print the blame tables as CSV"
+    )
+    explain_format.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print a markdown blame table (the default)",
+    )
+    explain.add_argument(
+        "--out",
+        default=None,
+        help="report artifact path (default: explain_<workload>_<system>.json)",
+    )
+    explain.set_defaults(handler=_cmd_explain)
 
     profile = commands.add_parser("profile", help="profile a CSV trace")
     profile.add_argument("trace")

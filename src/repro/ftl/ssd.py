@@ -108,6 +108,12 @@ class Ssd:
             )
         self.config = config
         self.stats = SsdStats()
+        # Windowed telemetry (repro.obs.timeseries): the engines attach
+        # a recorder; host-path entry points tick the virtual clock and
+        # internal events (GC runs, scrubs, retirements, degradation)
+        # stamp themselves at the last ticked time.
+        self.window_recorder = None
+        self._window_now_us = 0.0
         n_logical = config.logical_pages
         n_physical = config.physical_pages
         self._l2p = np.full(n_logical, _FREE, dtype=np.int64)
@@ -257,6 +263,24 @@ class Ssd:
                 1.0 if self.read_only else 0.0
             )
 
+    # --- windowed telemetry -----------------------------------------------------
+
+    def window_tick(self, now_us: float) -> None:
+        """Advance the windowed-telemetry virtual clock.
+
+        Host-path entry points (reads, writes, migrations, refreshes)
+        tick it with their request time; internal events that carry no
+        timestamp of their own — GC runs, scrubs, block retirements,
+        entering degraded mode — stamp themselves at the last ticked
+        time.  A no-op without an attached recorder.
+        """
+        if self.window_recorder is not None and now_us > self._window_now_us:
+            self._window_now_us = now_us
+
+    def _window_add(self, series: str, amount: float = 1.0) -> None:
+        if self.window_recorder is not None:
+            self.window_recorder.add(series, self._window_now_us, amount)
+
     # --- host operations ------------------------------------------------------------
 
     def read_info(self, lpn: int, now_us: float) -> PageReadInfo:
@@ -266,6 +290,7 @@ class Ssd:
         it reports normal mode and zero age.
         """
         self._check_lpn(lpn)
+        self.window_tick(now_us)
         self.stats.host_read_pages += 1
         ppn = self._l2p[lpn]
         if ppn == _FREE:
@@ -287,6 +312,7 @@ class Ssd:
         rejected — counted, zero cost — instead of crashing the run.
         """
         self._check_lpn(lpn)
+        self.window_tick(now_us)
         if self.read_only:
             self.stats.rejected_writes += 1
             return 0.0, 0.0
@@ -319,6 +345,7 @@ class Ssd:
         same data.
         """
         self._check_lpn(lpn)
+        self.window_tick(now_us)
         if self._l2p[lpn] == _FREE:
             raise FtlError(f"cannot migrate unmapped page {lpn}")
         if self.read_only:
@@ -345,6 +372,7 @@ class Ssd:
         and in read-only mode (skipped scrubs are counted).
         """
         self._check_lpn(lpn)
+        self.window_tick(now_us)
         if self._l2p[lpn] == _FREE:
             return 0.0
         if self.read_only:
@@ -355,6 +383,7 @@ class Ssd:
         self.stats.flash_read_pages += 1
         program, gc = self._write_page(lpn, mode, now_us, kind="scrub")
         self.stats.scrub_refreshed_pages += 1
+        self._window_add("ftl.scrub.refreshed_pages")
         return service + program + gc
 
     def scrub_if_needed(self, lpn: int, required_levels: int, now_us: float) -> float:
@@ -506,6 +535,7 @@ class Ssd:
                 if guard > self.config.n_blocks:
                     raise FtlError("GC loop failed to make progress")
             self.stats.gc_runs += 1
+            self._window_add("ftl.gc.runs")
             service += self._maybe_wear_level()
         finally:
             self._in_gc = False
@@ -572,6 +602,7 @@ class Ssd:
             else:
                 bbt.retire(victim)
                 self.stats.blocks_retired += 1
+                self._window_add("ftl.bbt.retired")
             return service
         self._block_mode[victim] = _FREE
         self._block_write_ptr[victim] = 0
@@ -634,11 +665,16 @@ class Ssd:
         self._block_write_ptr[victim] = 0
         bbt.retire(victim)
         self.stats.blocks_retired += 1
+        self._window_add("ftl.bbt.retired")
         return service
 
     def _enter_read_only(self) -> None:
         """Degrade to read-only: writes, migrations and scrubs stop."""
         self.read_only = True
+        if self.window_recorder is not None:
+            self.window_recorder.sample(
+                "ftl.degraded.read_only", self._window_now_us, 1.0
+            )
 
     # --- helpers ------------------------------------------------------------------------
 

@@ -11,6 +11,12 @@ Three pillars, one dependency-free subsystem:
 * :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
   (config hash, seed, git SHA, wall time, peak RSS, metric snapshot)
   written alongside results.
+* :mod:`repro.obs.attribution` — exact critical-path decomposition of
+  retained request traces onto a fixed cause taxonomy with
+  percentile-banded blame tables (``repro explain``).
+* :mod:`repro.obs.timeseries` — :class:`WindowedRecorder` virtual-time
+  windowed telemetry (queue depth, per-channel activity, retry rate,
+  GC/scrub work, degraded state) emitted by both engines.
 """
 
 from repro.obs.bench import (
@@ -27,6 +33,14 @@ from repro.obs.bench import (
     quick_mode,
     validate_bench_dict,
 )
+from repro.obs.attribution import (
+    CAUSES,
+    AttributionReport,
+    BandBlame,
+    RequestAttribution,
+    attribute_request,
+    diff_reports,
+)
 from repro.obs.manifest import ManifestBuilder, RunManifest, config_hash, git_sha
 from repro.obs.metrics import (
     Counter,
@@ -35,9 +49,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merged_quantile,
 )
-from repro.obs.tracing import Span, Tracer
+from repro.obs.timeseries import DEFAULT_WINDOW_US, WindowedRecorder
+from repro.obs.tracing import Span, Tracer, spans_from_chrome_trace
 
 __all__ = [
+    "AttributionReport",
+    "BandBlame",
+    "CAUSES",
+    "DEFAULT_WINDOW_US",
+    "RequestAttribution",
+    "WindowedRecorder",
+    "attribute_request",
+    "diff_reports",
+    "spans_from_chrome_trace",
     "BenchCase",
     "BenchLedger",
     "BenchModeMismatch",

@@ -1,0 +1,404 @@
+"""Critical-path latency attribution over retained span trees.
+
+FlexLevel's whole argument is about *where* read latency goes — extra
+sensing rounds and LDPC decode iterations versus media sense, transfer
+and queueing (paper §2, Fig. 6).  This module turns the span trees the
+:class:`~repro.obs.tracing.Tracer` retains into that drill-down: every
+request's end-to-end latency is decomposed *exactly* onto a fixed cause
+taxonomy, and per-request records aggregate into blame tables bucketed
+by percentile band, so "what fraction of p99 is retry sensing vs. GC
+stall?" is one report instead of a manual trace-reading exercise.
+
+Cause taxonomy
+--------------
+
+``queue_wait``
+    Waiting for the critical channel to become free (dispatch delay).
+``gc_stall``
+    Mid-granule background-GC stall charged on the critical channel.
+``sense`` / ``transfer`` / ``ldpc_decode``
+    The three components of the *first* sensing round of each flash
+    read on the critical path — the retry-free cost of the read.
+``retry``
+    Every sensing round beyond the first (read-retry overhead: the
+    rounds an exact-provisioning system would not have needed).
+``uncorrectable``
+    Retry rounds of reads that terminated uncorrectable — ladder time
+    burned without ever decoding (faults enabled only).
+``post_read``
+    Post-read policy work on the critical path (AccessEval etc.).
+``buffer_hit``
+    Reads answered by the write buffer (no flash sensing).
+``buffered_write``
+    Write service (host acknowledged at buffer insertion).
+``service``
+    The legacy single-queue engine's flat service span — that engine
+    has no per-round visibility, so its service time is one cause.
+``other``
+    Residual: float round-off and any trace time no rule claims.  The
+    decomposition is exact by construction — ``other`` absorbs what is
+    left so the causes always sum to the root span duration.
+
+Critical-path semantics: a multi-page request fans out over channels;
+channels run in parallel and the request completes when the slowest
+channel finishes.  Attribution walks that *critical* channel only (the
+one whose last page operation completes last), so the attributed causes
+sum exactly to the end-to-end latency; page-operation time absorbed by
+channel parallelism is reported separately as ``off_path_us`` and never
+inflates blame fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.tracing import Span
+
+#: The fixed cause taxonomy, in report order.
+CAUSES: tuple[str, ...] = (
+    "queue_wait",
+    "gc_stall",
+    "sense",
+    "transfer",
+    "ldpc_decode",
+    "retry",
+    "uncorrectable",
+    "post_read",
+    "buffer_hit",
+    "buffered_write",
+    "service",
+    "other",
+)
+
+#: Root-child span names that carry page-operation service time.
+_OP_NAMES = frozenset(
+    {"flash_read", "buffer_hit_read", "buffered_write", "service"}
+)
+
+#: Percentile-band edges of the aggregate blame tables.
+BAND_EDGES: tuple[float, ...] = (50.0, 95.0, 99.0)
+BAND_NAMES: tuple[str, ...] = ("p0_50", "p50_95", "p95_99", "p99_plus")
+
+
+@dataclass
+class RequestAttribution:
+    """One request's exact end-to-end latency decomposition.
+
+    ``causes`` maps every taxonomy cause to its attributed duration;
+    the values sum to ``duration_us`` (up to float round-off, which the
+    ``other`` cause absorbs).  ``off_path_us`` is page-operation time
+    on non-critical channels — real flash work, but hidden from the
+    host by channel parallelism.
+    """
+
+    name: str
+    seq: int
+    start_us: float
+    duration_us: float
+    causes: dict[str, float] = field(default_factory=dict)
+    retry_rounds: int = 0
+    uncorrectable: bool = False
+    buffer_hit: bool = False
+    n_channels: int = 0
+    off_path_us: float = 0.0
+
+    @property
+    def is_write(self) -> bool:
+        return self.name == "write_request"
+
+    @property
+    def attributed_us(self) -> float:
+        """Sum of the attributed causes (== ``duration_us``)."""
+        return sum(self.causes.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "causes": {k: self.causes[k] for k in sorted(self.causes)},
+            "retry_rounds": self.retry_rounds,
+            "uncorrectable": self.uncorrectable,
+            "buffer_hit": self.buffer_hit,
+            "n_channels": self.n_channels,
+            "off_path_us": self.off_path_us,
+        }
+
+
+def _op_groups(ops: Sequence[Span]) -> dict[Any, list[Span]]:
+    """Page-operation spans grouped by the channel that served them."""
+    groups: dict[Any, list[Span]] = {}
+    for op in ops:
+        groups.setdefault(op.attrs.get("channel"), []).append(op)
+    return groups
+
+
+def _attribute_flash_read(op: Span, causes: dict[str, float]) -> tuple[int, bool]:
+    """Decompose one flash read; returns (retry rounds, uncorrectable)."""
+    uncorrectable = bool(op.attrs.get("uncorrectable", False))
+    retry_cause = "uncorrectable" if uncorrectable else "retry"
+    claimed = 0.0
+    rounds = 0
+    for child in op.children:
+        claimed += child.duration_us
+        if child.name == "sensing_round":
+            if child.attrs.get("round", 0) == 0:
+                inner = 0.0
+                for part in child.children:
+                    cause = (
+                        part.name
+                        if part.name in ("sense", "transfer", "ldpc_decode")
+                        else "other"
+                    )
+                    causes[cause] += part.duration_us
+                    inner += part.duration_us
+                causes["other"] += child.duration_us - inner
+            else:
+                rounds += 1
+                causes[retry_cause] += child.duration_us
+        elif child.name == "post_read":
+            causes["post_read"] += child.duration_us
+        else:
+            causes["other"] += child.duration_us
+    causes["other"] += op.duration_us - claimed
+    return rounds, uncorrectable
+
+
+def attribute_request(root: Span) -> RequestAttribution:
+    """Decompose one retained request tree onto the cause taxonomy.
+
+    Works on live :class:`~repro.obs.tracing.Span` trees and on trees
+    reconstructed from a Chrome trace export
+    (:func:`~repro.obs.tracing.spans_from_chrome_trace`) alike — the
+    attribution depends only on span names, times and attrs.
+    """
+    if root.end_us is None:
+        raise ConfigurationError(f"request span {root.name!r} never ended")
+    causes = {cause: 0.0 for cause in CAUSES}
+    record = RequestAttribution(
+        name=root.name,
+        seq=int(root.attrs.get("seq", root.attrs.get("index", 0))),
+        start_us=root.start_us,
+        duration_us=root.duration_us,
+        causes=causes,
+    )
+    ops = [child for child in root.children if child.name in _OP_NAMES]
+    stalls = [child for child in root.children if child.name == "gc_stall"]
+    if not ops:
+        causes["queue_wait"] = root.duration_us
+        return record
+    groups = _op_groups(ops)
+    record.n_channels = len(groups)
+    ends = {
+        key: max(op.end_us for op in group) for key, group in groups.items()
+    }
+    # The critical channel is the one whose last page operation
+    # completes last; exact-end ties break to the smallest channel id.
+    critical = max(
+        ends, key=lambda k: (ends[k], -(k if isinstance(k, int) else -1))
+    )
+    crit_ops = sorted(groups[critical], key=lambda op: (op.start_us, op.end_us))
+    crit_start = min(op.start_us for op in crit_ops)
+    stall_us = sum(
+        stall.duration_us
+        for stall in stalls
+        if stall.attrs.get("channel") == critical
+    )
+    wait_us = crit_start - root.start_us - stall_us
+    if wait_us < 0.0:
+        # Degenerate trees (stall span wider than the pre-service gap):
+        # keep the sum exact by ceding the excess back to the stall.
+        stall_us += wait_us
+        wait_us = 0.0
+    causes["queue_wait"] += wait_us
+    causes["gc_stall"] += stall_us
+    cursor = crit_start
+    for op in crit_ops:
+        if op.start_us > cursor:
+            causes["other"] += op.start_us - cursor
+        if op.name == "flash_read":
+            rounds, uncorrectable = _attribute_flash_read(op, causes)
+            record.retry_rounds += rounds
+            record.uncorrectable = record.uncorrectable or uncorrectable
+        elif op.name == "buffer_hit_read":
+            causes["buffer_hit"] += op.duration_us
+            record.buffer_hit = True
+        elif op.name == "buffered_write":
+            causes["buffered_write"] += op.duration_us
+        else:  # the legacy engine's flat "service" span
+            causes["service"] += op.duration_us
+        cursor = max(cursor, op.end_us)
+    if root.end_us > cursor:
+        causes["other"] += root.end_us - cursor
+    record.off_path_us = sum(
+        op.duration_us
+        for key, group in groups.items()
+        if key != critical
+        for op in group
+    )
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Aggregate blame tables
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BandBlame:
+    """Aggregate blame over the requests of one percentile band."""
+
+    name: str
+    n_requests: int = 0
+    total_us: float = 0.0
+    blame_us: dict[str, float] = field(
+        default_factory=lambda: {cause: 0.0 for cause in CAUSES}
+    )
+
+    def add(self, record: RequestAttribution) -> None:
+        self.n_requests += 1
+        self.total_us += record.duration_us
+        for cause, value in record.causes.items():
+            self.blame_us[cause] += value
+
+    def fractions(self) -> dict[str, float]:
+        """Each cause's share of the band's total latency (sums to 1)."""
+        if self.total_us <= 0.0:
+            return {cause: 0.0 for cause in CAUSES}
+        attributed = sum(self.blame_us.values())
+        return {
+            cause: self.blame_us[cause] / attributed
+            for cause in CAUSES
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "total_us": self.total_us,
+            "blame_us": {k: self.blame_us[k] for k in CAUSES},
+            "blame_fraction": self.fractions(),
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Per-request attributions plus percentile-banded blame tables.
+
+    Band edges come from the retained requests' own response-time
+    distribution (``np.percentile`` over exact durations), so the p99+
+    band is the same tail the ``sim.read.response_us.p999`` metric
+    summarises.
+    """
+
+    requests: list[RequestAttribution] = field(default_factory=list)
+    thresholds_us: dict[str, float] = field(default_factory=dict)
+    bands: dict[str, BandBlame] = field(default_factory=dict)
+    overall: BandBlame = field(default_factory=lambda: BandBlame("all"))
+
+    @staticmethod
+    def from_spans(spans: Iterable[Span]) -> "AttributionReport":
+        """Attribute every retained root span and aggregate the blame."""
+        report = AttributionReport()
+        report.requests = [attribute_request(span) for span in spans]
+        report.bands = {name: BandBlame(name) for name in BAND_NAMES}
+        durations = [record.duration_us for record in report.requests]
+        if durations:
+            edges = [
+                float(np.percentile(durations, q)) for q in BAND_EDGES
+            ]
+        else:
+            edges = [0.0 for _ in BAND_EDGES]
+        report.thresholds_us = {
+            f"p{q:g}": edge for q, edge in zip(BAND_EDGES, edges)
+        }
+        for record in report.requests:
+            report.overall.add(record)
+            report.bands[report.band_of(record.duration_us)].add(record)
+        return report
+
+    def band_of(self, duration_us: float) -> str:
+        """The percentile band a response time falls into."""
+        for name, threshold in zip(BAND_NAMES, self.thresholds_us.values()):
+            if duration_us <= threshold:
+                return name
+        return BAND_NAMES[-1]
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_us(self) -> float:
+        """Summed end-to-end latency — reconciles with the response-time
+        histograms' ``.sum`` when the tracer retained every request."""
+        return self.overall.total_us
+
+    @property
+    def uncorrectable_requests(self) -> int:
+        return sum(1 for r in self.requests if r.uncorrectable)
+
+    @property
+    def off_path_us(self) -> float:
+        return sum(r.off_path_us for r in self.requests)
+
+    def to_dict(self, include_requests: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "n_requests": self.n_requests,
+            "total_us": self.total_us,
+            "off_path_us": self.off_path_us,
+            "uncorrectable_requests": self.uncorrectable_requests,
+            "thresholds_us": dict(self.thresholds_us),
+            "causes": list(CAUSES),
+            "bands": {
+                **{name: self.bands[name].to_dict() for name in BAND_NAMES},
+                "all": self.overall.to_dict(),
+            },
+        }
+        if include_requests:
+            out["requests"] = [r.to_dict() for r in self.requests]
+        return out
+
+
+def diff_reports(
+    candidate: AttributionReport | Mapping[str, Any],
+    baseline: AttributionReport | Mapping[str, Any],
+) -> dict[str, Any]:
+    """Blame-fraction deltas (candidate − baseline) per band and cause.
+
+    The comparison the paper's Fig. 6 makes: which causes *shift* when
+    FlexLevel replaces the baseline, band by band.  Positive delta =
+    the candidate spends a larger latency share on that cause.
+    """
+    cand = (
+        candidate.to_dict()
+        if isinstance(candidate, AttributionReport)
+        else dict(candidate)
+    )
+    base = (
+        baseline.to_dict()
+        if isinstance(baseline, AttributionReport)
+        else dict(baseline)
+    )
+    bands: dict[str, Any] = {}
+    for band in (*BAND_NAMES, "all"):
+        cand_band = cand["bands"][band]
+        base_band = base["bands"][band]
+        bands[band] = {
+            "total_us_delta": cand_band["total_us"] - base_band["total_us"],
+            "blame_fraction_delta": {
+                cause: (
+                    cand_band["blame_fraction"][cause]
+                    - base_band["blame_fraction"][cause]
+                )
+                for cause in CAUSES
+            },
+        }
+    return {
+        "total_us_delta": cand["total_us"] - base["total_us"],
+        "bands": bands,
+    }

@@ -8,7 +8,7 @@ namespace (``ftl.gc.runs``, ``ecc.ldpc.iterations``,
 * :class:`Counter` — monotonically increasing totals.
 * :class:`Gauge` — last-write-wins point-in-time values.
 * :class:`Histogram` — a *fixed* geometric (log-spaced) bucket layout
-  with streaming p50/p95/p99 estimation.  Memory is O(buckets) no
+  with streaming p50/p95/p99/p999 estimation.  Memory is O(buckets) no
   matter how many samples are observed, and with the default 4 %
   bucket growth any quantile is within 4 % relative error of the exact
   sample quantile (each sample lands in a bucket whose bounds are 4 %
@@ -220,6 +220,7 @@ class Histogram:
             f"{prefix}.p50": self.quantile(50),
             f"{prefix}.p95": self.quantile(95),
             f"{prefix}.p99": self.quantile(99),
+            f"{prefix}.p999": self.quantile(99.9),
         }
 
 

@@ -1,0 +1,151 @@
+"""Virtual-time windowed telemetry series.
+
+One end-of-run metric snapshot cannot show a long run's *shape*: when
+the GC backlog stopped fitting into idle time, when retry rates spiked,
+when the drive degraded to read-only.  A :class:`WindowedRecorder`
+buckets observations into fixed windows of **simulated** time
+(configurable, default 1 ms) so both engines emit a time-resolved view
+— queue depth, in-flight operations per channel, retry rate, GC and
+scrub activity, degraded-mode state — at O(windows × series) memory.
+
+Two recording verbs share one per-window cell type:
+
+* :meth:`WindowedRecorder.add` — counter-like accumulation (arrivals,
+  retry rounds, drained GC microseconds).  The window's ``sum`` is the
+  rate numerator.
+* :meth:`WindowedRecorder.sample` — gauge-like observation (queue
+  depth, degraded flag).  ``mean``/``last``/``min``/``max`` describe
+  the window.
+
+Everything is keyed by virtual time, so a fixed seed and config yield
+byte-identical exports — the determinism the `repro explain` artifact
+relies on.  Series names follow the dotted metric-namespace grammar of
+:mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import _check_name
+
+#: Default window width: 1 ms of simulated time.
+DEFAULT_WINDOW_US = 1000.0
+
+
+@dataclass
+class WindowCell:
+    """Aggregates of one series within one window."""
+
+    n: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else 0.0
+
+
+class WindowedRecorder:
+    """Buckets virtual-time observations into fixed windows.
+
+    Parameters
+    ----------
+    window_us:
+        Window width in simulated microseconds (> 0).
+    origin_us:
+        Virtual time of window 0's left edge; observations before the
+        origin are rejected (the simulators never go backwards).
+    """
+
+    def __init__(
+        self, window_us: float = DEFAULT_WINDOW_US, origin_us: float = 0.0
+    ):
+        if not window_us > 0.0:
+            raise ConfigurationError(f"window_us must be > 0, got {window_us}")
+        if origin_us < 0.0:
+            raise ConfigurationError(f"negative origin_us: {origin_us}")
+        self.window_us = float(window_us)
+        self.origin_us = float(origin_us)
+        self._series: dict[str, dict[int, WindowCell]] = {}
+
+    def window_index(self, time_us: float) -> int:
+        """The window an instant falls into (left-closed intervals)."""
+        if time_us < self.origin_us:
+            raise ConfigurationError(
+                f"time {time_us} precedes window origin {self.origin_us}"
+            )
+        return int((time_us - self.origin_us) // self.window_us)
+
+    def _cell(self, series: str, time_us: float) -> WindowCell:
+        windows = self._series.get(series)
+        if windows is None:
+            _check_name(series)
+            windows = self._series[series] = {}
+        index = self.window_index(time_us)
+        cell = windows.get(index)
+        if cell is None:
+            cell = windows[index] = WindowCell()
+        return cell
+
+    def add(self, series: str, time_us: float, amount: float = 1.0) -> None:
+        """Accumulate a counter-like observation into its window."""
+        self._cell(series, time_us).observe(amount)
+
+    def sample(self, series: str, time_us: float, value: float) -> None:
+        """Record a gauge-like observation into its window."""
+        self._cell(series, time_us).observe(value)
+
+    # --- inspection -------------------------------------------------------------
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def total(self, series: str) -> float:
+        """Sum over every window of one series (0 for unknown series)."""
+        return sum(
+            cell.sum for cell in self._series.get(series, {}).values()
+        )
+
+    def rows(self, series: str) -> list[dict[str, float]]:
+        """One dict per populated window, ascending window order."""
+        windows = self._series.get(series, {})
+        out = []
+        for index in sorted(windows):
+            cell = windows[index]
+            out.append(
+                {
+                    "window": index,
+                    "start_us": self.origin_us + index * self.window_us,
+                    "n": cell.n,
+                    "sum": cell.sum,
+                    "mean": cell.mean(),
+                    "min": cell.min,
+                    "max": cell.max,
+                    "last": cell.last,
+                }
+            )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic (sorted) JSON-serialisable export."""
+        return {
+            "window_us": self.window_us,
+            "origin_us": self.origin_us,
+            "series": {
+                name: self.rows(name) for name in self.series_names()
+            },
+        }

@@ -253,3 +253,48 @@ class Tracer:
     def write_chrome_trace(self, path, process_name: str = "repro-sim") -> None:
         with open(path, "w") as handle:
             json.dump(self.chrome_trace(process_name), handle)
+
+
+def spans_from_chrome_trace(trace: dict) -> list[Span]:
+    """Rebuild root :class:`Span` trees from a Chrome trace export.
+
+    The inverse of :meth:`Tracer.chrome_trace` for the complete
+    (``"ph": "X"``) events: each ``tid`` is one retained request, and
+    nesting is reconstructed from interval containment in *stream
+    order* — the exporter writes each request's spans depth-first, so
+    every parent precedes its children even where sibling operations on
+    different channels overlap in time (a time-sorted reconstruction
+    could not tell those apart).  Span attrs come back from the event
+    ``args`` (the ``seq`` attr is restored from the ``tid``), which is
+    what lets :func:`repro.obs.attribution.attribute_request` run on an
+    exported trace file exactly as on the live trees.
+    """
+    by_tid: dict[int, list[dict]] = {}
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        for key in ("ts", "dur", "tid"):
+            if key not in event:
+                raise ConfigurationError(
+                    f"complete event {event.get('name')!r} lacks {key!r}"
+                )
+        by_tid.setdefault(event["tid"], []).append(event)
+    roots: list[Span] = []
+    for tid in sorted(by_tid):
+        stack: list[Span] = []
+        for event in by_tid[tid]:
+            span = Span(event["name"], event["ts"])
+            span.attrs.update(event.get("args", {}))
+            span.end(event["ts"] + event["dur"])
+            while stack and not (
+                span.start_us >= stack[-1].start_us
+                and span.end_us <= stack[-1].end_us
+            ):
+                stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                span.attrs.setdefault("seq", tid)
+                roots.append(span)
+            stack.append(span)
+    return roots

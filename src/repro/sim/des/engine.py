@@ -34,6 +34,7 @@ from typing import Iterable
 from repro.baselines.systems import ReadServiceBreakdown, StorageSystem
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import WindowedRecorder
 from repro.obs.tracing import Span, Tracer
 from repro.sim.des.events import Event, EventHeap, EventKind
 from repro.sim.des.retry import ReadRetryModel
@@ -72,6 +73,15 @@ class DesSimulationEngine:
     tracer:
         Optional tracer; when set, post-warmup requests are offered to
         its sampling policy as full span trees.
+    recorder:
+        Optional :class:`repro.obs.WindowedRecorder`; when set, the run
+        emits virtual-time-windowed telemetry — arrivals, in-flight
+        requests, per-channel page-op and busy/GC microseconds, retry
+        and uncorrectable rates, degraded-mode state — and the SSD's
+        own windowed series (GC runs, scrub refreshes, block
+        retirements) are routed into the same recorder.  Windows cover
+        the *whole* run including warmup: the time-resolved view is the
+        point, and warmup is part of the timeline.
     sample_cap:
         Overrides the result's exact-sample cap (None keeps
         :data:`repro.sim.results.DEFAULT_SAMPLE_CAP`).
@@ -86,6 +96,7 @@ class DesSimulationEngine:
         retry_model: ReadRetryModel | None | object = _DEFAULT_RETRY,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder: WindowedRecorder | None = None,
         sample_cap: int | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
@@ -105,6 +116,7 @@ class DesSimulationEngine:
         self.retry_model = retry_model
         self.registry = registry
         self.tracer = tracer
+        self.recorder = recorder
         if sample_cap is not None and sample_cap < 0:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
@@ -135,15 +147,25 @@ class DesSimulationEngine:
         scheduler = ChannelScheduler(self.n_channels, self.gc_granule_us)
         heap = EventHeap()
         heap.push(self._arrival_event(records, 0))
+        recorder = self.recorder
+        if recorder is not None:
+            self.system.ssd.window_recorder = recorder
 
         ops_dispatched = 0
         ops_completed = 0
         requests_completed = 0
+        inflight = 0
         last_completion_us = records[0].timestamp_us
         while len(heap):
             event = heap.pop()
             if event.kind is EventKind.ARRIVAL:
                 index = event.request_index
+                if recorder is not None:
+                    inflight += 1
+                    recorder.add("sim.arrivals", event.time_us)
+                    recorder.sample(
+                        "sim.inflight_requests", event.time_us, inflight
+                    )
                 ops_dispatched += self._dispatch(
                     records[index], index, scheduler, heap, result, warmup_count
                 )
@@ -154,6 +176,16 @@ class DesSimulationEngine:
             elif event.kind is EventKind.REQUEST_COMPLETE:
                 requests_completed += 1
                 last_completion_us = event.time_us
+                if recorder is not None:
+                    inflight -= 1
+                    recorder.sample(
+                        "sim.inflight_requests", event.time_us, inflight
+                    )
+                    recorder.sample(
+                        "sim.degraded.read_only",
+                        event.time_us,
+                        float(self.system.ssd.read_only),
+                    )
                 if event.request_index >= warmup_count:
                     record = records[event.request_index]
                     result.record(record.is_write, event.value_us)
@@ -228,6 +260,7 @@ class DesSimulationEngine:
         completion = arrival
         dispatched = 0
         first_op_start: float | None = None
+        recorder = self.recorder
         for channel, lpns in ops_by_channel.items():
             report = scheduler.admit(channel, arrival)
             if report.drained_us + report.stall_us > 0.0:
@@ -239,6 +272,15 @@ class DesSimulationEngine:
                         value_us=report.drained_us + report.stall_us,
                     )
                 )
+                if recorder is not None:
+                    # Background work is binned at the admitting
+                    # request's service start, not spread across the
+                    # idle gap it actually drained into.
+                    recorder.add(
+                        f"sim.channel.{channel}.gc_us",
+                        report.start_us,
+                        report.drained_us + report.stall_us,
+                    )
                 if trace is not None and report.stall_us > 0.0:
                     trace.span(
                         "gc_stall",
@@ -265,6 +307,19 @@ class DesSimulationEngine:
                     )
                 )
                 dispatched += 1
+                if recorder is not None:
+                    recorder.add(f"sim.channel.{channel}.ops", op_start)
+                    recorder.add(
+                        f"sim.channel.{channel}.busy_us", op_start, service
+                    )
+                    if breakdown is not None and not breakdown.buffer_hit:
+                        recorder.add("sim.read.flash_reads", op_start)
+                        if rounds:
+                            recorder.add(
+                                "sim.read.retry_rounds", op_start, rounds
+                            )
+                        if uncorrectable:
+                            recorder.add("sim.uncorrectable.reads", op_start)
                 if trace is not None:
                     self._trace_op(
                         trace, record, lpn, channel, op_start, service,
@@ -420,6 +475,10 @@ class DesSimulationEngine:
             registry.gauge("sim.uncorrectable.rate").set(result.uncorrectable_rate())
         for channel, busy_us in enumerate(result.channel_busy_us):
             registry.gauge(f"sim.channel.{channel}.busy_us").set(busy_us)
+            utilization = (
+                busy_us / result.makespan_us if result.makespan_us > 0.0 else 0.0
+            )
+            registry.gauge(f"sim.channel.{channel}.utilization").set(utilization)
 
     @staticmethod
     def _check_conservation(

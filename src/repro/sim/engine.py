@@ -23,6 +23,7 @@ from typing import Iterable
 from repro.baselines.systems import StorageSystem
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import WindowedRecorder
 from repro.obs.tracing import Tracer
 from repro.sim.results import SimulationResult
 from repro.traces.schema import TraceRecord
@@ -54,6 +55,13 @@ class SimulationEngine:
         Optional :class:`repro.obs.Tracer`; the single-queue engine has
         no per-round visibility, so its request spans decompose into
         queue wait, GC stall and service only.
+    recorder:
+        Optional :class:`repro.obs.WindowedRecorder`; when set, the run
+        emits virtual-time-windowed telemetry.  The single queue is one
+        aggregated server, so per-channel series all land on channel 0
+        (``sim.channel.0.*``); the SSD's own windowed series (GC runs,
+        scrub refreshes, block retirements) route into the same
+        recorder.  Windows cover the whole run including warmup.
     sample_cap:
         Overrides the result's exact-sample cap (None keeps
         :data:`repro.sim.results.DEFAULT_SAMPLE_CAP`).
@@ -67,6 +75,7 @@ class SimulationEngine:
         gc_granule_us: float | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder: WindowedRecorder | None = None,
         sample_cap: int | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
@@ -83,6 +92,7 @@ class SimulationEngine:
         self.gc_granule_us = gc_granule_us
         self.registry = registry
         self.tracer = tracer
+        self.recorder = recorder
         if sample_cap is not None and sample_cap < 0:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
@@ -108,8 +118,13 @@ class SimulationEngine:
                 f"warmup fraction {self.warmup_fraction} rounds to all "
                 f"{len(records)} requests — nothing would be recorded"
             )
+        recorder = self.recorder
+        if recorder is not None:
+            self.system.ssd.window_recorder = recorder
         device_free_at = 0.0
         backlog_us = 0.0
+        busy_us_total = 0.0
+        last_completion = records[0].timestamp_us
         footprint = self.system.config.footprint_pages
         for index, record in enumerate(records):
             arrival = record.timestamp_us
@@ -138,6 +153,22 @@ class SimulationEngine:
             completion = start + service
             device_free_at = completion
             backlog_us += self.system.take_background_us()
+            busy_us_total += drained + stall + service
+            last_completion = max(last_completion, completion)
+            if recorder is not None:
+                recorder.add("sim.arrivals", arrival)
+                recorder.add("sim.channel.0.ops", start)
+                recorder.add("sim.channel.0.busy_us", start, service)
+                if drained + stall > 0.0:
+                    # Background work is binned at the request's
+                    # service start, not spread across the idle gap it
+                    # actually drained into.
+                    recorder.add("sim.channel.0.gc_us", start, drained + stall)
+                recorder.sample(
+                    "sim.degraded.read_only",
+                    completion,
+                    float(self.system.ssd.read_only),
+                )
             if index >= warmup_count:
                 result.record(record.is_write, completion - record.timestamp_us)
                 if self.tracer is not None:
@@ -155,6 +186,16 @@ class SimulationEngine:
             self.registry.register("sim.read.response_us", result.read_hist)
             self.registry.register("sim.write.response_us", result.write_hist)
             self.registry.gauge("sim.residual_backlog_us").set(backlog_us)
+            # The single queue is one aggregated server reported as
+            # channel 0: busy time is foreground service plus drained
+            # GC, mirroring the DES engine's per-channel accounting.
+            makespan_us = max(last_completion - records[0].timestamp_us, 0.0)
+            self.registry.gauge("sim.makespan_us").set(makespan_us)
+            self.registry.gauge("sim.channel.0.busy_us").set(busy_us_total)
+            utilization = (
+                busy_us_total / makespan_us if makespan_us > 0.0 else 0.0
+            )
+            self.registry.gauge("sim.channel.0.utilization").set(utilization)
         return result
 
     def _trace_request(

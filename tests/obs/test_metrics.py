@@ -88,7 +88,9 @@ class TestHistogramBasics:
         hist = Histogram("sim.read.response_us")
         hist.observe(5.0)
         snapshot = hist.snapshot()
-        for suffix in ("count", "sum", "mean", "min", "max", "p50", "p95", "p99"):
+        for suffix in (
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99", "p999"
+        ):
             assert f"sim.read.response_us.{suffix}" in snapshot
 
 
@@ -101,7 +103,7 @@ class TestQuantileAccuracy:
     response bodies, bimodal buffer-hit/flash-read mixtures).
     """
 
-    QS = (50.0, 95.0, 99.0)
+    QS = (50.0, 95.0, 99.0, 99.9)
 
     def assert_within_5pct(self, samples):
         hist = Histogram("h")

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.obs import Span, Tracer
+from repro.obs import Span, Tracer, attribute_request, spans_from_chrome_trace
 
 
 def make_request_span(start=0.0, wait=5.0, rounds=2):
@@ -162,3 +162,84 @@ class TestExport:
         assert tracer.to_jsonl() == ""
         trace = tracer.chrome_trace()
         assert [e["ph"] for e in trace["traceEvents"]] == ["M"]
+
+
+def make_parallel_span(start=0.0):
+    """Two overlapping channel ops — the case time-sorting mis-nests."""
+    root = Span("read_request", start, index=7, n_pages=2)
+    root.span("queue_wait", start).end(start + 10.0)
+    a = root.span("flash_read", start + 10.0, channel=1, lpn=1)
+    ra = a.span("sensing_round", start + 10.0, round=0)
+    ra.span("sense", start + 10.0).end(start + 30.0)
+    ra.span("ldpc_decode", start + 30.0, iterations=3).end(start + 40.0)
+    ra.end(start + 40.0)
+    rb = a.span("sensing_round", start + 40.0, round=1)
+    rb.span("sense", start + 40.0).end(start + 50.0)
+    rb.end(start + 50.0)
+    a.end(start + 50.0)
+    b = root.span("flash_read", start + 20.0, channel=2, lpn=2)
+    b.span("sensing_round", start + 20.0, round=0).end(start + 60.0)
+    b.end(start + 60.0)
+    root.end(start + 60.0)
+    return root
+
+
+class TestChromeRoundTrip:
+    def export(self, *roots):
+        tracer = Tracer(sample_every=1, keep_slowest=0)
+        for root in roots:
+            tracer.finish_request(root)
+        return tracer, json.loads(json.dumps(tracer.chrome_trace()))
+
+    def test_every_complete_event_carries_ts_dur_tid(self):
+        _, trace = self.export(make_parallel_span())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert {"ts", "dur", "tid"} <= set(event)
+
+    def test_nesting_reconstructed(self):
+        live = make_parallel_span()
+        _, trace = self.export(live)
+        (rebuilt,) = spans_from_chrome_trace(trace)
+        assert [s.name for s in rebuilt.walk()] == [
+            s.name for s in live.walk()
+        ]
+        for got, want in zip(rebuilt.walk(), live.walk()):
+            assert got.start_us == pytest.approx(want.start_us)
+            assert got.duration_us == pytest.approx(want.duration_us)
+            assert got.attrs.get("channel") == want.attrs.get("channel")
+            assert got.attrs.get("round") == want.attrs.get("round")
+
+    def test_multiple_requests_split_by_tid(self):
+        first = make_parallel_span()
+        second = make_parallel_span(start=1000.0)
+        _, trace = self.export(first, second)
+        rebuilt = spans_from_chrome_trace(trace)
+        assert len(rebuilt) == 2
+        assert [root.attrs["seq"] for root in rebuilt] == [0, 1]
+
+    def test_attribution_matches_live_trees(self):
+        """Attributing an exported-then-reconstructed trace gives the
+        same blame as attributing the live span trees."""
+        live = make_parallel_span()
+        _, trace = self.export(live)
+        (rebuilt,) = spans_from_chrome_trace(trace)
+        want = attribute_request(live)
+        got = attribute_request(rebuilt)
+        assert got.duration_us == pytest.approx(want.duration_us)
+        assert got.off_path_us == pytest.approx(want.off_path_us)
+        for cause in want.causes:
+            assert got.causes[cause] == pytest.approx(
+                want.causes[cause]
+            ), cause
+
+    def test_missing_fields_rejected(self):
+        trace = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0}]}
+        with pytest.raises(ConfigurationError):
+            spans_from_chrome_trace(trace)
+
+    def test_metadata_events_ignored(self):
+        assert spans_from_chrome_trace(
+            {"traceEvents": [{"name": "process_name", "ph": "M"}]}
+        ) == []

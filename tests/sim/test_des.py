@@ -119,6 +119,24 @@ class TestConservation:
         assert len(utilization) == 4
         assert all(0.0 <= u <= 1.0 + 1e-9 for u in utilization)
 
+    def test_utilization_gauges_match_result(self, shared_policy):
+        from repro.obs import MetricsRegistry
+
+        system = tiny_system(shared_policy=shared_policy)
+        registry = MetricsRegistry()
+        engine = DesSimulationEngine(
+            system, warmup_fraction=0.0, n_channels=4, registry=registry
+        )
+        result = engine.run(mixed_trace(200), "t")
+        snapshot = registry.snapshot()
+        for channel, utilization in enumerate(result.channel_utilization()):
+            assert snapshot[f"sim.channel.{channel}.busy_us"] == pytest.approx(
+                result.channel_busy_us[channel]
+            )
+            assert snapshot[
+                f"sim.channel.{channel}.utilization"
+            ] == pytest.approx(utilization, rel=1e-12)
+
 
 class TestLegacyEquivalence:
     @pytest.mark.parametrize("name", ["baseline", "ldpc-in-ssd", "flexlevel"])

@@ -98,3 +98,21 @@ class TestEngine:
         assert 0 < result.stats["host_write_pages"] <= 200
         assert result.stats["buffer_hits"] >= 0
         assert "residual_backlog_us" in result.stats
+
+    def test_single_server_utilization_gauges(self, shared_policy):
+        from repro.obs import MetricsRegistry
+
+        system = tiny_system(shared_policy=shared_policy)
+        registry = MetricsRegistry()
+        trace = [TraceRecord(i * 500.0, i % 50, 2, i % 3 == 0) for i in range(200)]
+        SimulationEngine(
+            system, warmup_fraction=0.0, registry=registry
+        ).run(trace, "t")
+        snapshot = registry.snapshot()
+        busy = snapshot["sim.channel.0.busy_us"]
+        makespan = snapshot["sim.makespan_us"]
+        utilization = snapshot["sim.channel.0.utilization"]
+        assert busy > 0.0
+        assert makespan > 0.0
+        assert utilization == pytest.approx(busy / makespan, rel=1e-12)
+        assert 0.0 <= utilization <= 1.0 + 1e-9

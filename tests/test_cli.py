@@ -142,3 +142,86 @@ class TestTraceCommand:
 
     def test_trace_rejects_unknown_system(self, capsys):
         assert main(["trace", "fin-2", "--system", "nope", "--requests", "10"]) == 2
+
+
+class TestExplainCommand:
+    def run_explain(self, tmp_path, *extra):
+        out = tmp_path / "explain.json"
+        code = main(
+            [
+                "explain",
+                "fin-2",
+                "--engine",
+                "des",
+                "--requests",
+                "1200",
+                "--blocks",
+                "128",
+                "--out",
+                str(out),
+                *extra,
+            ]
+        )
+        return code, out
+
+    def test_json_report_artifact(self, tmp_path, capsys):
+        code, out = self.run_explain(tmp_path, "--json")
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        artifact = json.loads(out.read_text())
+        assert printed == artifact
+        report = artifact["report"]
+        assert report["n_requests"] > 0
+        for band in report["bands"].values():
+            if band["n_requests"]:
+                assert sum(band["blame_fraction"].values()) == pytest.approx(
+                    1.0, rel=1e-9
+                )
+        assert "sim.arrivals" in artifact["windows"]["series"]
+        manifest = json.loads(
+            (tmp_path / "explain_manifest.json").read_text()
+        )
+        assert manifest["extra"]["traces_kept"] == report["n_requests"]
+
+    def test_artifact_bytes_deterministic(self, tmp_path, capsys):
+        _, first = self.run_explain(tmp_path)
+        first_bytes = first.read_bytes()
+        _, second = self.run_explain(tmp_path)
+        assert second.read_bytes() == first_bytes
+
+    def test_vs_mode_diffs_systems(self, tmp_path, capsys):
+        code, out = self.run_explain(tmp_path, "--vs", "baseline", "--markdown")
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["vs"]["system"] == "baseline"
+        diff = artifact["vs"]["diff"]
+        assert "total_us_delta" in diff
+        assert "all" in diff["bands"]
+        assert "vs baseline" in capsys.readouterr().out
+
+    def test_csv_blame_table(self, tmp_path, capsys):
+        code, _ = self.run_explain(tmp_path, "--csv")
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "band,cause,blame_us,blame_fraction"
+        assert any(line.startswith("all,queue_wait,") for line in lines)
+
+    def test_rejects_unknown_and_self_vs(self, capsys):
+        assert main(["explain", "nope", "--requests", "10"]) == 2
+        assert (
+            main(["explain", "fin-2", "--system", "nope", "--requests", "10"])
+            == 2
+        )
+        assert (
+            main(
+                [
+                    "explain",
+                    "fin-2",
+                    "--vs",
+                    "flexlevel",
+                    "--requests",
+                    "10",
+                ]
+            )
+            == 2
+        )
