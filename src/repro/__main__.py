@@ -22,6 +22,11 @@ explain
     GC stalls, sensing, transfer, LDPC decode, retry rounds, ...) per
     percentile band, alongside virtual-time-windowed telemetry series;
     ``--vs`` diffs the blame tables of two systems.
+serve
+    Multi-tenant serving front-end: seeded tenant arrival streams feed
+    per-tenant NVMe-style queue pairs, a QoS scheduler (FIFO /
+    weighted-fair / EDF) decides dispatch order, and the report breaks
+    response times, SLO violations and latency blame down per tenant.
 profile
     Profile a CSV trace file into workload statistics.
 """
@@ -469,6 +474,101 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.ftl import SsdConfig
+    from repro.obs import ManifestBuilder, MetricsRegistry, WindowedRecorder
+    from repro.serve import (
+        ServeEngine,
+        build_artifact,
+        dump_artifact,
+        parse_mix,
+        per_tenant_reports,
+        render_markdown,
+    )
+
+    if args.system not in system_names():
+        print(f"unknown system {args.system!r}; choose from {system_names()}")
+        return 2
+    # parse_mix validates workload names in the mix (exit 2 via the
+    # top-level ConfigurationError handler).
+    specs = parse_mix(
+        args.mix,
+        n_requests=args.requests,
+        slo_us=args.slo_us,
+        sq_depth=args.sq_depth,
+        n_tenants=args.tenants,
+    )
+    ssd_config = SsdConfig(
+        n_blocks=args.blocks, pages_per_block=64, initial_pe_cycles=args.pe
+    )
+    config = SystemConfig(
+        ssd=ssd_config,
+        # Tenants spread their private hot sets across the whole
+        # logical space, so the footprint is the full drive.
+        footprint_pages=ssd_config.logical_pages,
+        buffer_pages=512,
+        hotness_window=max(64, min(4096, args.requests // 8)),
+    )
+    system = build_system(args.system, config)
+    registry = MetricsRegistry()
+    recorder = WindowedRecorder(window_us=args.window_us)
+    engine = ServeEngine(
+        system,
+        specs,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        n_channels=args.channels,
+        window=args.window,
+        admission_rate_per_s=args.admission_rate,
+        registry=registry,
+        recorder=recorder,
+    )
+    run_config = {
+        "mix": args.mix,
+        "tenants": len(specs),
+        "requests": args.requests,
+        "scheduler": args.scheduler,
+        "system": args.system,
+        "blocks": args.blocks,
+        "pe": args.pe,
+        "seed": args.seed,
+        "channels": args.channels,
+        "window": engine.window,
+        "admission_rate": args.admission_rate,
+        "slo_us": args.slo_us,
+        "sq_depth": args.sq_depth,
+        "window_us": args.window_us,
+    }
+    builder = ManifestBuilder.begin("repro serve", run_config, seed=args.seed)
+    result = engine.run()
+    reports = per_tenant_reports(result.tracer.spans)
+    # The artifact is virtual-time-only: a fixed (seed, mix, scheduler)
+    # reproduces it byte for byte.  Wall-clock provenance goes into the
+    # separate manifest.
+    artifact = build_artifact(
+        result, reports, include_requests=args.include_requests
+    )
+    artifact["windows"] = recorder.to_dict()
+    out = Path(args.out or f"serve_{args.scheduler}_{args.system}.json")
+    text = dump_artifact(artifact)
+    out.write_text(text)
+    manifest = builder.finish(
+        metrics=registry.snapshot(),
+        artifacts=[str(out)],
+        tenants=len(specs),
+        requests_completed=artifact["fleet"]["completed"],
+    )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    if args.json:
+        print(text, end="")
+    else:
+        print(render_markdown(artifact))
+    print(f"report written to {out}", file=sys.stderr)
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.traces import profile_trace, read_trace_csv
 
@@ -668,12 +768,109 @@ def main(argv: list[str] | None = None) -> int:
     )
     explain.set_defaults(handler=_cmd_explain)
 
+    serve = commands.add_parser(
+        "serve",
+        help="multi-tenant serving: queue pairs, QoS scheduling, SLO report",
+    )
+    serve.add_argument(
+        "--mix",
+        default="fin-2:3,fin-2:1:10",
+        help="tenant mix: comma-separated preset[:count[:rate_x]][@closed] "
+        "groups (default: three fin-2 tenants plus one 10x noisy neighbor)",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="rescale the mix's group counts to this many tenants total",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=("fifo", "wfq", "edf"),
+        default="fifo",
+        help="QoS discipline over the submission-queue heads",
+    )
+    serve.add_argument(
+        "--slo-us",
+        type=float,
+        default=2000.0,
+        help="per-tenant response-time SLO in microseconds",
+    )
+    serve.add_argument(
+        "--sq-depth",
+        type=int,
+        default=256,
+        help="per-tenant submission-queue bound (overflow = rejection)",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="controller dispatch window: max requests in flight inside "
+        "the device (default: 2 * channels)",
+    )
+    serve.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="per-tenant token-bucket admission rate in requests/s "
+        "(default: unshaped)",
+    )
+    serve.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to serve on (default: flexlevel)",
+    )
+    serve.add_argument("--requests", type=int, default=400,
+                       help="requests submitted per tenant")
+    serve.add_argument("--blocks", type=int, default=256)
+    serve.add_argument("--pe", type=float, default=6000.0)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--channels", type=int, default=4)
+    serve.add_argument(
+        "--window-us",
+        type=float,
+        default=1000.0,
+        help="telemetry window width in simulated microseconds",
+    )
+    serve.add_argument(
+        "--include-requests",
+        action="store_true",
+        help="embed per-request attribution records in the JSON artifact",
+    )
+    serve_format = serve.add_mutually_exclusive_group()
+    serve_format.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full serve artifact JSON to stdout",
+    )
+    serve_format.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the markdown SLO report (the default)",
+    )
+    serve.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default: serve_<scheduler>_<system>.json)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     profile = commands.add_parser("profile", help="profile a CSV trace")
     profile.add_argument("trace")
     profile.set_defaults(handler=_cmd_profile)
 
     args = parser.parse_args(argv)
-    return args.handler(args)
+    from repro.errors import ConfigurationError
+
+    try:
+        return args.handler(args)
+    except ConfigurationError as exc:
+        # Bad names and values from any layer (unknown workload in a
+        # tenant mix, malformed mix grammar, invalid knobs) exit 2
+        # instead of surfacing a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -204,6 +204,36 @@ class Histogram:
         """Streaming quantile estimate, ``q`` in [0, 100]."""
         return merged_quantile([self], q)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's samples into this one (in place).
+
+        The merge is *exact*: identical bucket layouts mean the union's
+        bucket counts, count, sum and min/max are exactly what a single
+        histogram observing both streams would hold, so a fleet rollup
+        of per-tenant histograms loses no quantile accuracy beyond the
+        layout's own bucket-width bound.  Layout mismatches raise — a
+        resampled merge would silently degrade the accuracy guarantee.
+        Returns ``self`` for chaining.
+        """
+        if not isinstance(other, Histogram):
+            raise ConfigurationError(
+                f"cannot merge {type(other).__name__} into histogram "
+                f"{self.name!r}"
+            )
+        if other.layout() != self.layout():
+            raise ConfigurationError(
+                f"histogram {self.name!r} layout {self.layout()} cannot "
+                f"merge {other.name!r} layout {other.layout()}"
+            )
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self._count += other._count
+        self._sum += other._sum
+        if other._count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        return self
+
     def bucket_counts(self) -> list[int]:
         """The raw bucket occupancy (underflow first, overflow last)."""
         return list(self._counts)

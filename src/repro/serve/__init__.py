@@ -1,0 +1,76 @@
+"""Multi-tenant serving front-end: queue pairs, QoS, SLO accounting.
+
+The serving stack, bottom to top:
+
+* :mod:`repro.serve.tenants` — tenant specs, mix parsing, and seeded
+  per-tenant arrival streams (independent spawned RNG streams).
+* :mod:`repro.serve.queues` — bounded NVMe-style submission/completion
+  queue pairs.
+* :mod:`repro.serve.admission` — deterministic token-bucket admission.
+* :mod:`repro.serve.qos` — FIFO / weighted-fair / earliest-deadline
+  schedulers over the SQ heads.
+* :mod:`repro.serve.server` — the :class:`QueuePairSource` ingress and
+  the :class:`ServeEngine` that drives the DES device from it.
+* :mod:`repro.serve.slo` — per-tenant blame tables and the
+  byte-deterministic serve report artifact.
+"""
+
+from repro.serve.admission import TokenBucket
+from repro.serve.qos import (
+    SCHEDULER_NAMES,
+    DeadlineScheduler,
+    FifoScheduler,
+    QosScheduler,
+    WeightedFairScheduler,
+    make_scheduler,
+)
+from repro.serve.queues import (
+    CompletionQueue,
+    QueuePair,
+    SubmissionQueue,
+    SubmittedRequest,
+)
+from repro.serve.server import QueuePairSource, ServeEngine, ServeResult
+from repro.serve.slo import (
+    build_artifact,
+    dump_artifact,
+    per_tenant_reports,
+    render_markdown,
+)
+from repro.serve.tenants import (
+    DEFAULT_SLO_US,
+    DEFAULT_SQ_DEPTH,
+    TenantRequest,
+    TenantSpec,
+    TenantStream,
+    parse_mix,
+    spawn_streams,
+)
+
+__all__ = [
+    "DEFAULT_SLO_US",
+    "DEFAULT_SQ_DEPTH",
+    "SCHEDULER_NAMES",
+    "CompletionQueue",
+    "DeadlineScheduler",
+    "FifoScheduler",
+    "QosScheduler",
+    "QueuePair",
+    "QueuePairSource",
+    "ServeEngine",
+    "ServeResult",
+    "SubmissionQueue",
+    "SubmittedRequest",
+    "TenantRequest",
+    "TenantSpec",
+    "TenantStream",
+    "TokenBucket",
+    "WeightedFairScheduler",
+    "build_artifact",
+    "dump_artifact",
+    "make_scheduler",
+    "parse_mix",
+    "per_tenant_reports",
+    "render_markdown",
+    "spawn_streams",
+]

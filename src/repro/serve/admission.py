@@ -1,0 +1,85 @@
+"""Token-bucket admission control per tenant.
+
+Admission shapes *when* a submission becomes schedulable, not whether
+it exists: a submission that finds no token waits in its SQ until the
+bucket refills (its ``eligible_us``), so a tenant bursting past its
+contracted rate queues behind its own bucket instead of stealing
+schedule slots.  Rejection (SQ overflow) stays the queue's job — the
+bucket never drops.
+
+The arithmetic is closed-form and stateful-deterministic: the bucket
+tracks its level at the last submission and advances it analytically,
+so the same submission times always produce the same eligibility
+times, independent of every RNG in the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class TokenBucket:
+    """Deterministic token bucket (tokens in requests).
+
+    Parameters
+    ----------
+    rate_per_s:
+        Sustained admission rate, requests per second.  ``None``
+        disables shaping (every submission is immediately eligible).
+    burst:
+        Bucket capacity — how many back-to-back submissions pass
+        unshaped from a full bucket.
+    """
+
+    rate_per_s: float | None = None
+    burst: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ConfigurationError(
+                f"admission rate must be positive, got {self.rate_per_s}"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(f"burst below one token: {self.burst}")
+        self._tokens = float(self.burst)
+        self._last_us = 0.0
+        self._last_submit_us = 0.0
+
+    @property
+    def rate_per_us(self) -> float:
+        assert self.rate_per_s is not None
+        return self.rate_per_s / 1e6
+
+    def eligible_at(self, submit_us: float) -> float:
+        """Admit one submission; returns when it becomes schedulable.
+
+        Submissions must be offered in non-decreasing *submission*
+        order (the serving engine's submission stream is).  The
+        bucket's own clock can run ahead of submissions — a shaped
+        admit leaves it at the eligibility instant — so later
+        submissions are measured against ``max(submit, bucket clock)``.
+        """
+        if self.rate_per_s is None:
+            return submit_us
+        if submit_us < self._last_submit_us:
+            raise ConfigurationError(
+                f"token bucket saw submissions go backwards: {submit_us} < "
+                f"{self._last_submit_us}"
+            )
+        self._last_submit_us = submit_us
+        now_us = max(submit_us, self._last_us)
+        self._tokens = min(
+            self.burst,
+            self._tokens + (now_us - self._last_us) * self.rate_per_us,
+        )
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self._last_us = now_us
+            return now_us
+        wait_us = (1.0 - self._tokens) / self.rate_per_us
+        self._tokens = 0.0
+        self._last_us = now_us + wait_us
+        return now_us + wait_us

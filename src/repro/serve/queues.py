@@ -1,0 +1,141 @@
+"""NVMe-style submission/completion queue pairs.
+
+Each tenant owns one queue pair: a bounded FIFO *submission queue* the
+tenant's arrival stream pushes into, and a *completion queue* that
+counts doorbell-style completion callbacks.  The serving engine sits
+where the controller would: it pops SQ heads in QoS-scheduler order
+and posts completions (with the measured response time) back to the
+tenant's CQ, which is what closed-loop tenants key their next
+submission off.
+
+Submissions that find the SQ full are **rejected and counted** — the
+bounded queue is the back-pressure contract, and silently growing it
+would let one tenant hide unbounded backlog the schedulers should be
+exposed to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.serve.tenants import TenantSpec
+
+
+@dataclass
+class SubmittedRequest:
+    """One SQ entry from submission doorbell to completion posting.
+
+    Attributes
+    ----------
+    tenant_id / seq:
+        Who submitted it and their per-tenant sequence number.
+    submit_us:
+        Doorbell time — response time is measured from here.
+    eligible_us:
+        When admission control releases it to the scheduler
+        (``submit_us`` plus any token-bucket shaping delay).
+    deadline_us:
+        ``submit_us + slo_us`` — what the deadline scheduler orders by
+        and SLO accounting checks against.
+    cost:
+        Service-cost proxy (pages) used by fair-share accounting.
+    lpn / n_pages / is_write:
+        The page-level payload.
+    """
+
+    tenant_id: int
+    seq: int
+    submit_us: float
+    eligible_us: float
+    deadline_us: float
+    cost: float
+    lpn: int
+    n_pages: int
+    is_write: bool
+
+
+@dataclass
+class SubmissionQueue:
+    """Bounded FIFO submission queue of one tenant."""
+
+    spec: TenantSpec
+    entries: deque[SubmittedRequest] = field(default_factory=deque)
+    submitted: int = 0
+    rejected: int = 0
+    popped: int = 0
+    depth_high_water: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def head(self) -> SubmittedRequest | None:
+        return self.entries[0] if self.entries else None
+
+    def push(self, request: SubmittedRequest) -> bool:
+        """Ring the doorbell; False (and a rejection count) when full."""
+        self.submitted += 1
+        if len(self.entries) >= self.spec.sq_depth:
+            self.rejected += 1
+            return False
+        self.entries.append(request)
+        if len(self.entries) > self.depth_high_water:
+            self.depth_high_water = len(self.entries)
+        return True
+
+    def pop_head(self) -> SubmittedRequest:
+        """The scheduler took this queue's head for dispatch."""
+        if not self.entries:
+            raise ConfigurationError(
+                f"pop from empty submission queue {self.spec.name}"
+            )
+        self.popped += 1
+        return self.entries.popleft()
+
+
+@dataclass
+class CompletionQueue:
+    """Completion side of a queue pair: counters plus one callback.
+
+    The serving engine posts ``(request, completion_us, response_us)``
+    for every dispatched request of the tenant; the registered callback
+    (the closed-loop arrival stream, tests, or nothing) runs on every
+    posting.
+    """
+
+    spec: TenantSpec
+    completed: int = 0
+    slo_violations: int = 0
+    on_complete: Callable[[SubmittedRequest, float, float], Any] | None = None
+
+    def post(
+        self, request: SubmittedRequest, completion_us: float, response_us: float
+    ) -> None:
+        self.completed += 1
+        if response_us > self.spec.slo_us:
+            self.slo_violations += 1
+        if self.on_complete is not None:
+            self.on_complete(request, completion_us, response_us)
+
+
+@dataclass
+class QueuePair:
+    """One tenant's SQ/CQ pair."""
+
+    sq: SubmissionQueue
+    cq: CompletionQueue
+
+    @classmethod
+    def for_tenant(cls, spec: TenantSpec) -> "QueuePair":
+        return cls(sq=SubmissionQueue(spec), cq=CompletionQueue(spec))
+
+    @property
+    def spec(self) -> TenantSpec:
+        return self.sq.spec
+
+    @property
+    def in_queue(self) -> int:
+        return len(self.sq)

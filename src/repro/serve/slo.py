@@ -1,0 +1,124 @@
+"""Per-tenant SLO attribution and the serve report artifact.
+
+The DES engine tags every request's root span with the tenant that
+submitted it (``attrs["tenant"]``), so the critical-path attribution
+machinery in :mod:`repro.obs.attribution` needs no changes to answer
+the serving question: *when tenant t3 misses its SLO, where does its
+latency go?*  Group the retained spans by tenant, run the standard
+percentile-banded blame tables per group, and each tenant gets its own
+Fig.-6-style drill-down — ``queue_wait`` now includes SQ time, so a
+noisy neighbor shows up as the victim's queue-wait blame share, not as
+a mystery.
+
+The artifact is virtual-time-only and serialized with sorted keys, so
+a fixed ``(seed, mix, scheduler)`` produces byte-identical output;
+wall-clock provenance belongs in a sidecar manifest, never here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.attribution import CAUSES, AttributionReport
+from repro.obs.tracing import Span
+from repro.serve.server import ServeResult
+
+#: Artifact schema tag, bumped on breaking layout changes.
+SCHEMA = "repro.serve/1"
+
+
+def per_tenant_reports(spans: list[Span]) -> dict[str, AttributionReport]:
+    """Percentile-banded blame tables, one per tenant.
+
+    Spans missing a tenant tag (there are none on serve runs; belt and
+    braces for replayed traces) group under ``"untagged"``.
+    """
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        groups.setdefault(str(span.attrs.get("tenant", "untagged")), []).append(
+            span
+        )
+    return {
+        tenant: AttributionReport.from_spans(group)
+        for tenant, group in sorted(groups.items())
+    }
+
+
+def build_artifact(
+    result: ServeResult,
+    reports: dict[str, AttributionReport] | None = None,
+    include_requests: bool = False,
+) -> dict[str, Any]:
+    """The serve run as one JSON-ready, virtual-time-only document."""
+    if reports is None:
+        reports = per_tenant_reports(result.tracer.spans)
+    tenants: dict[str, Any] = {}
+    for spec in result.specs:
+        summary = result.tenant_summary(spec.tenant_id)
+        report = reports.get(spec.name)
+        if report is not None:
+            summary["attribution"] = report.to_dict(
+                include_requests=include_requests
+            )
+        tenants[spec.name] = summary
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "scheduler": result.scheduler,
+            "seed": result.seed,
+            "window": result.window,
+            "admission_rate_per_s": result.admission_rate_per_s,
+            "n_channels": result.sim.n_channels,
+            "system": result.sim.system_name,
+        },
+        "fleet": result.fleet_summary(),
+        "tenants": tenants,
+    }
+
+
+def dump_artifact(artifact: dict[str, Any]) -> str:
+    """Canonical byte-deterministic serialization of the artifact."""
+    return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+
+
+def render_markdown(artifact: dict[str, Any]) -> str:
+    """Human-readable SLO report for terminals and CI summaries."""
+    fleet = artifact["fleet"]
+    config = artifact["config"]
+    lines = [
+        "# Multi-tenant serving report",
+        "",
+        f"- system: `{config['system']}`  scheduler: `{config['scheduler']}`"
+        f"  seed: {config['seed']}",
+        f"- tenants: {fleet['n_tenants']}  window: {config['window']}"
+        f"  channels: {config['n_channels']}",
+        f"- completed: {fleet['completed']}  rejected: {fleet['rejected']}"
+        f"  SLO violations: {fleet['slo_violations']}"
+        f" ({fleet['slo_violation_rate']:.1%})",
+        f"- fleet p50/p95/p99: {fleet['p50_response_us']:.1f} /"
+        f" {fleet['p95_response_us']:.1f} /"
+        f" {fleet['p99_response_us']:.1f} us",
+        "",
+        "| tenant | workload | rate | completed | rejected | viol % "
+        "| p50 us | p99 us | top blame (p99+) |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for name, row in artifact["tenants"].items():
+        top = ""
+        attribution = row.get("attribution")
+        if attribution:
+            band = attribution["bands"]["p99_plus"]
+            if band["n_requests"] == 0:
+                band = attribution["bands"]["all"]
+            fractions = band["blame_fraction"]
+            cause = max(CAUSES, key=lambda c: fractions[c])
+            top = f"{cause} {fractions[cause]:.0%}"
+        lines.append(
+            f"| {name} | {row['workload']} | {row['rate_x']:g}x "
+            f"| {row['completed']} | {row['rejected']} "
+            f"| {row['slo_violation_rate']:.1%} "
+            f"| {row['p50_response_us']:.1f} | {row['p99_response_us']:.1f} "
+            f"| {top} |"
+        )
+    return "\n".join(lines) + "\n"

@@ -8,6 +8,7 @@ read-retry model — the machinery needed to measure tail latency
 
 from repro.sim.des.engine import DesSimulationEngine
 from repro.sim.des.events import Event, EventHeap, EventKind
+from repro.sim.des.ingress import PendingRequest, RequestSource, TraceSource
 from repro.sim.des.retry import ReadRetryConfig, ReadRetryModel, RetryOutcome
 from repro.sim.des.scheduler import ChannelScheduler, ChannelState, DrainReport
 
@@ -16,6 +17,9 @@ __all__ = [
     "Event",
     "EventHeap",
     "EventKind",
+    "PendingRequest",
+    "RequestSource",
+    "TraceSource",
     "ReadRetryConfig",
     "ReadRetryModel",
     "RetryOutcome",

@@ -25,6 +25,14 @@ Reduction property: with ``n_channels=1`` and ``retry_model=None`` the
 engine reproduces the legacy single-queue engine request for request
 (same starts, same stalls, same service times); the DES test suite
 asserts the equivalence.
+
+Ingress: the event loop itself is trace-agnostic — it pulls
+:class:`~repro.sim.des.ingress.PendingRequest` objects from a
+:class:`~repro.sim.des.ingress.RequestSource` and reports completions
+back (:meth:`run_source`).  :meth:`run` wraps a fixed record list in a
+:class:`~repro.sim.des.ingress.TraceSource`; the multi-tenant serving
+front-end (:mod:`repro.serve`) plugs in a live queue-pair source whose
+arrival process depends on completions and QoS scheduling decisions.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeseries import WindowedRecorder
 from repro.obs.tracing import Span, Tracer
 from repro.sim.des.events import Event, EventHeap, EventKind
+from repro.sim.des.ingress import PendingRequest, RequestSource, TraceSource
 from repro.sim.des.retry import ReadRetryModel
 from repro.sim.des.scheduler import ChannelScheduler
 from repro.sim.results import DesSimulationResult
@@ -139,6 +148,28 @@ class DesSimulationEngine:
                 f"warmup fraction {self.warmup_fraction} rounds to all "
                 f"{len(records)} requests — nothing would be recorded"
             )
+        return self.run_source(
+            TraceSource(records), workload_name, warmup_count=warmup_count
+        )
+
+    def run_source(
+        self,
+        source: RequestSource,
+        workload_name: str = "unnamed",
+        warmup_count: int = 0,
+    ) -> DesSimulationResult:
+        """Drive the event loop from a live request source.
+
+        The source is polled for the next request each time the
+        previous arrival has been dispatched; if it reports itself
+        blocked (``None``), it is polled again after every completion,
+        *after* its ``on_complete`` hook ran — so a closed-loop or
+        QoS-gated source releases follow-up work at exactly the virtual
+        time that unblocked it.  ``warmup_count`` leading requests (by
+        emission index) run without being recorded.
+        """
+        if warmup_count < 0:
+            raise ConfigurationError(f"negative warmup count: {warmup_count}")
         result = DesSimulationResult(
             system_name=self.system.name, workload_name=workload_name
         )
@@ -146,7 +177,12 @@ class DesSimulationEngine:
             result.sample_cap = self.sample_cap
         scheduler = ChannelScheduler(self.n_channels, self.gc_granule_us)
         heap = EventHeap()
-        heap.push(self._arrival_event(records, 0))
+        first = source.next_request(0.0)
+        if first is None:
+            raise ConfigurationError("request source produced no requests")
+        pending: dict[int, PendingRequest] = {first.index: first}
+        heap.push(self._arrival_event(first))
+        source_blocked = False
         recorder = self.recorder
         if recorder is not None:
             self.system.ssd.window_recorder = recorder
@@ -155,7 +191,8 @@ class DesSimulationEngine:
         ops_completed = 0
         requests_completed = 0
         inflight = 0
-        last_completion_us = records[0].timestamp_us
+        origin_us = first.record.timestamp_us
+        last_completion_us = origin_us
         while len(heap):
             event = heap.pop()
             if event.kind is EventKind.ARRIVAL:
@@ -167,10 +204,13 @@ class DesSimulationEngine:
                         "sim.inflight_requests", event.time_us, inflight
                     )
                 ops_dispatched += self._dispatch(
-                    records[index], index, scheduler, heap, result, warmup_count
+                    pending[index], scheduler, heap, result, warmup_count
                 )
-                if index + 1 < len(records):
-                    heap.push(self._arrival_event(records, index + 1))
+                nxt = source.next_request(event.time_us)
+                if nxt is not None:
+                    pending[nxt.index] = nxt
+                    heap.push(self._arrival_event(nxt))
+                source_blocked = nxt is None
             elif event.kind is EventKind.OP_COMPLETE:
                 ops_completed += 1
             elif event.kind is EventKind.REQUEST_COMPLETE:
@@ -186,18 +226,25 @@ class DesSimulationEngine:
                         event.time_us,
                         float(self.system.ssd.read_only),
                     )
+                done = pending.pop(event.request_index)
                 if event.request_index >= warmup_count:
-                    record = records[event.request_index]
-                    result.record(record.is_write, event.value_us)
+                    result.record(done.record.is_write, event.value_us)
+                source.on_complete(
+                    event.request_index, event.time_us, event.value_us
+                )
+                if source_blocked:
+                    nxt = source.next_request(event.time_us)
+                    if nxt is not None:
+                        pending[nxt.index] = nxt
+                        heap.push(self._arrival_event(nxt))
+                        source_blocked = False
             # GC_DRAIN events are observational; no state to update.
 
         self._check_conservation(
-            len(records), requests_completed, ops_dispatched, ops_completed, scheduler
+            source.emitted, requests_completed, ops_dispatched, ops_completed, scheduler
         )
         result.channel_busy_us = scheduler.busy_times_us()
-        result.makespan_us = max(
-            last_completion_us - records[0].timestamp_us, 0.0
-        )
+        result.makespan_us = max(last_completion_us - origin_us, 0.0)
         result.stats = self.system.ssd.stats.snapshot()
         result.stats["reduced_logical_pages"] = self.system.ssd.reduced_logical_pages()
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
@@ -219,17 +266,16 @@ class DesSimulationEngine:
     # --- internals ------------------------------------------------------------------
 
     @staticmethod
-    def _arrival_event(records: list[TraceRecord], index: int) -> Event:
+    def _arrival_event(pending: PendingRequest) -> Event:
         return Event(
-            time_us=records[index].timestamp_us,
+            time_us=pending.record.timestamp_us,
             kind=EventKind.ARRIVAL,
-            request_index=index,
+            request_index=pending.index,
         )
 
     def _dispatch(
         self,
-        record: TraceRecord,
-        index: int,
+        pending: PendingRequest,
         scheduler: ChannelScheduler,
         heap: EventHeap,
         result: DesSimulationResult,
@@ -237,9 +283,16 @@ class DesSimulationEngine:
     ) -> int:
         """Split a request into page ops, route them, commit service.
 
-        Returns the number of page operations dispatched.
+        Returns the number of page operations dispatched.  Service
+        starts no earlier than ``pending.record.timestamp_us`` (the
+        dispatch time); the response and the trace root are measured
+        from ``pending.t0_us`` (the submission time), so ingress-side
+        queueing shows up as queue wait.
         """
+        record = pending.record
+        index = pending.index
         arrival = record.timestamp_us
+        t0 = pending.t0_us
         footprint = self.system.config.footprint_pages
         ops_by_channel: dict[int, list[int]] = {}
         for lpn in record.pages():
@@ -252,9 +305,10 @@ class DesSimulationEngine:
         if self.tracer is not None and index >= warmup_count:
             trace = self.tracer.begin_request(
                 "write_request" if record.is_write else "read_request",
-                arrival,
+                t0,
                 index=index,
                 n_pages=record.n_pages,
+                **pending.attrs,
             )
 
         completion = arrival
@@ -333,15 +387,15 @@ class DesSimulationEngine:
                 time_us=completion,
                 kind=EventKind.REQUEST_COMPLETE,
                 request_index=index,
-                value_us=completion - arrival,
+                value_us=completion - t0,
             )
         )
         queue_wait = (
-            max(0.0, first_op_start - arrival) if first_op_start is not None else 0.0
+            max(0.0, first_op_start - t0) if first_op_start is not None else 0.0
         )
         if trace is not None:
-            wait_span = Span("queue_wait", arrival)
-            wait_span.end(arrival + queue_wait)
+            wait_span = Span("queue_wait", t0)
+            wait_span.end(t0 + queue_wait)
             trace.children.insert(0, wait_span)
             self.tracer.finish_request(trace, completion)
         if self.registry is not None and index >= warmup_count:

@@ -201,3 +201,66 @@ class TestRegistry:
         assert snapshot["ftl.write_amplification"] == 1.5
         assert snapshot["sim.queue_wait_us.count"] == 1.0
         assert all(isinstance(v, float) for v in snapshot.values())
+
+
+class TestHistogramMerge:
+    """`Histogram.merge` — the per-tenant → fleet rollup primitive."""
+
+    def test_merge_is_exact_vs_single_observer(self):
+        rng = np.random.default_rng(2015)
+        a_samples = rng.lognormal(mean=5.0, sigma=0.7, size=20_000)
+        b_samples = rng.lognormal(mean=6.5, sigma=0.5, size=5_000)
+        merged = Histogram("merged")
+        single = Histogram("single")
+        a, b = Histogram("a"), Histogram("b")
+        for value in a_samples:
+            a.observe(float(value))
+            single.observe(float(value))
+        for value in b_samples:
+            b.observe(float(value))
+            single.observe(float(value))
+        assert merged.merge(a).merge(b) is merged
+        assert merged.bucket_counts() == single.bucket_counts()
+        assert merged.count == single.count
+        assert merged.sum == pytest.approx(single.sum)
+        assert merged.min() == single.min()
+        assert merged.max() == single.max()
+        for q in (50.0, 95.0, 99.0, 99.9):
+            assert merged.quantile(q) == single.quantile(q), f"p{q}"
+
+    def test_merged_quantiles_stay_within_layout_bound(self):
+        # The rollup must inherit the layout's 4 % (≤5 % end-to-end)
+        # accuracy against the exact union percentile.
+        rng = np.random.default_rng(7)
+        tenants = [
+            rng.lognormal(mean=4.5 + 0.4 * i, sigma=0.6, size=8_000)
+            for i in range(6)
+        ]
+        fleet = Histogram("fleet")
+        for samples in tenants:
+            tenant_hist = Histogram("tenant")
+            for value in samples:
+                tenant_hist.observe(float(value))
+            fleet.merge(tenant_hist)
+        union = np.concatenate(tenants)
+        for q in (50.0, 95.0, 99.0, 99.9):
+            exact = float(np.percentile(union, q))
+            assert fleet.quantile(q) == pytest.approx(exact, rel=0.05), f"p{q}"
+
+    def test_merge_empty_and_into_empty(self):
+        target = Histogram("t")
+        target.observe(10.0)
+        target.merge(Histogram("empty"))
+        assert target.count == 1 and target.min() == 10.0
+        empty = Histogram("e")
+        empty.merge(target)
+        assert empty.count == 1 and empty.max() == 10.0
+
+    def test_rejects_layout_mismatch(self):
+        base = Histogram("base")
+        with pytest.raises(ConfigurationError):
+            base.merge(Histogram("other", growth=1.1))
+        with pytest.raises(ConfigurationError):
+            base.merge(Histogram("other", min_value=1.0))
+        with pytest.raises(ConfigurationError):
+            base.merge(Counter("not.a.histogram"))

@@ -1,0 +1,25 @@
+"""Shared fixtures for the serving front-end tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.systems import SystemConfig, build_system
+from repro.ftl import SsdConfig
+
+
+@pytest.fixture
+def make_system():
+    """Factory for a small device so serve tests run in milliseconds."""
+
+    def build(name: str = "flexlevel"):
+        ssd = SsdConfig(n_blocks=64, pages_per_block=64)
+        config = SystemConfig(
+            ssd=ssd,
+            footprint_pages=ssd.logical_pages,
+            buffer_pages=512,
+            hotness_window=64,
+        )
+        return build_system(name, config)
+
+    return build

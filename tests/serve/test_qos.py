@@ -1,0 +1,159 @@
+"""Unit tests for queue pairs, admission control and QoS schedulers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    DeadlineScheduler,
+    FifoScheduler,
+    QueuePair,
+    SubmittedRequest,
+    TenantSpec,
+    TokenBucket,
+    WeightedFairScheduler,
+    make_scheduler,
+)
+
+
+def spec(tenant_id=0, **kw):
+    kw.setdefault("workload", "fin-2")
+    kw.setdefault("n_requests", 10)
+    return TenantSpec(tenant_id=tenant_id, **kw)
+
+
+def request(tenant_id=0, seq=0, submit=0.0, eligible=None, slo=2000.0, cost=1.0):
+    return SubmittedRequest(
+        tenant_id=tenant_id,
+        seq=seq,
+        submit_us=submit,
+        eligible_us=submit if eligible is None else eligible,
+        deadline_us=submit + slo,
+        cost=cost,
+        lpn=0,
+        n_pages=int(cost),
+        is_write=False,
+    )
+
+
+class TestQueuePair:
+    def test_bounded_sq_rejects_and_counts_overflow(self):
+        pair = QueuePair.for_tenant(spec(sq_depth=2))
+        assert pair.sq.push(request(seq=0))
+        assert pair.sq.push(request(seq=1))
+        assert not pair.sq.push(request(seq=2))
+        assert pair.sq.submitted == 3
+        assert pair.sq.rejected == 1
+        assert pair.sq.depth_high_water == 2
+        assert len(pair.sq) == 2
+        assert pair.sq.pop_head().seq == 0
+
+    def test_pop_from_empty_queue_raises(self):
+        pair = QueuePair.for_tenant(spec())
+        with pytest.raises(ConfigurationError, match="empty"):
+            pair.sq.pop_head()
+
+    def test_cq_counts_slo_violations_and_fires_callback(self):
+        pair = QueuePair.for_tenant(spec(slo_us=100.0))
+        seen = []
+        pair.cq.on_complete = lambda req, done, resp: seen.append(resp)
+        pair.cq.post(request(), 50.0, 50.0)
+        pair.cq.post(request(seq=1), 300.0, 300.0)
+        assert pair.cq.completed == 2
+        assert pair.cq.slo_violations == 1
+        assert seen == [50.0, 300.0]
+
+
+class TestTokenBucket:
+    def test_unshaped_is_identity(self):
+        bucket = TokenBucket()
+        assert bucket.eligible_at(123.0) == 123.0
+
+    def test_burst_then_rate_spacing(self):
+        bucket = TokenBucket(rate_per_s=1_000.0, burst=2.0)  # 1 per ms
+        assert bucket.eligible_at(0.0) == 0.0
+        assert bucket.eligible_at(0.0) == 0.0  # burst absorbs two
+        third = bucket.eligible_at(0.0)
+        fourth = bucket.eligible_at(0.0)
+        assert third == pytest.approx(1000.0)
+        assert fourth == pytest.approx(2000.0)
+
+    def test_idle_time_refills_up_to_burst(self):
+        bucket = TokenBucket(rate_per_s=1_000.0, burst=2.0)
+        for _ in range(4):
+            bucket.eligible_at(0.0)
+        # 10 ms of idle refills the bucket to its 2-token burst.
+        assert bucket.eligible_at(12_000.0) == 12_000.0
+        assert bucket.eligible_at(12_000.0) == 12_000.0
+        assert bucket.eligible_at(12_000.0) == pytest.approx(13_000.0)
+
+    def test_eligibility_is_monotonic(self):
+        bucket = TokenBucket(rate_per_s=500.0, burst=1.0)
+        times = [bucket.eligible_at(t) for t in (0.0, 10.0, 20.0, 5000.0)]
+        assert times == sorted(times)
+
+    def test_rejects_backwards_submissions(self):
+        bucket = TokenBucket(rate_per_s=1000.0)
+        bucket.eligible_at(100.0)
+        with pytest.raises(ConfigurationError, match="backwards"):
+            bucket.eligible_at(50.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=100.0, burst=0.5)
+
+
+class TestSchedulers:
+    def test_fifo_serves_global_submission_order(self):
+        sched = FifoScheduler()
+        heads = [request(1, seq=0, submit=5.0), request(0, seq=0, submit=3.0)]
+        assert sched.select(heads, 10.0).tenant_id == 0
+
+    def test_edf_serves_earliest_deadline(self):
+        sched = DeadlineScheduler()
+        urgent = request(1, submit=5.0, slo=100.0)
+        lax = request(0, submit=0.0, slo=10_000.0)
+        assert sched.select([lax, urgent], 10.0) is urgent
+
+    def test_wfq_protects_light_tenant_from_flood(self):
+        specs = [spec(0), spec(1)]
+        sched = WeightedFairScheduler(specs)
+        # Tenant 1 floods: dispatch many of its requests back to back.
+        for seq in range(10):
+            sched.on_dispatch(request(1, seq=seq, submit=0.0))
+        # A fresh tenant-0 head gets start tag max(V, 0 finish) = V,
+        # while the flooder's next start tag is its inflated finish tag.
+        victim = request(0, seq=0, submit=9.0)
+        flood = request(1, seq=10, submit=1.0)
+        assert sched.select([flood, victim], 10.0) is victim
+
+    def test_wfq_finish_tags_scale_with_weight_and_cost(self):
+        specs = [spec(0, weight=2.0), spec(1, weight=1.0)]
+        sched = WeightedFairScheduler(specs)
+        sched.on_dispatch(request(0, cost=4.0))
+        sched.on_dispatch(request(1, cost=4.0))
+        # Same cost, double weight => half the finish-tag advance.
+        assert sched._finish_tags[0] == pytest.approx(2.0)
+        assert sched._finish_tags[1] == pytest.approx(4.0)
+
+    def test_wfq_idle_tenants_do_not_bank_credit(self):
+        sched = WeightedFairScheduler([spec(0), spec(1)])
+        for seq in range(5):
+            sched.on_dispatch(request(0, seq=seq))
+        # Tenant 1 was idle; its start tag snaps to the virtual time,
+        # not to zero — so it gets parity, not unbounded priority.
+        assert sched.start_tag(request(1)) == sched.virtual_time
+
+    def test_wfq_rejects_unknown_tenant(self):
+        sched = WeightedFairScheduler([spec(0)])
+        with pytest.raises(ConfigurationError, match="unknown tenant"):
+            sched.select([request(5)], 0.0)
+
+    def test_make_scheduler_names(self):
+        specs = [spec(0)]
+        assert make_scheduler("fifo", specs).name == "fifo"
+        assert make_scheduler("wfq", specs).name == "wfq"
+        assert make_scheduler("edf", specs).name == "edf"
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            make_scheduler("round-robin", specs)

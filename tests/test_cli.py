@@ -33,6 +33,13 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    @pytest.mark.parametrize("command", ["simulate", "trace", "explain"])
+    def test_unknown_engine_exits_nonzero(self, command, capsys):
+        argv = [command, "fin-2", "--engine", "nope", "--requests", "10"]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code != 0
+
 
 class TestSimulateJson:
     def test_json_rows_and_manifest(self, tmp_path, capsys):
@@ -225,3 +232,74 @@ class TestExplainCommand:
             )
             == 2
         )
+
+
+class TestServeCommand:
+    def run_serve(self, tmp_path, *extra):
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--mix",
+                "fin-2:2,fin-2:1:10",
+                "--requests",
+                "60",
+                "--blocks",
+                "64",
+                "--scheduler",
+                "wfq",
+                "--out",
+                str(out),
+                *extra,
+            ]
+        )
+        return code, out
+
+    def test_markdown_report_and_artifact(self, tmp_path, capsys):
+        code, out = self.run_serve(tmp_path)
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Multi-tenant serving report" in printed
+        assert "| t2 | fin-2 | 10x |" in printed
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == "repro.serve/1"
+        assert artifact["config"]["scheduler"] == "wfq"
+        fleet = artifact["fleet"]
+        assert fleet["completed"] == 3 * 60
+        assert fleet["submitted"] == fleet["completed"] + fleet["rejected"]
+        # Per-tenant blame fractions are exact decompositions.
+        for row in artifact["tenants"].values():
+            for band in row["attribution"]["bands"].values():
+                if band["n_requests"]:
+                    assert sum(
+                        band["blame_fraction"].values()
+                    ) == pytest.approx(1.0, rel=1e-9)
+        assert "serve.tenant.t0.completions" in artifact["windows"]["series"]
+        manifest = json.loads(
+            (tmp_path / "serve_manifest.json").read_text()
+        )
+        assert manifest["config"]["mix"] == "fin-2:2,fin-2:1:10"
+        assert manifest["extra"]["tenants"] == 3
+        assert "serve.fleet.response_us.p99" in manifest["metrics"]
+
+    def test_json_artifact_is_byte_deterministic(self, tmp_path, capsys):
+        _, first = self.run_serve(tmp_path, "--json")
+        printed = capsys.readouterr().out
+        first_bytes = first.read_bytes()
+        assert printed.encode() == first_bytes
+        _, second = self.run_serve(tmp_path, "--json")
+        assert second.read_bytes() == first_bytes
+
+    def test_rejects_unknown_names(self, capsys):
+        assert main(["serve", "--mix", "nope:2", "--requests", "10"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+        assert (
+            main(["serve", "--system", "nope", "--requests", "10"]) == 2
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--scheduler", "nope", "--requests", "10"])
+        assert excinfo.value.code != 0
+
+    def test_rejects_malformed_mix_with_exit_code(self, capsys):
+        assert main(["serve", "--mix", "", "--requests", "10"]) == 2
+        assert main(["serve", "--mix", "fin-2:0", "--requests", "10"]) == 2
