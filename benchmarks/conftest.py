@@ -32,6 +32,7 @@ from repro.obs.bench import (
     ROOT_ENV,
     RUN_ID_ENV,
     BenchCase,
+    alloc_mode,
     bench_name_for,
     bench_seed,
     quick_mode,
@@ -43,6 +44,16 @@ RESULTS_DIR = _ROOT / "benchmarks" / "results"
 
 QUICK = quick_mode()
 BENCH_SEED = bench_seed()
+
+# ``repro bench run --alloc`` routes REPRO_BENCH_ALLOC into each bench
+# subprocess; tracing from import time makes every case's ``wall``
+# section carry a real peak_py_alloc_kb (BenchCase resets the peak at
+# case start so the number brackets one case, not the session).
+if alloc_mode():
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
 
 #: The workload set system-level benches sweep (shrunk in quick mode).
 BENCH_WORKLOADS = tuple(workload_names()[:2] if QUICK else workload_names())

@@ -28,7 +28,13 @@ serve
     weighted-fair / EDF) decides dispatch order, and the report breaks
     response times, SLO violations and latency blame down per tenant.
 profile
-    Profile a CSV trace file into workload statistics.
+    Wall-clock profile of one workload replay in three modes —
+    ``instrument`` (per-event-type and per-phase wall accounting over
+    the engine loop), ``sample`` (collapsed-stack sampler for
+    flamegraph/speedscope) and ``alloc`` (tracemalloc top allocation
+    sites) — writing a ``repro.profile/1`` artifact plus a run
+    manifest.  Given a CSV file path instead of a workload name, it
+    summarises the trace's workload statistics (legacy surface).
 """
 
 from __future__ import annotations
@@ -569,12 +575,144 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.traces import profile_trace, read_trace_csv
+def _profile_text(artifact: dict) -> list[str]:
+    """Human-readable lines for one ``repro.profile/1`` artifact."""
+    wall = artifact["wall"]
+    loop = wall["loop"]
+    lines = [
+        f"profile [{artifact['mode']}] {artifact['workload']} on "
+        f"{artifact['system']} ({artifact['engine']} engine, "
+        f"{artifact['requests']} requests, seed {artifact['seed']})",
+        f"loop: {loop['wall_s']:.3f} s wall, {loop['events']} events "
+        f"({loop['events_per_s']:.0f}/s), "
+        f"{loop['requests_per_s']:.0f} requests/s",
+    ]
+    if artifact["mode"] == "instrument":
+        lines.append(
+            f"attributed {loop['attributed_s']:.3f} s, unattributed "
+            f"{loop['unattributed_s']:.3f} s "
+            f"(calibrated self-overhead bound {loop['self_overhead_s']:.3f} s)"
+        )
+        for section in ("events", "phases"):
+            entries = wall.get(section, {})
+            if not entries:
+                continue
+            lines.append(f"{section}:")
+            width = max(len(k) for k in entries)
+            for key, row in sorted(
+                entries.items(), key=lambda kv: -kv[1]["exclusive_s"]
+            ):
+                lines.append(
+                    f"  {key:{width}s}  {row['count']:>9d}x  "
+                    f"excl {row['exclusive_s']:.3f} s  "
+                    f"incl {row['inclusive_s']:.3f} s"
+                )
+    elif artifact["mode"] == "sample":
+        sampler = wall["sampler"]
+        lines.append(
+            f"sampler: {sampler['n_samples']} samples at {sampler['hz']:g} Hz, "
+            f"{sampler['distinct_stacks']} distinct stacks, "
+            f"self-overhead {sampler['self_overhead_fraction']:.2%}"
+        )
+        lines.append("heaviest stacks (collapsed leaf shown):")
+        for line in sampler["collapsed"][:10]:
+            stack, _, count = line.rpartition(" ")
+            lines.append(f"  {count:>5s}  {stack.rsplit(';', 1)[-1]}")
+    else:
+        alloc = wall["alloc"]
+        lines.append(
+            f"allocations: peak {alloc['peak_kb']:.0f} KiB traced, "
+            f"{alloc['current_kb']:.0f} KiB live at end"
+        )
+        lines.append("top allocation sites:")
+        for site in alloc["top"]:
+            lines.append(
+                f"  {site['size_kb']:>9.1f} KiB  {site['count']:>8d}x  "
+                f"{site['site']}"
+            )
+    return lines
 
-    profile = profile_trace(read_trace_csv(args.trace))
-    for key, value in profile.summary().items():
-        print(f"{key:22s} {value}")
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    target = Path(args.target)
+    if target.is_file():
+        # Legacy surface: ``repro profile <trace.csv>`` summarises a
+        # CSV trace file's workload statistics.
+        from repro.traces import profile_trace, read_trace_csv
+
+        profile = profile_trace(read_trace_csv(target))
+        for key, value in profile.summary().items():
+            print(f"{key:22s} {value}")
+        return 0
+
+    from repro.obs import ManifestBuilder, MetricsRegistry
+    from repro.obs.profile import profile_fingerprint, profile_workload
+
+    n_channels = args.channels
+    if n_channels is None:
+        n_channels = 4 if args.engine == "des" else 1
+    run_config = {
+        "workload": args.target,
+        "system": args.system,
+        "mode": args.mode,
+        "requests": args.requests,
+        "blocks": args.blocks,
+        "pe": args.pe,
+        "seed": args.seed,
+        "engine": args.engine,
+        "channels": n_channels,
+        "retry": not args.no_retry,
+    }
+    builder = ManifestBuilder.begin("repro profile", run_config, seed=args.seed)
+    registry = MetricsRegistry()
+    artifact = profile_workload(
+        args.target,
+        mode=args.mode,
+        engine=args.engine,
+        system=args.system,
+        requests=args.requests,
+        blocks=args.blocks,
+        pe=args.pe,
+        seed=args.seed,
+        channels=args.channels,
+        retry=not args.no_retry,
+        hz=args.hz,
+        top=args.top,
+        registry=registry,
+    )
+    artifact["fingerprint"] = profile_fingerprint(artifact)
+    out = Path(args.out or f"profile_{args.target}_{args.mode}.json")
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    manifest = builder.finish(
+        metrics=registry.snapshot(),
+        artifacts=[str(out)],
+        fingerprint=artifact["fingerprint"],
+    )
+    if args.mode == "alloc":
+        # allocation_profile stops tracemalloc before the manifest is
+        # finalised; carry the measured peak over explicitly.
+        import dataclasses
+
+        manifest = dataclasses.replace(
+            manifest,
+            peak_py_alloc_kb=int(artifact["wall"]["alloc"]["peak_kb"]),
+        )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    if args.collapsed:
+        if args.mode != "sample":
+            print("error: --collapsed requires --mode sample", file=sys.stderr)
+            return 2
+        collapsed_path = Path(args.collapsed)
+        collapsed_path.write_text(
+            "\n".join(artifact["wall"]["sampler"]["collapsed"]) + "\n"
+        )
+        print(f"collapsed stacks written to {collapsed_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        print("\n".join(_profile_text(artifact)))
+    print(f"profile written to {out}", file=sys.stderr)
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
     return 0
 
 
@@ -856,8 +994,80 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.set_defaults(handler=_cmd_serve)
 
-    profile = commands.add_parser("profile", help="profile a CSV trace")
-    profile.add_argument("trace")
+    profile = commands.add_parser(
+        "profile",
+        help="wall-clock profile of a workload replay (or CSV trace stats)",
+    )
+    profile.add_argument(
+        "target",
+        nargs="?",
+        default="fin-2",
+        help="workload name to profile, or a CSV trace file to summarise",
+    )
+    profile.add_argument(
+        "--mode",
+        choices=("instrument", "sample", "alloc"),
+        default="instrument",
+        help="instrument: per-event/per-phase wall accounting; sample: "
+        "collapsed-stack sampler for flamegraphs; alloc: tracemalloc "
+        "allocation sites",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="des",
+        help="simulation engine to profile (default: des)",
+    )
+    profile.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to replay (default: flexlevel)",
+    )
+    profile.add_argument("--requests", type=int, default=30_000)
+    profile.add_argument("--blocks", type=int, default=256)
+    profile.add_argument("--pe", type=float, default=6000.0)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="flash channels (default: 1 for queue, 4 for des)",
+    )
+    profile.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable the DES read-retry model",
+    )
+    profile.add_argument(
+        "--hz",
+        type=float,
+        default=97.0,
+        help="sampling frequency for --mode sample (prime Hz avoids "
+        "lockstep with periodic work)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="allocation sites kept in --mode alloc output",
+    )
+    profile.add_argument(
+        "--collapsed",
+        default=None,
+        metavar="PATH",
+        help="also write collapsed-stack lines here (--mode sample; feed "
+        "to flamegraph.pl or speedscope)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full repro.profile/1 artifact JSON to stdout",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default: profile_<workload>_<mode>.json)",
+    )
     profile.set_defaults(handler=_cmd_profile)
 
     args = parser.parse_args(argv)

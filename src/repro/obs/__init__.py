@@ -17,6 +17,12 @@ Three pillars, one dependency-free subsystem:
 * :mod:`repro.obs.timeseries` — :class:`WindowedRecorder` virtual-time
   windowed telemetry (queue depth, per-channel activity, retry rate,
   GC/scrub work, degraded state) emitted by both engines.
+* :mod:`repro.obs.profile` — wall-clock profiling (the one pillar that
+  measures real seconds, not virtual microseconds): the
+  :class:`EventLoopProfiler` instrumenting mode, the
+  :class:`StackSampler` collapsed-stack sampler, tracemalloc
+  allocation profiles and the process-global wall-throughput ledger
+  behind every bench's ``wall`` section (``repro profile``).
 """
 
 from repro.obs.bench import (
@@ -42,6 +48,19 @@ from repro.obs.attribution import (
     diff_reports,
 )
 from repro.obs.manifest import ManifestBuilder, RunManifest, config_hash, git_sha
+from repro.obs.profile import (
+    PROFILE_MODES,
+    PROFILE_SCHEMA,
+    EventLoopProfiler,
+    StackSampler,
+    allocation_profile,
+    parse_collapsed,
+    peak_py_alloc_kb,
+    profile_fingerprint,
+    profile_workload,
+    record_loop,
+    wall_snapshot,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -68,14 +87,19 @@ __all__ = [
     "BenchResult",
     "BenchSchemaError",
     "Counter",
+    "EventLoopProfiler",
     "Gauge",
     "Histogram",
     "ManifestBuilder",
     "MetricSpec",
     "MetricsRegistry",
+    "PROFILE_MODES",
+    "PROFILE_SCHEMA",
     "RunManifest",
     "Span",
+    "StackSampler",
     "Tracer",
+    "allocation_profile",
     "bench_mode",
     "bench_seed",
     "compare_metrics",
@@ -83,6 +107,12 @@ __all__ = [
     "config_hash",
     "git_sha",
     "merged_quantile",
+    "parse_collapsed",
+    "peak_py_alloc_kb",
+    "profile_fingerprint",
+    "profile_workload",
     "quick_mode",
+    "record_loop",
     "validate_bench_dict",
+    "wall_snapshot",
 ]

@@ -32,11 +32,13 @@ import json
 import math
 import os
 import re
+import tracemalloc
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.manifest import ManifestBuilder, RunManifest
+from repro.obs.profile import peak_py_alloc_kb, wall_snapshot
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -48,6 +50,10 @@ SEED_ENV = "REPRO_BENCH_SEED"
 RUN_ID_ENV = "REPRO_BENCH_RUN_ID"
 #: Environment variable relocating BENCH_*.json / ledger output.
 ROOT_ENV = "REPRO_BENCH_ROOT"
+#: Environment variable enabling tracemalloc during bench runs, so
+#: every case's ``wall`` section carries ``peak_py_alloc_kb``.  Off by
+#: default: tracing slows the measured code 2-4x.
+ALLOC_ENV = "REPRO_BENCH_ALLOC"
 
 _NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_]*$")
 
@@ -81,6 +87,12 @@ def quick_mode(env: Mapping[str, str] | None = None) -> bool:
 def bench_mode(env: Mapping[str, str] | None = None) -> str:
     """The current bench mode string: ``"quick"`` or ``"full"``."""
     return "quick" if quick_mode(env) else "full"
+
+
+def alloc_mode(env: Mapping[str, str] | None = None) -> bool:
+    """True when :data:`ALLOC_ENV` asks benches to trace allocations."""
+    env = os.environ if env is None else env
+    return env.get(ALLOC_ENV, "") not in ("", "0")
 
 
 def bench_seed(default: int = 1, env: Mapping[str, str] | None = None) -> int:
@@ -252,7 +264,11 @@ class BenchResult:
     ``metrics`` holds the *curated* headline scalars the regression
     gate watches; the full instrument snapshot (and wall time / RSS,
     which are environment noise, not model outputs) lives in the
-    embedded ``manifest`` and is never gated.
+    embedded ``manifest`` and is never gated.  ``wall`` is the case's
+    wall-clock sidecar — throughput (``wall_events_per_s``,
+    ``wall_requests_per_s``, diffed from the engines' process-global
+    ledger around the case) and ``peak_py_alloc_kb`` when tracing —
+    also never compared by :func:`compare_results`, only trended.
     """
 
     name: str
@@ -261,6 +277,7 @@ class BenchResult:
     run_id: str = ""
     metrics: dict[str, float] = field(default_factory=dict)
     specs: dict[str, MetricSpec] = field(default_factory=dict)
+    wall: dict[str, float | None] = field(default_factory=dict)
     manifest: RunManifest | None = None
     schema_version: int = BENCH_SCHEMA_VERSION
 
@@ -288,6 +305,7 @@ class BenchResult:
             "started_utc": self.started_utc,
             "metrics": dict(self.metrics),
             "specs": {k: v.to_dict() for k, v in sorted(self.specs.items())},
+            "wall": dict(self.wall),
             "manifest": self.manifest.to_dict() if self.manifest else None,
         }
 
@@ -306,6 +324,10 @@ class BenchResult:
             run_id=str(data.get("run_id", "")),
             metrics={k: float(v) for k, v in data["metrics"].items()},
             specs=_coerce_specs(data.get("specs")),
+            wall={
+                k: (None if v is None else float(v))
+                for k, v in (data.get("wall") or {}).items()
+            },
             manifest=manifest,
             schema_version=int(data["schema_version"]),
         )
@@ -364,6 +386,24 @@ def validate_bench_dict(data: Mapping[str, Any]) -> list[str]:
                 MetricSpec.from_dict(spec)
             except (BenchSchemaError, AttributeError, TypeError) as exc:
                 errors.append(f"spec for {key!r} invalid: {exc}")
+    wall = data.get("wall", {})
+    if not isinstance(wall, Mapping):
+        errors.append("wall must be an object")
+    else:
+        # Lenient by design: wall values are machine-dependent data the
+        # comparator never reads, so null (unknown) is fine — only the
+        # shape (name -> finite-number-or-null) is pinned.
+        for key, value in wall.items():
+            if not isinstance(key, str):
+                errors.append(f"wall key {key!r} is not a string")
+            elif value is not None and (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not math.isfinite(value)
+            ):
+                errors.append(
+                    f"wall {key!r} value {value!r} is not a finite number or null"
+                )
     manifest = data.get("manifest")
     if manifest is not None and not isinstance(manifest, Mapping):
         errors.append("manifest must be an object or null")
@@ -766,6 +806,12 @@ class BenchCase:
         self._builder = ManifestBuilder.begin(
             f"bench {name}", {"mode": self.mode}, seed=self.seed
         )
+        # Wall-throughput sidecar: snapshot the engines' process-global
+        # ledger now, diff it at emit time.  Costs two dict copies, and
+        # needs no change in any bench script.
+        self._wall0 = wall_snapshot()
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
 
     @property
     def quick(self) -> bool:
@@ -801,6 +847,7 @@ class BenchCase:
             run_id=self.run_id,
             metrics={k: float(v) for k, v in metrics.items()},
             specs=_coerce_specs(specs),
+            wall=self._wall_delta(manifest),
             manifest=manifest,
         )
         errors = validate_bench_dict(result.to_dict())
@@ -813,3 +860,22 @@ class BenchCase:
         if append_ledger:
             BenchLedger(self.ledger_path).append(result)
         return result
+
+    def _wall_delta(self, manifest: RunManifest) -> dict[str, float | None]:
+        """The case's wall sidecar: ledger deltas since ``__init__``.
+
+        Throughput is null when no engine loop ran during the case
+        (analytic benches) — null, not zero, so the trend report can
+        tell "no simulation" from "infinitely slow".
+        """
+        wall1 = wall_snapshot()
+        loop_s = wall1["loop_s"] - self._wall0["loop_s"]
+        events = wall1["events"] - self._wall0["events"]
+        requests = wall1["requests"] - self._wall0["requests"]
+        return {
+            "wall_time_s": manifest.wall_time_s,
+            "sim_loop_s": loop_s if loop_s > 0.0 else None,
+            "wall_events_per_s": events / loop_s if loop_s > 0.0 else None,
+            "wall_requests_per_s": requests / loop_s if loop_s > 0.0 else None,
+            "peak_py_alloc_kb": peak_py_alloc_kb(),
+        }

@@ -142,7 +142,7 @@ def cmd_run(args: Any) -> int:
         print("no benches match the filter")
         return 1
     outcomes = run_benches(
-        scripts, quick=args.quick, seed=args.seed, root=root
+        scripts, quick=args.quick, alloc=args.alloc, seed=args.seed, root=root
     )
     emitted = sum(len(o.emitted) for o in outcomes)
     failed = [o for o in outcomes if not o.ok]
@@ -242,12 +242,19 @@ def cmd_report(args: Any) -> int:
     # Column per run, row per bench.metric; within a run the last
     # record per bench wins (re-runs supersede).
     columns: list[tuple[str, dict[str, dict[str, float]]]] = []
+    # Wall throughput per bench, from the newest run carrying it — a
+    # trailing context column, never a gated trend cell (wall numbers
+    # are machine noise across heterogeneous runners).
+    wall_by_bench: dict[str, float] = {}
     for run_id, records in runs:
         by_bench: dict[str, dict[str, float]] = {}
         for record in records:
             by_bench[record["bench"]] = {
                 k: float(v) for k, v in record["metrics"].items()
             }
+            events_per_s = (record.get("wall") or {}).get("wall_events_per_s")
+            if events_per_s is not None:
+                wall_by_bench[record["bench"]] = float(events_per_s)
         columns.append((run_id, by_bench))
     row_keys = sorted(
         {
@@ -258,6 +265,7 @@ def cmd_report(args: Any) -> int:
         }
     )
     header = ["metric"] + [run_id for run_id, _ in columns]
+    header.append("wall ev/s (latest)")
     lines = [
         "| " + " | ".join(header) + " |",
         "|" + "|".join("---" for _ in header) + "|",
@@ -275,6 +283,8 @@ def cmd_report(args: Any) -> int:
                 delta = (value - previous) / abs(previous)
                 cells.append(f"{_fmt(value)} ({delta:+.1%})")
             previous = value if value is not None else previous
+        wall = wall_by_bench.get(bench)
+        cells.append("—" if wall is None else _fmt(wall))
         lines.append("| " + " | ".join(cells) + " |")
     mode_note = f" (mode: {args.mode})" if args.mode else ""
     text = (
@@ -307,6 +317,12 @@ def add_bench_parser(commands: Any) -> None:
         "--quick",
         action="store_true",
         help="CI smoke scale (sets REPRO_BENCH_QUICK for every bench)",
+    )
+    run.add_argument(
+        "--alloc",
+        action="store_true",
+        help="trace Python allocations (tracemalloc) so every case's "
+        "wall section records peak_py_alloc_kb; 2-4x slower",
     )
     run.add_argument(
         "--seed", type=int, default=None, help="base RNG seed override"

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.obs.bench import (
+    ALLOC_ENV,
     QUICK_ENV,
     RUN_ID_ENV,
     SEED_ENV,
@@ -88,6 +89,7 @@ def run_benches(
     scripts: list[BenchScript],
     *,
     quick: bool = False,
+    alloc: bool = False,
     seed: int | None = None,
     run_id: str | None = None,
     root: Path | str | None = None,
@@ -100,7 +102,11 @@ def run_benches(
     Environment routing (one mechanism for every bench): quick mode via
     :data:`~repro.obs.bench.QUICK_ENV`, the base seed via
     :data:`~repro.obs.bench.SEED_ENV` and a shared ledger run id via
-    :data:`~repro.obs.bench.RUN_ID_ENV`.  The registry accumulates
+    :data:`~repro.obs.bench.RUN_ID_ENV` and allocation tracing via
+    :data:`~repro.obs.bench.ALLOC_ENV` (``alloc=True`` makes each
+    bench subprocess run under tracemalloc so its ``wall`` section
+    carries ``peak_py_alloc_kb`` — expect a 2-4x slowdown).  The
+    registry accumulates
     ``bench.harness.*`` instruments (runs, failures, per-script wall
     time) that drive the live ETA line.
     """
@@ -115,6 +121,7 @@ def run_benches(
 
     env = dict(os.environ)
     env[QUICK_ENV] = "1" if quick else ""
+    env[ALLOC_ENV] = "1" if alloc else ""
     env[RUN_ID_ENV] = run_id
     if seed is not None:
         env[SEED_ENV] = str(seed)

@@ -104,6 +104,12 @@ class RunManifest:
         Begin-to-finish wall time in seconds.
     peak_rss_kb:
         Peak resident set size in KiB (None when unavailable).
+    peak_py_alloc_kb:
+        Peak *traced Python* allocation in KiB, from
+        :func:`repro.obs.profile.peak_py_alloc_kb`.  None unless
+        :mod:`tracemalloc` was tracing when the run finished (e.g.
+        ``repro bench run --alloc`` or ``repro profile --mode alloc``)
+        — tracing costs 2-4x slowdown, so it is never on by default.
     metrics:
         Flat metric snapshot (typically ``MetricsRegistry.snapshot()``).
     fault_config:
@@ -123,6 +129,7 @@ class RunManifest:
     started_utc: str = ""
     wall_time_s: float = 0.0
     peak_rss_kb: int | None = None
+    peak_py_alloc_kb: int | None = None
     metrics: dict[str, float] = field(default_factory=dict)
     fault_config: dict[str, Any] | None = None
     extra: dict[str, Any] = field(default_factory=dict)
@@ -137,6 +144,7 @@ class RunManifest:
             "started_utc": self.started_utc,
             "wall_time_s": self.wall_time_s,
             "peak_rss_kb": self.peak_rss_kb,
+            "peak_py_alloc_kb": self.peak_py_alloc_kb,
             "metrics": self.metrics,
             "fault_config": self.fault_config,
             "extra": self.extra,
@@ -207,6 +215,10 @@ class ManifestBuilder:
         config = dict(self.config)
         if self._fault_config is not None:
             config["faults"] = self._fault_config
+        # Deferred: repro.obs.profile imports nothing from here, but
+        # keeping manifest import-light avoids ordering surprises.
+        from repro.obs.profile import peak_py_alloc_kb as _peak_py_alloc_kb
+
         return RunManifest(
             command=self.command,
             config=config,
@@ -216,6 +228,7 @@ class ManifestBuilder:
             started_utc=self._started_utc,
             wall_time_s=time.perf_counter() - self._t0,
             peak_rss_kb=peak_rss_kb(),
+            peak_py_alloc_kb=_peak_py_alloc_kb(),
             metrics=dict(metrics or {}),
             fault_config=self._fault_config,
             extra=extra,

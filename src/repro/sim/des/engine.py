@@ -37,11 +37,13 @@ arrival process depends on completions and QoS scheduling decisions.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from repro.baselines.systems import ReadServiceBreakdown, StorageSystem
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import EventLoopProfiler, record_loop
 from repro.obs.timeseries import WindowedRecorder
 from repro.obs.tracing import Span, Tracer
 from repro.sim.des.events import Event, EventHeap, EventKind
@@ -53,6 +55,14 @@ from repro.traces.schema import TraceRecord
 
 #: Sentinel for the default (enabled, default-config) retry model.
 _DEFAULT_RETRY = object()
+
+#: Profiler section key per event kind (precomputed: the loop is hot).
+_EVENT_KEYS = {
+    EventKind.ARRIVAL: "event.arrival",
+    EventKind.OP_COMPLETE: "event.op_complete",
+    EventKind.REQUEST_COMPLETE: "event.request_complete",
+    EventKind.GC_DRAIN: "event.gc_drain",
+}
 
 
 class DesSimulationEngine:
@@ -94,6 +104,13 @@ class DesSimulationEngine:
     sample_cap:
         Overrides the result's exact-sample cap (None keeps
         :data:`repro.sim.results.DEFAULT_SAMPLE_CAP`).
+    profiler:
+        Optional :class:`repro.obs.profile.EventLoopProfiler`; when
+        set, every event-loop iteration is timed under its event kind
+        and the per-request phases (sense/transfer/decode/retry/GC/
+        trace) are accounted inside it.  Wall-clock only — the
+        simulated-time outputs are byte-identical with or without a
+        profiler, and with ``None`` the only cost is the guard checks.
     """
 
     def __init__(
@@ -107,6 +124,7 @@ class DesSimulationEngine:
         tracer: Tracer | None = None,
         recorder: WindowedRecorder | None = None,
         sample_cap: int | None = None,
+        profiler: EventLoopProfiler | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction outside [0, 1)")
@@ -129,6 +147,7 @@ class DesSimulationEngine:
         if sample_cap is not None and sample_cap < 0:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
+        self.profiler = profiler
         # With a fault injector on the SSD, ladder exhaustion gains its
         # terminal branch: the final round's residual failure probability
         # is sampled into uncorrectable reads.  Without one, exhaustion
@@ -193,8 +212,14 @@ class DesSimulationEngine:
         inflight = 0
         origin_us = first.record.timestamp_us
         last_completion_us = origin_us
+        profiler = self.profiler
+        loop_t0 = perf_counter()
         while len(heap):
+            if profiler is not None:
+                iter_t0 = profiler.clock()
             event = heap.pop()
+            if profiler is not None:
+                profiler.begin(_EVENT_KEYS[event.kind], iter_t0)
             if event.kind is EventKind.ARRIVAL:
                 index = event.request_index
                 if recorder is not None:
@@ -239,12 +264,24 @@ class DesSimulationEngine:
                         heap.push(self._arrival_event(nxt))
                         source_blocked = False
             # GC_DRAIN events are observational; no state to update.
+            if profiler is not None:
+                profiler.end()
+        loop_s = perf_counter() - loop_t0
 
         self._check_conservation(
             source.emitted, requests_completed, ops_dispatched, ops_completed, scheduler
         )
         result.channel_busy_us = scheduler.busy_times_us()
         result.makespan_us = max(last_completion_us - origin_us, 0.0)
+        # Wall-clock accounting rides on result *attributes* only —
+        # summary()/stats stay machine-independent so every
+        # byte-determinism guarantee downstream survives.
+        result.wall_loop_s = loop_s
+        result.wall_events = heap.popped
+        result.wall_requests = requests_completed
+        record_loop(heap.popped, requests_completed, loop_s)
+        if profiler is not None:
+            profiler.finish_loop(loop_s, heap.popped, requests_completed)
         result.stats = self.system.ssd.stats.snapshot()
         result.stats["reduced_logical_pages"] = self.system.ssd.reduced_logical_pages()
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
@@ -302,7 +339,10 @@ class DesSimulationEngine:
             ops_by_channel.setdefault(channel, []).append(lpn)
 
         trace: Span | None = None
+        profiler = self.profiler
         if self.tracer is not None and index >= warmup_count:
+            if profiler is not None:
+                profiler.begin("phase.trace")
             trace = self.tracer.begin_request(
                 "write_request" if record.is_write else "read_request",
                 t0,
@@ -310,13 +350,19 @@ class DesSimulationEngine:
                 n_pages=record.n_pages,
                 **pending.attrs,
             )
+            if profiler is not None:
+                profiler.end()
 
         completion = arrival
         dispatched = 0
         first_op_start: float | None = None
         recorder = self.recorder
         for channel, lpns in ops_by_channel.items():
+            if profiler is not None:
+                profiler.begin("phase.gc")
             report = scheduler.admit(channel, arrival)
+            if profiler is not None:
+                profiler.end()
             if report.drained_us + report.stall_us > 0.0:
                 heap.push(
                     Event(
@@ -375,13 +421,21 @@ class DesSimulationEngine:
                         if uncorrectable:
                             recorder.add("sim.uncorrectable.reads", op_start)
                 if trace is not None:
+                    if profiler is not None:
+                        profiler.begin("phase.trace")
                     self._trace_op(
                         trace, record, lpn, channel, op_start, service,
                         breakdown, rounds, uncorrectable,
                     )
+                    if profiler is not None:
+                        profiler.end()
             completion = max(completion, scheduler.frontier(channel))
 
+        if profiler is not None:
+            profiler.begin("phase.gc")
         scheduler.add_background(self.system.take_background_us())
+        if profiler is not None:
+            profiler.end()
         heap.push(
             Event(
                 time_us=completion,
@@ -394,10 +448,14 @@ class DesSimulationEngine:
             max(0.0, first_op_start - t0) if first_op_start is not None else 0.0
         )
         if trace is not None:
+            if profiler is not None:
+                profiler.begin("phase.trace")
             wait_span = Span("queue_wait", t0)
             wait_span.end(t0 + queue_wait)
             trace.children.insert(0, wait_span)
             self.tracer.finish_request(trace, completion)
+            if profiler is not None:
+                profiler.end()
         if self.registry is not None and index >= warmup_count:
             self.registry.histogram("sim.queue_wait_us").observe(queue_wait)
         return dispatched
@@ -422,13 +480,26 @@ class DesSimulationEngine:
         failure probability comes up failed — the terminal outcome the
         optimistic legacy model lacks.
         """
+        profiler = self.profiler
         if record.is_write:
-            return self.system.serve_write_page(lpn, now_us), None, 0, False
+            # Wall-wise a write is the buffer/program transfer path.
+            if profiler is None:
+                return self.system.serve_write_page(lpn, now_us), None, 0, False
+            profiler.begin("phase.transfer")
+            service = self.system.serve_write_page(lpn, now_us)
+            profiler.end()
+            return service, None, 0, False
+        if profiler is not None:
+            profiler.begin("phase.sense")
         breakdown = self.system.read_page_breakdown(lpn, now_us)
+        if profiler is not None:
+            profiler.end()
         service = breakdown.service_us
         rounds = 0
         uncorrectable = False
         if self.retry_model is not None and not breakdown.buffer_hit:
+            if profiler is not None:
+                profiler.begin("phase.retry")
             outcome = self.retry_model.sample_outcome(breakdown)
             rounds = outcome.extra_rounds
             service += outcome.extra_us
@@ -440,7 +511,11 @@ class DesSimulationEngine:
                 result.record_retry_rounds(rounds)
                 if uncorrectable:
                     result.record_uncorrectable(channel)
+            if profiler is not None:
+                profiler.end()
         if self.registry is not None and not breakdown.buffer_hit:
+            if profiler is not None:
+                profiler.begin("phase.decode")
             decode_iterations = self.system.latency.decode_iterations
             iterations = sum(
                 decode_iterations(breakdown.provisioned_levels + r)
@@ -454,6 +529,8 @@ class DesSimulationEngine:
                 self.registry.counter(
                     f"sim.uncorrectable.channel.{channel}.reads"
                 ).inc()
+            if profiler is not None:
+                profiler.end()
         return service, breakdown, rounds, uncorrectable
 
     def _trace_op(
@@ -523,6 +600,13 @@ class DesSimulationEngine:
         registry.register("sim.read.response_us", result.read_hist)
         registry.register("sim.write.response_us", result.write_hist)
         registry.gauge("sim.makespan_us").set(result.makespan_us)
+        # Wall-clock throughput of the loop itself (machine-dependent
+        # provenance; lands in manifests, never in hashed configs).
+        registry.gauge("sim.wall.loop_s").set(result.wall_loop_s)
+        registry.gauge("sim.wall.events_per_s").set(result.wall_events_per_s())
+        registry.gauge("sim.wall.requests_per_s").set(
+            result.wall_requests_per_s()
+        )
         registry.gauge("sim.residual_backlog_us").set(scheduler.residual_backlog_us)
         registry.gauge("sim.read.mean_retry_rounds").set(result.mean_retry_rounds())
         if self._fault_injector is not None:

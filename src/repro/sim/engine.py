@@ -18,11 +18,13 @@ become permanent — the paper's "frequent garbage collection" regime.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from repro.baselines.systems import StorageSystem
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import EventLoopProfiler, record_loop
 from repro.obs.timeseries import WindowedRecorder
 from repro.obs.tracing import Tracer
 from repro.sim.results import SimulationResult
@@ -65,6 +67,12 @@ class SimulationEngine:
     sample_cap:
         Overrides the result's exact-sample cap (None keeps
         :data:`repro.sim.results.DEFAULT_SAMPLE_CAP`).
+    profiler:
+        Optional :class:`repro.obs.profile.EventLoopProfiler`.  The
+        single-queue loop has one event type (``request``) per trace
+        record; the per-request phases (sense/transfer/GC/trace) are
+        accounted inside it.  Wall-clock only; simulated outputs are
+        byte-identical with or without a profiler.
     """
 
     def __init__(
@@ -77,6 +85,7 @@ class SimulationEngine:
         tracer: Tracer | None = None,
         recorder: WindowedRecorder | None = None,
         sample_cap: int | None = None,
+        profiler: EventLoopProfiler | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction outside [0, 1)")
@@ -96,6 +105,7 @@ class SimulationEngine:
         if sample_cap is not None and sample_cap < 0:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
+        self.profiler = profiler
 
     def run(
         self, records: Iterable[TraceRecord], workload_name: str = "unnamed"
@@ -126,7 +136,11 @@ class SimulationEngine:
         busy_us_total = 0.0
         last_completion = records[0].timestamp_us
         footprint = self.system.config.footprint_pages
+        profiler = self.profiler
+        loop_t0 = perf_counter()
         for index, record in enumerate(records):
+            if profiler is not None:
+                profiler.begin("event.request")
             arrival = record.timestamp_us
             # Background work drains into the idle gap before this arrival.
             idle = max(0.0, arrival - device_free_at)
@@ -144,15 +158,25 @@ class SimulationEngine:
             for lpn in record.pages():
                 if footprint:
                     lpn %= footprint
+                if profiler is not None:
+                    profiler.begin(
+                        "phase.transfer" if record.is_write else "phase.sense"
+                    )
                 if record.is_write:
                     service += self.system.serve_write_page(lpn, start)
                 else:
                     service += self.system.serve_read_page(lpn, start)
+                if profiler is not None:
+                    profiler.end()
             effective_channels = min(self.n_channels, record.n_pages)
             service /= effective_channels
             completion = start + service
             device_free_at = completion
+            if profiler is not None:
+                profiler.begin("phase.gc")
             backlog_us += self.system.take_background_us()
+            if profiler is not None:
+                profiler.end()
             busy_us_total += drained + stall + service
             last_completion = max(last_completion, completion)
             if recorder is not None:
@@ -172,11 +196,26 @@ class SimulationEngine:
             if index >= warmup_count:
                 result.record(record.is_write, completion - record.timestamp_us)
                 if self.tracer is not None:
+                    if profiler is not None:
+                        profiler.begin("phase.trace")
                     self._trace_request(record, arrival, start, stall, completion)
+                    if profiler is not None:
+                        profiler.end()
                 if self.registry is not None:
                     self.registry.histogram("sim.queue_wait_us").observe(
                         start - arrival
                     )
+            if profiler is not None:
+                profiler.end()
+        loop_s = perf_counter() - loop_t0
+        # One "event" per trace record: the single-queue loop has no
+        # heap, so its iteration count is its event count.
+        result.wall_loop_s = loop_s
+        result.wall_events = len(records)
+        result.wall_requests = len(records)
+        record_loop(len(records), len(records), loop_s)
+        if profiler is not None:
+            profiler.finish_loop(loop_s, len(records), len(records))
         result.stats = self.system.ssd.stats.snapshot()
         result.stats["reduced_logical_pages"] = self.system.ssd.reduced_logical_pages()
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
@@ -186,6 +225,13 @@ class SimulationEngine:
             self.registry.register("sim.read.response_us", result.read_hist)
             self.registry.register("sim.write.response_us", result.write_hist)
             self.registry.gauge("sim.residual_backlog_us").set(backlog_us)
+            self.registry.gauge("sim.wall.loop_s").set(result.wall_loop_s)
+            self.registry.gauge("sim.wall.events_per_s").set(
+                result.wall_events_per_s()
+            )
+            self.registry.gauge("sim.wall.requests_per_s").set(
+                result.wall_requests_per_s()
+            )
             # The single queue is one aggregated server reported as
             # channel 0: busy time is foreground service plus drained
             # GC, mirroring the DES engine's per-channel accounting.

@@ -50,6 +50,13 @@ class SimulationResult:
     write_hist: Histogram = field(
         default_factory=lambda: response_histogram("sim.write.response_us")
     )
+    # Wall-clock cost of producing this result (set by the engines).
+    # Deliberately NOT part of summary()/stats: those are simulated-time
+    # outputs that must stay byte-identical across machines; wall data
+    # travels through manifests and profile artifacts instead.
+    wall_loop_s: float = 0.0
+    wall_events: int = 0
+    wall_requests: int = 0
 
     def record(self, is_write: bool, response_us: float) -> None:
         """Record one request's response time."""
@@ -81,6 +88,18 @@ class SimulationResult:
             len(self.read_responses_us) + len(self.write_responses_us)
             == self.n_requests
         )
+
+    def wall_events_per_s(self) -> float:
+        """Event-loop iterations per wall-clock second (0 if unknown)."""
+        if self.wall_loop_s <= 0.0:
+            return 0.0
+        return self.wall_events / self.wall_loop_s
+
+    def wall_requests_per_s(self) -> float:
+        """Completed requests (warmup included) per wall-clock second."""
+        if self.wall_loop_s <= 0.0:
+            return 0.0
+        return self.wall_requests / self.wall_loop_s
 
     def mean_response_us(self) -> float:
         """Mean response time over all requests (exact at any scale)."""

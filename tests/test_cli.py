@@ -144,6 +144,10 @@ class TestTraceCommand:
         assert manifest["extra"]["requests_seen"] > 0
         assert manifest["extra"]["traces_kept"] == len(trees)
         assert "sim.read.response_us.p99" in manifest["metrics"]
+        # Wall throughput rides along, so slow runs are diagnosable
+        # from the manifest alone.
+        assert manifest["metrics"]["sim.wall.events_per_s"] > 0
+        assert manifest["metrics"]["sim.wall.loop_s"] > 0
         captured = capsys.readouterr()
         assert "traces kept" in captured.out
 
@@ -189,6 +193,7 @@ class TestExplainCommand:
             (tmp_path / "explain_manifest.json").read_text()
         )
         assert manifest["extra"]["traces_kept"] == report["n_requests"]
+        assert manifest["metrics"]["sim.wall.events_per_s"] > 0
 
     def test_artifact_bytes_deterministic(self, tmp_path, capsys):
         _, first = self.run_explain(tmp_path)
@@ -303,3 +308,92 @@ class TestServeCommand:
     def test_rejects_malformed_mix_with_exit_code(self, capsys):
         assert main(["serve", "--mix", "", "--requests", "10"]) == 2
         assert main(["serve", "--mix", "fin-2:0", "--requests", "10"]) == 2
+
+
+class TestProfileWorkload:
+    def run_profile(self, tmp_path, *extra):
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "fin-2",
+                "--requests",
+                "1200",
+                "--blocks",
+                "128",
+                "--out",
+                str(out),
+                *extra,
+            ]
+        )
+        return code, out
+
+    def test_instrument_artifact_and_manifest(self, tmp_path, capsys):
+        code, out = self.run_profile(tmp_path, "--json")
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == "repro.profile/1"
+        assert artifact["mode"] == "instrument"
+        loop = artifact["wall"]["loop"]
+        assert loop["events"] > 0 and loop["events_per_s"] > 0
+        # Reconciliation: attributed + unattributed == loop wall, with
+        # the residual inside the calibrated overhead budget.
+        assert loop["attributed_s"] + loop["unattributed_s"] == pytest.approx(
+            loop["wall_s"]
+        )
+        assert loop["unattributed_s"] <= loop["self_overhead_s"] + 0.05
+        manifest = json.loads(
+            (tmp_path / "profile_manifest.json").read_text()
+        )
+        assert manifest["metrics"]["sim.wall.events_per_s"] > 0
+        assert manifest["extra"]["fingerprint"] == artifact["fingerprint"]
+        printed = json.loads(capsys.readouterr().out.strip())
+        assert printed == artifact
+
+    def test_sample_mode_writes_parseable_collapsed(self, tmp_path, capsys):
+        from repro.obs.profile import parse_collapsed
+
+        stacks = tmp_path / "stacks.txt"
+        code, out = self.run_profile(
+            tmp_path,
+            "--mode",
+            "sample",
+            "--hz",
+            "499",
+            "--collapsed",
+            str(stacks),
+        )
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["mode"] == "sample"
+        lines = stacks.read_text().splitlines()
+        assert lines == artifact["wall"]["sampler"]["collapsed"]
+        parse_collapsed(lines)
+
+    def test_alloc_mode_records_peak_in_manifest(self, tmp_path, capsys):
+        code, out = self.run_profile(tmp_path, "--mode", "alloc", "--top", "5")
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["wall"]["alloc"]["peak_kb"] > 0
+        assert len(artifact["wall"]["alloc"]["top"]) <= 5
+        manifest = json.loads(
+            (tmp_path / "profile_manifest.json").read_text()
+        )
+        assert isinstance(manifest["peak_py_alloc_kb"], int)
+        assert manifest["peak_py_alloc_kb"] > 0
+
+    def test_fingerprint_stable_across_runs(self, tmp_path, capsys):
+        _, first = self.run_profile(tmp_path)
+        fingerprint = json.loads(first.read_text())["fingerprint"]
+        _, second = self.run_profile(tmp_path)
+        assert json.loads(second.read_text())["fingerprint"] == fingerprint
+
+    def test_collapsed_requires_sample_mode(self, tmp_path, capsys):
+        code, _ = self.run_profile(
+            tmp_path, "--collapsed", str(tmp_path / "stacks.txt")
+        )
+        assert code == 2
+        assert "--mode sample" in capsys.readouterr().err
+
+    def test_rejects_unknown_workload(self, capsys):
+        assert main(["profile", "nope", "--requests", "10"]) == 2
