@@ -27,6 +27,19 @@ serve
     per-tenant NVMe-style queue pairs, a QoS scheduler (FIFO /
     weighted-fair / EDF) decides dispatch order, and the report breaks
     response times, SLO violations and latency blame down per tenant.
+    ``--monitor`` attaches the online health monitor (per-tenant SLO
+    burn-rate alerting plus change-point rules).
+monitor
+    Online health monitoring of one workload replay: multi-window SLO
+    burn-rate alerting and CUSUM / Page–Hinkley change-point detection
+    over the windowed wear-drift telemetry, each alert carrying a
+    latency-blame snapshot of the offending window.  Exports a
+    deterministic ``repro.monitor/1`` artifact, a JSONL alert stream
+    and a Prometheus text-format metrics snapshot.
+metrics
+    Telemetry namespace tools; ``metrics ls <workload>`` runs a short
+    replay and dumps every dotted metric name it populates with its
+    instrument type (counter / gauge / histogram / windowed).
 profile
     Wall-clock profile of one workload replay in three modes —
     ``instrument`` (per-event-type and per-phase wall accounting over
@@ -484,6 +497,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.baselines import SystemConfig, build_system, system_names
     from repro.ftl import SsdConfig
     from repro.obs import ManifestBuilder, MetricsRegistry, WindowedRecorder
+    from repro.obs.monitor import MonitorConfig, write_prometheus
     from repro.serve import (
         ServeEngine,
         build_artifact,
@@ -519,6 +533,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     system = build_system(args.system, config)
     registry = MetricsRegistry()
     recorder = WindowedRecorder(window_us=args.window_us)
+    monitored = args.monitor or bool(args.monitor_jsonl or args.monitor_prom)
     engine = ServeEngine(
         system,
         specs,
@@ -529,6 +544,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission_rate_per_s=args.admission_rate,
         registry=registry,
         recorder=recorder,
+        monitor_config=MonitorConfig() if monitored else None,
     )
     run_config = {
         "mix": args.mix,
@@ -545,6 +561,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "slo_us": args.slo_us,
         "sq_depth": args.sq_depth,
         "window_us": args.window_us,
+        "monitor": monitored,
     }
     builder = ManifestBuilder.begin("repro serve", run_config, seed=args.seed)
     result = engine.run()
@@ -559,9 +576,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     out = Path(args.out or f"serve_{args.scheduler}_{args.system}.json")
     text = dump_artifact(artifact)
     out.write_text(text)
+    artifacts = [str(out)]
+    if args.monitor_jsonl and result.monitor is not None:
+        result.monitor.write_jsonl(args.monitor_jsonl)
+        artifacts.append(args.monitor_jsonl)
+        print(f"alert stream written to {args.monitor_jsonl}", file=sys.stderr)
+    if args.monitor_prom:
+        write_prometheus(registry, args.monitor_prom)
+        artifacts.append(args.monitor_prom)
+        print(
+            f"prometheus snapshot written to {args.monitor_prom}",
+            file=sys.stderr,
+        )
     manifest = builder.finish(
         metrics=registry.snapshot(),
-        artifacts=[str(out)],
+        artifacts=artifacts,
         tenants=len(specs),
         requests_completed=artifact["fleet"]["completed"],
     )
@@ -572,6 +601,271 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(render_markdown(artifact))
     print(f"report written to {out}", file=sys.stderr)
     print(f"manifest written to {manifest_path}", file=sys.stderr)
+    return 0
+
+
+def _monitor_text(artifact: dict) -> str:
+    """Human-readable summary for one monitored run."""
+    body = artifact["monitor"]
+    lines = [
+        f"monitor {artifact['workload']} on {artifact['system']} "
+        f"({artifact['engine']} engine, {artifact['requests']} requests, "
+        f"seed {artifact['seed']})",
+        f"windows closed: {body['windows_closed']} "
+        f"(window {body['window_us']:g} us), alerts: {body['n_alerts']}, "
+        f"fingerprint {body['fingerprint']}",
+    ]
+    for alert in body["alerts"]:
+        line = (
+            f"  #{alert['seq']} window {alert['window']} "
+            f"t={alert['start_us'] / 1000.0:.1f}ms "
+            f"{alert['kind']} {alert['rule']} severity={alert['severity']}"
+        )
+        blame = alert.get("blame")
+        if blame and blame.get("blame_fraction"):
+            top = max(
+                blame["blame_fraction"].items(), key=lambda kv: kv[1]
+            )
+            line += f" blame[{blame['basis']}]={top[0]}:{top[1]:.2f}"
+        lines.append(line)
+    if not body["alerts"]:
+        lines.append("  no alerts (healthy run)")
+    return "\n".join(lines)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.core.level_adjust import LevelAdjustPolicy
+    from repro.obs import (
+        ManifestBuilder,
+        MetricsRegistry,
+        Tracer,
+        WindowedRecorder,
+    )
+    from repro.obs.monitor import (
+        HealthMonitor,
+        MonitorConfig,
+        TtyStatusView,
+        monitor_fingerprint,
+        parse_rule,
+        write_prometheus,
+    )
+    from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
+    from repro.traces import workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    if args.system not in system_names():
+        print(f"unknown system {args.system!r}; choose from {system_names()}")
+        return 2
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
+    fault_config = _fault_config(args)
+    config = SystemConfig(
+        ssd=ssd_config,
+        footprint_pages=workload.footprint_pages,
+        buffer_pages=512,
+        hotness_window=max(64, min(4096, args.requests // 8)),
+    )
+    injector = None
+    if fault_config is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_config)
+    system = build_system(
+        args.system,
+        config,
+        level_adjust=LevelAdjustPolicy(),
+        fault_injector=injector,
+    )
+    # Every request is traced (sample_every=1) and there is no warmup
+    # exclusion: a monitor wants blame tables for *any* window an alert
+    # lands in, including early ones.
+    tracer = Tracer(sample_every=args.sample_every, keep_slowest=0)
+    registry = MetricsRegistry()
+    recorder = WindowedRecorder(window_us=args.window_us)
+    monitor = HealthMonitor(
+        recorder,
+        registry=registry,
+        tracer=tracer,
+        rules=[parse_rule(spec) for spec in args.rule] if args.rule else None,
+        config=MonitorConfig(
+            slo_us=args.slo_us, warmup_windows=args.warmup_windows
+        ),
+    ).attach()
+    status = None
+    if args.status:
+        status = TtyStatusView(sys.stderr)
+        monitor.add_observer(status)
+    if args.engine == "des":
+        engine = DesSimulationEngine(
+            system,
+            warmup_fraction=0.0,
+            n_channels=n_channels,
+            retry_model=None if args.no_retry else ReadRetryModel(),
+            registry=registry,
+            tracer=tracer,
+            recorder=recorder,
+        )
+    else:
+        engine = SimulationEngine(
+            system,
+            warmup_fraction=0.0,
+            n_channels=n_channels,
+            registry=registry,
+            tracer=tracer,
+            recorder=recorder,
+        )
+    run_config = _run_config(args, n_channels)
+    run_config.update(
+        {
+            "system": args.system,
+            "window_us": args.window_us,
+            "slo_us": args.slo_us,
+            "warmup_windows": args.warmup_windows,
+            "rules": list(args.rule),
+        }
+    )
+    builder = ManifestBuilder.begin("repro monitor", run_config, seed=args.seed)
+    if fault_config is not None:
+        builder.set_fault_config(fault_config.to_dict())
+    engine.run(trace, args.workload)
+    if status is not None:
+        status.finish()
+    # The artifact is virtual-time-only (the monitor never sees wall
+    # clock), so fixed seed/config reproduce it byte for byte; the
+    # fingerprint covers the monitor body under the PR 7 convention.
+    body = monitor.to_dict()
+    body["fingerprint"] = monitor_fingerprint(body)
+    artifact = {
+        "workload": args.workload,
+        "system": args.system,
+        "engine": args.engine,
+        "n_channels": n_channels,
+        "requests": args.requests,
+        "seed": args.seed,
+        "monitor": body,
+    }
+    out = Path(args.out or f"monitor_{args.workload}_{args.system}.json")
+    text = json.dumps(artifact, indent=2, sort_keys=True)
+    out.write_text(text + "\n")
+    artifacts = [str(out)]
+    if args.jsonl:
+        monitor.write_jsonl(args.jsonl)
+        artifacts.append(args.jsonl)
+        print(f"alert stream written to {args.jsonl}", file=sys.stderr)
+    if args.prom:
+        write_prometheus(registry, args.prom)
+        artifacts.append(args.prom)
+        print(f"prometheus snapshot written to {args.prom}", file=sys.stderr)
+    manifest = builder.finish(
+        metrics=registry.snapshot(),
+        artifacts=artifacts,
+        windows_closed=monitor.windows_closed,
+        alerts=monitor.n_alerts,
+    )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    if args.json:
+        print(text)
+    else:
+        print(_monitor_text(artifact))
+    print(f"report written to {out}", file=sys.stderr)
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
+    if args.fail_on_alert and monitor.n_alerts > 0:
+        print(f"{monitor.n_alerts} alert(s) raised", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_metrics_ls(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.core.level_adjust import LevelAdjustPolicy
+    from repro.obs import MetricsRegistry, WindowedRecorder
+    from repro.obs.monitor import HealthMonitor, metric_kind
+    from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
+    from repro.traces import workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    if args.system not in system_names():
+        print(f"unknown system {args.system!r}; choose from {system_names()}")
+        return 2
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
+    fault_config = _fault_config(args)
+    config = SystemConfig(
+        ssd=ssd_config,
+        footprint_pages=workload.footprint_pages,
+        buffer_pages=512,
+        hotness_window=max(64, min(4096, args.requests // 8)),
+    )
+    injector = None
+    if fault_config is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_config)
+    system = build_system(
+        args.system,
+        config,
+        level_adjust=LevelAdjustPolicy(),
+        fault_injector=injector,
+    )
+    registry = MetricsRegistry()
+    recorder = WindowedRecorder(window_us=args.window_us)
+    # Attaching the monitor makes its own monitor.* instruments part of
+    # the dump, so the listing covers the full namespace a monitored
+    # run would export.
+    HealthMonitor(recorder, registry=registry).attach()
+    if args.engine == "des":
+        engine = DesSimulationEngine(
+            system,
+            warmup_fraction=0.25,
+            n_channels=n_channels,
+            retry_model=None if args.no_retry else ReadRetryModel(),
+            registry=registry,
+            recorder=recorder,
+        )
+    else:
+        engine = SimulationEngine(
+            system,
+            warmup_fraction=0.25,
+            n_channels=n_channels,
+            registry=registry,
+            recorder=recorder,
+        )
+    engine.run(trace, args.workload)
+    instruments = [
+        {"name": name, "kind": metric_kind(instrument)}
+        for name, instrument in registry.instruments()
+    ]
+    series = [
+        {"name": name, "kind": "windowed"}
+        for name in recorder.series_names()
+    ]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "system": args.system,
+                    "engine": args.engine,
+                    "metrics": instruments,
+                    "windowed_series": series,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    width = max(
+        (len(row["name"]) for row in instruments + series), default=0
+    )
+    print(f"# registry instruments ({len(instruments)})")
+    for row in instruments:
+        print(f"{row['name']:<{width}}  {row['kind']}")
+    print(f"# windowed series ({len(series)})")
+    for row in series:
+        print(f"{row['name']:<{width}}  {row['kind']}")
     return 0
 
 
@@ -992,7 +1286,152 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="artifact path (default: serve_<scheduler>_<system>.json)",
     )
+    serve.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach the online health monitor (per-tenant SLO burn-rate "
+        "alerting plus wear-drift change-point rules); the artifact "
+        "gains a repro.monitor/1 section — see docs/MONITORING.md",
+    )
+    serve.add_argument(
+        "--monitor-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the monitor's JSONL alert stream here "
+        "(implies --monitor)",
+    )
+    serve.add_argument(
+        "--monitor-prom",
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus text-format metrics snapshot here "
+        "(implies --monitor)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="run one workload with online health monitoring: burn-rate "
+        "and change-point alerts with per-window blame tables",
+    )
+    _add_run_arguments(monitor)
+    monitor.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to monitor (default: flexlevel)",
+    )
+    monitor.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="des",
+        help="simulation engine driving the run (default: des)",
+    )
+    monitor.add_argument(
+        "--window-us",
+        type=float,
+        default=1000.0,
+        help="telemetry window width in simulated microseconds "
+        "(default 1000 = 1 ms)",
+    )
+    monitor.add_argument(
+        "--slo-us",
+        type=float,
+        default=None,
+        help="arm window-tail SLO burn-rate alerting at this response "
+        "bound (default: change-point rules only)",
+    )
+    monitor.add_argument(
+        "--warmup-windows",
+        type=int,
+        default=8,
+        help="windows each detector calibrates its reference over "
+        "before scoring",
+    )
+    monitor.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="replace the stock rules with name=detector(series,signal"
+        "[,k=v...]) specs (repeatable); see docs/MONITORING.md",
+    )
+    monitor.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="trace every N-th request for the per-alert blame tables "
+        "(default 1: all of them)",
+    )
+    monitor.add_argument(
+        "--status",
+        action="store_true",
+        help="live TTY status line on stderr (one redraw per closed "
+        "window, a line per alert)",
+    )
+    monitor.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL alert stream (repro.monitor/1) here",
+    )
+    monitor.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus text-format metrics snapshot here",
+    )
+    monitor.add_argument(
+        "--fail-on-alert",
+        action="store_true",
+        help="exit 1 when any alert fired (CI health gate)",
+    )
+    monitor.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full monitor artifact JSON to stdout",
+    )
+    monitor.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default: monitor_<workload>_<system>.json)",
+    )
+    monitor.set_defaults(handler=_cmd_monitor)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="telemetry namespace tools (ls: dump metric names and types)",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_ls = metrics_sub.add_parser(
+        "ls",
+        help="run one workload and dump the dotted metric namespace it "
+        "populates, with instrument types",
+    )
+    _add_run_arguments(metrics_ls)
+    metrics_ls.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to run (default: flexlevel)",
+    )
+    metrics_ls.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="des",
+        help="simulation engine (namespaces differ; default: des)",
+    )
+    metrics_ls.add_argument(
+        "--window-us",
+        type=float,
+        default=1000.0,
+        help="telemetry window width in simulated microseconds",
+    )
+    metrics_ls.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the listing as JSON",
+    )
+    # A short run discovers the namespace just as well as a full one.
+    metrics_ls.set_defaults(handler=_cmd_metrics_ls, requests=2000)
 
     profile = commands.add_parser(
         "profile",

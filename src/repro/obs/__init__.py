@@ -17,6 +17,11 @@ Three pillars, one dependency-free subsystem:
 * :mod:`repro.obs.timeseries` — :class:`WindowedRecorder` virtual-time
   windowed telemetry (queue depth, per-channel activity, retry rate,
   GC/scrub work, degraded state) emitted by both engines.
+* :mod:`repro.obs.monitor` — online health monitoring over the
+  windowed streams: CUSUM / Page–Hinkley change-point rules on the
+  wear-drift signals, multi-window SLO burn-rate alerting, per-alert
+  attribution drill-downs, and Prometheus / JSONL / TTY export
+  (``repro monitor``, ``repro serve --monitor``).
 * :mod:`repro.obs.profile` — wall-clock profiling (the one pillar that
   measures real seconds, not virtual microseconds): the
   :class:`EventLoopProfiler` instrumenting mode, the
@@ -68,6 +73,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merged_quantile,
 )
+from repro.obs.monitor import (
+    ChangePointRule,
+    CusumDetector,
+    HealthMonitor,
+    MonitorConfig,
+    PageHinkleyDetector,
+    default_rules,
+    monitor_fingerprint,
+    parse_rule,
+    prometheus_text,
+)
 from repro.obs.timeseries import DEFAULT_WINDOW_US, WindowedRecorder
 from repro.obs.tracing import Span, Tracer, spans_from_chrome_trace
 
@@ -86,13 +102,18 @@ __all__ = [
     "BenchModeMismatch",
     "BenchResult",
     "BenchSchemaError",
+    "ChangePointRule",
     "Counter",
+    "CusumDetector",
     "EventLoopProfiler",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "ManifestBuilder",
     "MetricSpec",
     "MetricsRegistry",
+    "MonitorConfig",
+    "PageHinkleyDetector",
     "PROFILE_MODES",
     "PROFILE_SCHEMA",
     "RunManifest",
@@ -105,9 +126,13 @@ __all__ = [
     "compare_metrics",
     "compare_results",
     "config_hash",
+    "default_rules",
     "git_sha",
     "merged_quantile",
+    "monitor_fingerprint",
     "parse_collapsed",
+    "parse_rule",
+    "prometheus_text",
     "peak_py_alloc_kb",
     "profile_fingerprint",
     "profile_workload",

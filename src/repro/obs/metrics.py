@@ -353,6 +353,11 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._instruments)
 
+    def instruments(self) -> list[tuple[str, "Counter | Gauge | Histogram"]]:
+        """Sorted ``(name, instrument)`` pairs — typed namespace walk
+        for the Prometheus exporter and ``repro metrics ls``."""
+        return sorted(self._instruments.items())
+
     def snapshot(self) -> dict[str, float]:
         """Flat name → value mapping over every instrument."""
         out: dict[str, float] = {}

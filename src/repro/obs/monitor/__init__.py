@@ -1,0 +1,61 @@
+"""Online health monitoring over the windowed telemetry streams.
+
+See docs/MONITORING.md for the alert rule grammar, burn-rate window
+maths, detector derivations, and export schemas.
+"""
+
+from repro.obs.monitor.burnrate import (
+    BurnRateAlarm,
+    BurnRateRule,
+    TailBurnSource,
+    TenantBurnSource,
+)
+from repro.obs.monitor.detectors import (
+    Alarm,
+    CusumDetector,
+    PageHinkleyDetector,
+    make_detector,
+)
+from repro.obs.monitor.export import (
+    TtyStatusView,
+    metric_kind,
+    prometheus_name,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.monitor.monitor import (
+    SCHEMA,
+    Alert,
+    HealthMonitor,
+    MonitorConfig,
+    monitor_fingerprint,
+)
+from repro.obs.monitor.rules import (
+    ChangePointRule,
+    default_rules,
+    parse_rule,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Alarm",
+    "Alert",
+    "BurnRateAlarm",
+    "BurnRateRule",
+    "ChangePointRule",
+    "CusumDetector",
+    "HealthMonitor",
+    "MonitorConfig",
+    "PageHinkleyDetector",
+    "TailBurnSource",
+    "TenantBurnSource",
+    "TtyStatusView",
+    "default_rules",
+    "make_detector",
+    "metric_kind",
+    "monitor_fingerprint",
+    "parse_rule",
+    "prometheus_name",
+    "prometheus_text",
+    "write_prometheus",
+]

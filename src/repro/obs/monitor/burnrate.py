@@ -1,0 +1,238 @@
+"""Multi-window SLO burn-rate alerting.
+
+An error budget of ``1 - target`` (e.g. 0.1% for a 99.9% SLO) burns at
+rate 1.0 when the bad-event fraction exactly equals the budget.  A
+burn-rate alert fires when the budget is burning *fast* — the
+Google-SRE multi-window form requires **both** a fast window (quick
+reaction, noisy alone) and a slow window (evidence the burn is
+sustained) to exceed the threshold simultaneously, which kills the
+single-window flappiness without giving up reaction time.
+
+Two bad/total sources feed the same rule machinery:
+
+* **request-level** (serve runs) — per tenant, bad =
+  ``serve.tenant.<t>.slo_violations + .rejections``, total =
+  ``.completions + .rejections``.  A rejected request is a burned
+  request: the tenant asked and was refused.
+* **window-level tail** (plain sim runs) — a window is bad when its
+  ``sim.response_us`` cell ``max`` exceeds the SLO bound; total is
+  every window with traffic.  This is the tail-breach fraction at
+  window granularity.
+
+Alerts are rising-edge only: a rule fires when the pair condition
+becomes true and cannot fire again until it has been false (simple
+hysteresis; a sustained overload yields one alert, not one per
+window).  All arithmetic is plain float over deterministic window
+sums, so the alert sequence is a pure function of the run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs.timeseries import WindowedRecorder
+
+#: Stock fast/slow window pairs (in windows) with burn thresholds,
+#: after the SRE-workbook 5m/1h + 30m/6h ladder scaled to window
+#: counts.  (pair_name, fast, slow, threshold)
+DEFAULT_PAIRS = (
+    ("fast", 6, 72, 14.4),
+    ("slow", 30, 360, 6.0),
+)
+
+#: Ignore windows until the slow window has at least this many events —
+#: a burn fraction over three requests is noise, not a page.
+DEFAULT_MIN_TOTAL = 20.0
+
+
+@dataclass(frozen=True)
+class BurnRateAlarm:
+    """Evidence for one burn-rate firing."""
+
+    pair: str
+    fast_windows: int
+    slow_windows: int
+    threshold: float
+    fast_burn: float
+    slow_burn: float
+    fast_bad: float
+    fast_total: float
+    slow_bad: float
+    slow_total: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pair": self.pair,
+            "fast_windows": self.fast_windows,
+            "slow_windows": self.slow_windows,
+            "threshold": self.threshold,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "fast_bad": self.fast_bad,
+            "fast_total": self.fast_total,
+            "slow_bad": self.slow_bad,
+            "slow_total": self.slow_total,
+        }
+
+
+class _PairState:
+    """Rolling bad/total sums for one fast/slow pair + hysteresis."""
+
+    def __init__(self, name: str, fast: int, slow: int, threshold: float):
+        if not 0 < fast < slow:
+            raise ConfigurationError(
+                f"burn pair {name!r}: need 0 < fast < slow, "
+                f"got {fast}/{slow}"
+            )
+        if not threshold > 0:
+            raise ConfigurationError(
+                f"burn pair {name!r}: threshold must be > 0, got {threshold}"
+            )
+        self.name = name
+        self.fast = fast
+        self.slow = slow
+        self.threshold = threshold
+        self._window: deque[tuple[float, float]] = deque(maxlen=slow)
+        self._active = False
+
+    def update(
+        self, bad: float, total: float, budget: float, min_total: float
+    ) -> BurnRateAlarm | None:
+        self._window.append((bad, total))
+        rows = list(self._window)
+        slow_bad = sum(b for b, _ in rows)
+        slow_total = sum(t for _, t in rows)
+        fast_rows = rows[-self.fast :]
+        fast_bad = sum(b for b, _ in fast_rows)
+        fast_total = sum(t for _, t in fast_rows)
+        if slow_total < min_total or fast_total <= 0:
+            self._active = False
+            return None
+        fast_burn = (fast_bad / fast_total) / budget
+        slow_burn = (slow_bad / slow_total) / budget
+        firing = fast_burn > self.threshold and slow_burn > self.threshold
+        if not firing:
+            self._active = False
+            return None
+        if self._active:
+            return None
+        self._active = True
+        return BurnRateAlarm(
+            pair=self.name,
+            fast_windows=self.fast,
+            slow_windows=self.slow,
+            threshold=self.threshold,
+            fast_burn=fast_burn,
+            slow_burn=slow_burn,
+            fast_bad=fast_bad,
+            fast_total=fast_total,
+            slow_bad=slow_bad,
+            slow_total=slow_total,
+        )
+
+
+class BurnRateRule:
+    """Multi-window burn-rate tracker for one bad/total stream.
+
+    Parameters
+    ----------
+    name:
+        Rule identity in alerts (e.g. ``burn.t0`` for tenant t0).
+    slo_target:
+        The availability/latency objective in (0, 1); the error budget
+        is ``1 - slo_target``.
+    pairs:
+        ``(pair_name, fast_windows, slow_windows, threshold)`` tuples.
+    min_total:
+        Events required in the slow window before burn is meaningful.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        slo_target: float = 0.999,
+        pairs: tuple[tuple[str, int, int, float], ...] = DEFAULT_PAIRS,
+        min_total: float = DEFAULT_MIN_TOTAL,
+    ):
+        if not 0.0 < slo_target < 1.0:
+            raise ConfigurationError(
+                f"slo_target must be in (0, 1), got {slo_target}"
+            )
+        self.name = name
+        self.slo_target = slo_target
+        self.budget = 1.0 - slo_target
+        self.min_total = min_total
+        self._pairs = [_PairState(*pair) for pair in pairs]
+
+    def update(self, bad: float, total: float) -> list[BurnRateAlarm]:
+        """Feed one closed window's bad/total; alarms for firing pairs."""
+        alarms = []
+        for pair in self._pairs:
+            alarm = pair.update(bad, total, self.budget, self.min_total)
+            if alarm is not None:
+                alarms.append(alarm)
+        return alarms
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "slo_target": self.slo_target,
+            "min_total": self.min_total,
+            "pairs": [
+                {
+                    "pair": p.name,
+                    "fast_windows": p.fast,
+                    "slow_windows": p.slow,
+                    "threshold": p.threshold,
+                }
+                for p in self._pairs
+            ],
+        }
+
+
+def _window_sum(recorder: WindowedRecorder, series: str, index: int) -> float:
+    cell = recorder.cell(series, index)
+    return cell.sum if cell is not None else 0.0
+
+
+class TenantBurnSource:
+    """Request-level bad/total from the ``serve.tenant.<t>.*`` series."""
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        prefix = f"serve.tenant.{tenant}"
+        self._violations = f"{prefix}.slo_violations"
+        self._rejections = f"{prefix}.rejections"
+        self._completions = f"{prefix}.completions"
+
+    def bad_total(
+        self, recorder: WindowedRecorder, index: int
+    ) -> tuple[float, float]:
+        rejected = _window_sum(recorder, self._rejections, index)
+        bad = _window_sum(recorder, self._violations, index) + rejected
+        total = _window_sum(recorder, self._completions, index) + rejected
+        return bad, total
+
+
+class TailBurnSource:
+    """Window-level tail breach over ``sim.response_us`` for plain sims.
+
+    A window with traffic counts 1 toward total; it counts 1 toward bad
+    when its slowest response exceeded the SLO bound.
+    """
+
+    def __init__(self, slo_us: float):
+        if not slo_us > 0:
+            raise ConfigurationError(f"slo_us must be > 0, got {slo_us}")
+        self.slo_us = slo_us
+
+    def bad_total(
+        self, recorder: WindowedRecorder, index: int
+    ) -> tuple[float, float]:
+        cell = recorder.cell("sim.response_us", index)
+        if cell is None or cell.n == 0:
+            return 0.0, 0.0
+        return (1.0 if cell.max > self.slo_us else 0.0), 1.0

@@ -1,0 +1,283 @@
+"""Online change-point detectors with pinned deterministic math.
+
+The FlexLevel premise is that the wear-drift signals — BER, sensing
+rounds, read latency — *move* as P/E cycles and retention age
+accumulate (PAPER.md §3).  These detectors watch one windowed scalar
+signal each and raise exactly when the signal's level shifts away from
+its calibrated reference, using two classical sequential tests:
+
+* :class:`CusumDetector` — one-sided (upward) cumulative sum.  Each
+  standardized deviation above the reference mean, less an allowance
+  ``k``, accumulates into a score ``S = max(0, S + z - k)``; an alarm
+  fires when ``S`` exceeds the threshold ``h``.  CUSUM is the
+  fastest-reacting test for a sustained mean shift of known scale.
+* :class:`PageHinkleyDetector` — the Page–Hinkley test.  The running
+  sum ``m_t = Σ (z_i - δ)`` is compared against its historical
+  minimum; an alarm fires when ``m_t - min(m_t)`` exceeds ``λ``.
+  Page–Hinkley tolerates slow wander better and reacts to ramps.
+
+Both standardize the signal against a reference mean/σ estimated from
+the first ``warmup`` observations (Welford's algorithm — pure float
+arithmetic, no RNG), so thresholds are in σ units and one parameter
+set serves signals of any magnitude.  A σ floor keeps flat-at-zero
+series (uncorrectable reads, retirements on a healthy drive) razor
+sharp: the first nonzero observation standardizes to a huge deviation
+and fires within ``ceil(h/z)`` windows.
+
+After an alarm the detector *re-arms*: the score resets and the
+reference recalibrates over the next ``warmup`` observations at the
+new level, so a persistent step (degraded mode latching on) produces
+one alarm, not one per window.  Everything here is a pure function of
+the observation sequence — same windows in, same alarms out, on any
+machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Relative + absolute floor under the reference σ.  Keeps z-scores
+#: finite on constant warmup stretches while leaving genuinely noisy
+#: signals untouched.
+SIGMA_REL_FLOOR = 0.05
+SIGMA_ABS_FLOOR = 1e-9
+
+#: Registry of detector names for the rule grammar.
+DETECTOR_KINDS = ("cusum", "page_hinkley")
+
+#: Winsorization bound on standardized deviations.  An all-zero
+#: warmup stretch gives a near-zero σ, so the first nonzero window
+#: standardizes to an astronomic z; capping it means a *single* freak
+#: window can never clear the threshold alone — the shift must be
+#: sustained for at least ``ceil(h / (z_cap - k))`` windows.
+DEFAULT_Z_CAP = 8.0
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One detector firing: the evidence behind an alert."""
+
+    kind: str
+    observation: float
+    score: float
+    threshold: float
+    reference_mean: float
+    reference_sigma: float
+    n_observations: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "observation": self.observation,
+            "score": self.score,
+            "threshold": self.threshold,
+            "reference_mean": self.reference_mean,
+            "reference_sigma": self.reference_sigma,
+            "n_observations": self.n_observations,
+        }
+
+
+class _Reference:
+    """Welford-calibrated reference mean/σ over a warmup stretch."""
+
+    __slots__ = ("warmup", "n", "mean", "_m2")
+
+    def __init__(self, warmup: int):
+        if warmup < 2:
+            raise ConfigurationError(f"detector warmup below 2: {warmup}")
+        self.warmup = warmup
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        return self.n >= self.warmup
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+
+    def sigma(self) -> float:
+        if self.n < 2:
+            return SIGMA_ABS_FLOOR
+        sigma = math.sqrt(self._m2 / (self.n - 1))
+        floor = max(SIGMA_REL_FLOOR * abs(self.mean), SIGMA_ABS_FLOOR)
+        return max(sigma, floor)
+
+    def reset(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+
+class _DetectorBase:
+    """Shared calibrate → score → alarm → re-arm lifecycle."""
+
+    kind = "base"
+
+    def __init__(
+        self, threshold: float, warmup: int, z_cap: float = DEFAULT_Z_CAP
+    ):
+        if not threshold > 0:
+            raise ConfigurationError(
+                f"{self.kind} threshold must be > 0, got {threshold}"
+            )
+        if not z_cap > 0:
+            raise ConfigurationError(
+                f"{self.kind} z_cap must be > 0, got {z_cap}"
+            )
+        self.threshold = threshold
+        self.z_cap = z_cap
+        self.reference = _Reference(warmup)
+        self.n_observations = 0
+        self.n_alarms = 0
+
+    def update(self, value: float) -> Alarm | None:
+        """Feed one windowed observation; an Alarm when the test fires."""
+        self.n_observations += 1
+        if not self.reference.calibrated:
+            self.reference.observe(value)
+            self._reset_score()
+            return None
+        z = (value - self.reference.mean) / self.reference.sigma()
+        score = self._step(min(z, self.z_cap))
+        if score <= self.threshold:
+            return None
+        alarm = Alarm(
+            kind=self.kind,
+            observation=value,
+            score=score,
+            threshold=self.threshold,
+            reference_mean=self.reference.mean,
+            reference_sigma=self.reference.sigma(),
+            n_observations=self.n_observations,
+        )
+        self.n_alarms += 1
+        # Re-arm: recalibrate at the post-shift level so a persistent
+        # step raises once, not every window.
+        self.reference.reset()
+        self._reset_score()
+        return alarm
+
+    def score(self) -> float:
+        raise NotImplementedError
+
+    def _step(self, z: float) -> float:
+        raise NotImplementedError
+
+    def _reset_score(self) -> None:
+        raise NotImplementedError
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "score": self.score(),
+            "threshold": self.threshold,
+            "calibrated": self.reference.calibrated,
+            "reference_mean": self.reference.mean,
+            "n_observations": self.n_observations,
+            "n_alarms": self.n_alarms,
+        }
+
+
+class CusumDetector(_DetectorBase):
+    """One-sided (upward) CUSUM on standardized deviations.
+
+    Parameters
+    ----------
+    k:
+        Allowance (slack) in σ units — deviations below ``k`` never
+        accumulate.  The classical tuning detects a shift of ``2k``σ
+        fastest; the default 0.5 targets 1σ shifts.
+    h:
+        Decision threshold in σ units (alarm when the score passes it).
+    warmup:
+        Reference-calibration observations before scoring starts.
+    """
+
+    kind = "cusum"
+
+    def __init__(
+        self,
+        k: float = 0.5,
+        h: float = 8.0,
+        warmup: int = 8,
+        z_cap: float = DEFAULT_Z_CAP,
+    ):
+        if k < 0:
+            raise ConfigurationError(f"cusum allowance below 0: {k}")
+        super().__init__(threshold=h, warmup=warmup, z_cap=z_cap)
+        self.k = k
+        self._score = 0.0
+
+    def score(self) -> float:
+        return self._score
+
+    def _step(self, z: float) -> float:
+        self._score = max(0.0, self._score + z - self.k)
+        return self._score
+
+    def _reset_score(self) -> None:
+        self._score = 0.0
+
+
+class PageHinkleyDetector(_DetectorBase):
+    """Page–Hinkley test (upward) on standardized deviations.
+
+    Parameters
+    ----------
+    delta:
+        Tolerated per-observation magnitude in σ units; drift smaller
+        than ``delta`` per window never triggers.
+    lam:
+        Decision threshold λ in σ units on ``m_t - min(m_t)``.
+    warmup:
+        Reference-calibration observations before scoring starts.
+    """
+
+    kind = "page_hinkley"
+
+    def __init__(
+        self,
+        delta: float = 0.25,
+        lam: float = 12.0,
+        warmup: int = 8,
+        z_cap: float = DEFAULT_Z_CAP,
+    ):
+        if delta < 0:
+            raise ConfigurationError(f"page_hinkley delta below 0: {delta}")
+        super().__init__(threshold=lam, warmup=warmup, z_cap=z_cap)
+        self.delta = delta
+        self._m = 0.0
+        self._m_min = 0.0
+
+    def score(self) -> float:
+        return self._m - self._m_min
+
+    def _step(self, z: float) -> float:
+        self._m += z - self.delta
+        if self._m < self._m_min:
+            self._m_min = self._m
+        return self._m - self._m_min
+
+    def _reset_score(self) -> None:
+        self._m = 0.0
+        self._m_min = 0.0
+
+
+def make_detector(kind: str, **params: float) -> _DetectorBase:
+    """Build a detector by rule-grammar name (``cusum``/``page_hinkley``)."""
+    if kind == "cusum":
+        return CusumDetector(**params)
+    if kind == "page_hinkley":
+        return PageHinkleyDetector(**params)
+    raise ConfigurationError(
+        f"unknown detector {kind!r}; choose from {DETECTOR_KINDS}"
+    )

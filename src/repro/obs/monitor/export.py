@@ -1,0 +1,125 @@
+"""Standard-format telemetry export: Prometheus text + TTY status.
+
+``prometheus_text`` renders a :class:`MetricsRegistry` snapshot in the
+Prometheus text exposition format (version 0.0.4) so the artifact can
+be diffed against — or scraped into — any standard toolchain:
+
+* :class:`~repro.obs.metrics.Counter` → ``TYPE counter``
+* :class:`~repro.obs.metrics.Gauge` → ``TYPE gauge``
+* :class:`~repro.obs.metrics.Histogram` → ``TYPE summary`` with
+  ``{quantile="0.5|0.95|0.99|0.999"}`` sample lines plus ``_sum`` /
+  ``_count`` (the log-bucket histogram streams quantiles, which maps
+  onto a Prometheus summary, not a cumulative-bucket histogram).
+
+Dotted repro names become legal Prometheus names by prefixing
+``repro_`` and mapping ``.`` → ``_`` (``sim.read.retry_rounds`` →
+``repro_sim_read_retry_rounds``); the original dotted name is kept as
+a ``# HELP`` line so the mapping is reversible by eye.  Output is
+sorted and contains no timestamps: fixed seed/config ⇒ byte-identical
+snapshot.
+
+:class:`TtyStatusView` is the live view for interactive runs — a
+single status line redrawn per closed window (carriage return, no
+scrollback spam) with a plain line per alert as it fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TextIO
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Quantiles exported on summary metrics, with their snapshot keys.
+SUMMARY_QUANTILES = (
+    ("0.5", 50.0),
+    ("0.95", 95.0),
+    ("0.99", 99.0),
+    ("0.999", 99.9),
+)
+
+
+def prometheus_name(dotted: str) -> str:
+    """``sim.read.retry_rounds`` → ``repro_sim_read_retry_rounds``."""
+    return "repro_" + dotted.replace(".", "_")
+
+
+def _format_value(value: float) -> str:
+    # repr() keeps full float precision (determinism requires the
+    # exact same string on every machine); integers render bare.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry as a Prometheus text-exposition (0.0.4) snapshot."""
+    lines: list[str] = []
+    for dotted, instrument in registry.instruments():
+        name = prometheus_name(dotted)
+        lines.append(f"# HELP {name} repro metric {dotted}")
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {name} summary")
+            for label, q in SUMMARY_QUANTILES:
+                value = instrument.quantile(q)
+                lines.append(
+                    f'{name}{{quantile="{label}"}} {_format_value(value)}'
+                )
+            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count {_format_value(float(instrument.count))}")
+        else:  # pragma: no cover - registry enforces the three kinds
+            continue
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: Any) -> None:
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(registry))
+
+
+def metric_kind(instrument: Counter | Gauge | Histogram) -> str:
+    """The instrument's type name for ``repro metrics ls``."""
+    if isinstance(instrument, Counter):
+        return "counter"
+    if isinstance(instrument, Gauge):
+        return "gauge"
+    return "histogram"
+
+
+class TtyStatusView:
+    """One redrawn status line per closed window, plus alert lines.
+
+    The monitor calls the view as an observer after every window.
+    Wall-clock free: everything shown is virtual time, so the view is
+    just a projection of the deterministic monitor state.
+    """
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self._alerts_shown = 0
+
+    def __call__(self, monitor: Any) -> None:
+        for alert in monitor.alerts[self._alerts_shown :]:
+            self.stream.write("\r\x1b[K")
+            self.stream.write(
+                f"[alert #{alert.seq}] window {alert.window} "
+                f"t={alert.start_us / 1000.0:.1f}ms {alert.kind} "
+                f"{alert.rule} severity={alert.severity}\n"
+            )
+        self._alerts_shown = len(monitor.alerts)
+        index, start_us, _ = monitor.last_window
+        self.stream.write(
+            f"\r\x1b[Kwindow {index} t={start_us / 1000.0:.1f}ms "
+            f"alerts={monitor.n_alerts}"
+        )
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """End the status line so later output starts on a fresh row."""
+        self.stream.write("\n")
+        self.stream.flush()

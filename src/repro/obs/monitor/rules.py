@@ -1,0 +1,281 @@
+"""Change-point alert rules: which series, which signal, which detector.
+
+A rule binds three things:
+
+* a **series selector** over the :class:`WindowedRecorder` namespace —
+  one dotted name (``sim.read.retry_rounds``), a ``+``-joined union
+  whose per-window values are summed (``ftl.scrub.refreshed_pages+
+  ftl.bbt.retired``), or a ``*`` glob expanded against the recorder's
+  sorted series list (``sim.channel.*.gc_us``);
+* a **signal** reducing each window's :class:`WindowCell` to one
+  scalar: ``sum`` | ``mean`` | ``max`` | ``min`` | ``last`` |
+  ``count`` | ``rate`` (sum per simulated second);
+* a **detector** from :mod:`repro.obs.monitor.detectors` with its
+  parameters.
+
+The compact string grammar (CLI ``--rule``, documented in
+docs/MONITORING.md)::
+
+    name = detector(series, signal [, key=value ...])
+
+e.g. ``retry_rate=cusum(sim.read.retry_rounds,rate,k=0.5,h=8)``.
+Unpopulated windows reduce to 0.0 — absence of arrivals/retries is
+itself a signal (a stall looks like a drop, a burst like a step).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs.monitor.detectors import (
+    DETECTOR_KINDS,
+    Alarm,
+    make_detector,
+)
+from repro.obs.timeseries import WindowCell, WindowedRecorder
+
+SIGNALS = ("sum", "mean", "max", "min", "last", "count", "rate")
+
+_RULE_RE = re.compile(
+    r"^(?P<name>[a-z0-9_]+)=(?P<kind>[a-z_]+)\((?P<body>[^)]*)\)$"
+)
+
+
+def _reduce(cell: WindowCell | None, signal: str, window_us: float) -> float:
+    """One window cell → one scalar; unpopulated windows read as 0."""
+    if cell is None or cell.n == 0:
+        return 0.0
+    if signal == "sum":
+        return cell.sum
+    if signal == "mean":
+        return cell.mean()
+    if signal == "max":
+        return cell.max
+    if signal == "min":
+        return cell.min
+    if signal == "last":
+        return cell.last
+    if signal == "count":
+        return float(cell.n)
+    if signal == "rate":
+        return cell.sum / (window_us / 1e6)
+    raise ConfigurationError(
+        f"unknown signal {signal!r}; choose from {SIGNALS}"
+    )
+
+
+@dataclass
+class ChangePointRule:
+    """One detector instance bound to a series selector and signal.
+
+    ``detector_params`` is kept verbatim so the rule serialises into
+    the artifact exactly as configured (reproducibility of the alert
+    stream includes reproducibility of the rules that produced it).
+    """
+
+    name: str
+    series: str
+    signal: str
+    detector_kind: str
+    detector_params: dict[str, float] = field(default_factory=dict)
+    #: What an unpopulated window means: ``"zero"`` feeds 0.0 (counter
+    #: semantics — no events happened), ``"skip"`` feeds nothing
+    #: (gauge semantics — nothing was measured; latency windows with
+    #: no traffic would otherwise poison the reference with zeros and
+    #: make any traffic look like a shift).
+    empty: str = "zero"
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[a-z0-9_]+", self.name):
+            raise ConfigurationError(
+                f"rule name {self.name!r} must match [a-z0-9_]+"
+            )
+        if self.signal not in SIGNALS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown signal {self.signal!r}; "
+                f"choose from {SIGNALS}"
+            )
+        if self.empty not in ("zero", "skip"):
+            raise ConfigurationError(
+                f"rule {self.name!r}: empty policy {self.empty!r} "
+                "must be 'zero' or 'skip'"
+            )
+        if self.detector_kind not in DETECTOR_KINDS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown detector "
+                f"{self.detector_kind!r}; choose from {DETECTOR_KINDS}"
+            )
+        self._detector = make_detector(
+            self.detector_kind, **self.detector_params
+        )
+        self._terms = [t.strip() for t in self.series.split("+")]
+        if not all(self._terms):
+            raise ConfigurationError(
+                f"rule {self.name!r}: empty term in series {self.series!r}"
+            )
+        # Glob patterns expand lazily against the live recorder because
+        # series appear as the run discovers them (per-channel names).
+        self._resolved: list[str] | None = (
+            None if any("*" in t for t in self._terms) else list(self._terms)
+        )
+
+    def _expand(self, recorder: WindowedRecorder) -> list[str]:
+        if self._resolved is not None and not any(
+            "*" in t for t in self._terms
+        ):
+            return self._resolved
+        names = recorder.series_names()
+        out: list[str] = []
+        for term in self._terms:
+            if "*" in term:
+                out.extend(n for n in names if fnmatchcase(n, term))
+            else:
+                out.append(term)
+        return out
+
+    def value(self, recorder: WindowedRecorder, index: int) -> float:
+        """The rule's scalar for one closed window (selector-summed)."""
+        return sum(
+            _reduce(recorder.cell(name, index), self.signal, recorder.window_us)
+            for name in self._expand(recorder)
+        )
+
+    def observe(self, recorder: WindowedRecorder, index: int) -> Alarm | None:
+        """Feed the closed window into the detector."""
+        if self.empty == "skip" and not any(
+            (cell := recorder.cell(name, index)) is not None and cell.n
+            for name in self._expand(recorder)
+        ):
+            return None
+        return self._detector.update(self.value(recorder, index))
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "series": self.series,
+            "signal": self.signal,
+            **self._detector.state(),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "series": self.series,
+            "signal": self.signal,
+            "detector": self.detector_kind,
+            "params": dict(sorted(self.detector_params.items())),
+            "empty": self.empty,
+        }
+
+
+def parse_rule(spec: str) -> ChangePointRule:
+    """Parse ``name=detector(series,signal[,key=value...])``.
+
+    >>> rule = parse_rule("retry=cusum(sim.read.retry_rounds,rate,h=6)")
+    >>> (rule.name, rule.detector_kind, rule.detector_params["h"])
+    ('retry', 'cusum', 6.0)
+    """
+    match = _RULE_RE.match(spec.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"malformed rule {spec!r}; expected "
+            "name=detector(series,signal[,key=value...])"
+        )
+    body = [part.strip() for part in match.group("body").split(",")]
+    if len(body) < 2:
+        raise ConfigurationError(
+            f"rule {spec!r} needs at least (series, signal)"
+        )
+    series, signal = body[0], body[1]
+    params: dict[str, float] = {}
+    empty = None
+    for part in body[2:]:
+        if "=" not in part:
+            raise ConfigurationError(
+                f"rule {spec!r}: malformed parameter {part!r} (want k=v)"
+            )
+        key, _, raw = part.partition("=")
+        key, raw = key.strip(), raw.strip()
+        if key == "empty":
+            empty = raw
+            continue
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"rule {spec!r}: non-numeric value for {key!r}: {raw!r}"
+            ) from exc
+        params[key] = int(value) if key == "warmup" else value
+    kwargs: dict[str, Any] = {}
+    if empty is not None:
+        kwargs["empty"] = empty
+    return ChangePointRule(
+        name=match.group("name"),
+        series=series,
+        signal=signal,
+        detector_kind=match.group("kind"),
+        detector_params=params,
+        **kwargs,
+    )
+
+
+def default_rules(warmup: int = 8) -> list[ChangePointRule]:
+    """The stock rule set: FlexLevel's wear-drift signals.
+
+    Each is a series the paper predicts moves with P/E wear and
+    retention age — latency level and tail, sensing-round (retry)
+    rate, uncorrectable reads, GC pressure, and the scrub/retire
+    activity that marks media giving out.
+    """
+
+    def cusum(name: str, series: str, signal: str, empty="zero", **kw: float):
+        kw.setdefault("warmup", warmup)
+        return ChangePointRule(name, series, signal, "cusum", kw, empty=empty)
+
+    def ph(name: str, series: str, signal: str, empty="zero", **kw: float):
+        kw.setdefault("warmup", warmup)
+        return ChangePointRule(
+            name, series, signal, "page_hinkley", kw, empty=empty
+        )
+
+    return [
+        cusum(
+            "latency_mean",
+            "sim.response_us",
+            "mean",
+            empty="skip",
+            k=1.0,
+            h=16.0,
+        ),
+        # Window max is the tail proxy available from WindowCell
+        # aggregates (see docs/MONITORING.md on p99 vs window-max).
+        cusum(
+            "latency_tail",
+            "sim.response_us",
+            "max",
+            empty="skip",
+            k=1.0,
+            h=16.0,
+        ),
+        cusum("retry_rate", "sim.read.retry_rounds", "rate", k=1.0, h=12.0),
+        cusum("uncorrectable", "sim.uncorrectable.reads", "sum", k=0.25, h=4.0),
+        ph("gc_busy", "sim.channel.*.gc_us", "sum", delta=0.5, lam=18.0),
+        ph(
+            "media_decay",
+            "ftl.scrub.refreshed_pages+ftl.bbt.retired",
+            "sum",
+            delta=0.25,
+            lam=12.0,
+        ),
+        cusum(
+            "degraded",
+            "sim.degraded.read_only",
+            "max",
+            empty="skip",
+            k=0.1,
+            h=2.0,
+        ),
+    ]

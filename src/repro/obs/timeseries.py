@@ -21,13 +21,24 @@ Everything is keyed by virtual time, so a fixed seed and config yield
 byte-identical exports — the determinism the `repro explain` artifact
 relies on.  Series names follow the dotted metric-namespace grammar of
 :mod:`repro.obs.metrics`.
+
+Window-close hooks: online consumers (the health monitor in
+:mod:`repro.obs.monitor`) register a callback with
+:meth:`WindowedRecorder.add_close_hook`; the engines drive
+:meth:`WindowedRecorder.advance` with the event loop's virtual "now"
+and every window whose right edge has been passed closes exactly once,
+in index order, gaps included.  The engines only ever record
+observations at times at or after the current event time, so a closed
+window is *final* — its cells can never change — which is what makes
+in-flight consumption deterministic.  :meth:`WindowedRecorder.flush`
+closes the trailing partial window at end of run.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import _check_name
@@ -81,6 +92,12 @@ class WindowedRecorder:
         self.window_us = float(window_us)
         self.origin_us = float(origin_us)
         self._series: dict[str, dict[int, WindowCell]] = {}
+        # Close-hook machinery: windows [0, _closed_through) have been
+        # closed (hooks fired); _max_seen_index tracks the rightmost
+        # populated window so flush() can close the final partial one.
+        self._close_hooks: list[Callable[[int, float, float], None]] = []
+        self._closed_through = 0
+        self._max_seen_index = -1
 
     def window_index(self, time_us: float) -> int:
         """The window an instant falls into (left-closed intervals)."""
@@ -96,6 +113,17 @@ class WindowedRecorder:
             _check_name(series)
             windows = self._series[series] = {}
         index = self.window_index(time_us)
+        if self._close_hooks and index < self._closed_through:
+            # Closed windows are final by contract: the engines never
+            # record at a time before the current event.  A late write
+            # means an engine bug that would silently corrupt online
+            # consumers, so fail loudly and deterministically.
+            raise ConfigurationError(
+                f"series {series!r}: observation at {time_us} lands in "
+                f"window {index}, already closed (< {self._closed_through})"
+            )
+        if index > self._max_seen_index:
+            self._max_seen_index = index
         cell = windows.get(index)
         if cell is None:
             cell = windows[index] = WindowCell()
@@ -109,7 +137,64 @@ class WindowedRecorder:
         """Record a gauge-like observation into its window."""
         self._cell(series, time_us).observe(value)
 
+    # --- window-close hooks -----------------------------------------------------
+
+    def add_close_hook(
+        self, hook: Callable[[int, float, float], None]
+    ) -> None:
+        """Register ``hook(index, start_us, end_us)`` for window closes.
+
+        Hooks fire from :meth:`advance` / :meth:`flush`, once per
+        window in strictly ascending index order, empty gap windows
+        included.  Attach hooks *before* the run: windows already
+        closed never re-fire.
+        """
+        self._close_hooks.append(hook)
+
+    @property
+    def closed_through(self) -> int:
+        """Exclusive upper bound of the closed window indices."""
+        return self._closed_through
+
+    def advance(self, now_us: float) -> None:
+        """Drive the virtual clock; close every window now has passed.
+
+        Engines call this with each event's time (monotonic).  Windows
+        strictly before the one containing ``now_us`` close — the
+        engines only record at times >= the current event time, so
+        those windows can no longer change.  A no-op without hooks.
+        """
+        if not self._close_hooks:
+            return
+        target = self.window_index(now_us)
+        if target > self._closed_through:
+            self._close_to(target)
+
+    def flush(self) -> None:
+        """Close every remaining populated window (end of run).
+
+        The final partial window — populated but never passed by
+        ``advance`` — closes here, so consumers see the complete
+        timeline.  Idempotent; a no-op without hooks.
+        """
+        if not self._close_hooks:
+            return
+        if self._max_seen_index + 1 > self._closed_through:
+            self._close_to(self._max_seen_index + 1)
+
+    def _close_to(self, target: int) -> None:
+        while self._closed_through < target:
+            index = self._closed_through
+            self._closed_through += 1
+            start_us = self.origin_us + index * self.window_us
+            for hook in self._close_hooks:
+                hook(index, start_us, start_us + self.window_us)
+
     # --- inspection -------------------------------------------------------------
+
+    def cell(self, series: str, index: int) -> WindowCell | None:
+        """One series' cell in one window (None when unpopulated)."""
+        return self._series.get(series, {}).get(index)
 
     def series_names(self) -> list[str]:
         return sorted(self._series)

@@ -45,6 +45,7 @@ from typing import Any
 from repro.baselines.systems import StorageSystem
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.monitor import HealthMonitor, MonitorConfig
 from repro.obs.timeseries import WindowedRecorder
 from repro.obs.tracing import Tracer
 from repro.serve.admission import TokenBucket
@@ -154,6 +155,9 @@ class QueuePairSource(RequestSource):
         if self.recorder is not None:
             name = stream.spec.name
             self.recorder.add(f"serve.tenant.{name}.completions", completion_us)
+            self.recorder.sample(
+                f"serve.tenant.{name}.response_us", completion_us, response_us
+            )
             if response_us > stream.spec.slo_us:
                 self.recorder.add(
                     f"serve.tenant.{name}.slo_violations", completion_us
@@ -168,6 +172,19 @@ class QueuePairSource(RequestSource):
     @property
     def emitted(self) -> int:
         return self._emitted
+
+    def advance_to(self, now_us: float) -> None:
+        """Flush submissions due by ``now_us`` into their SQs.
+
+        Draining is keyed purely on ``submit_us`` order, so doing it
+        eagerly here (before the engine closes telemetry windows)
+        instead of lazily at the next dispatch poll changes nothing —
+        every entry still enters its SQ stamped with the same
+        ``submit_us``, and dispatch decisions still happen at polls.
+        It guarantees window-close hooks never see a submission
+        arrive *behind* an already-closed window.
+        """
+        self._drain_submissions(now_us)
 
     # --- internals --------------------------------------------------------------
 
@@ -189,8 +206,16 @@ class QueuePairSource(RequestSource):
                 n_pages=req.n_pages,
                 is_write=req.is_write,
             )
-            self.pairs[tenant_id].sq.push(entry)
+            admitted = self.pairs[tenant_id].sq.push(entry)
             if self.recorder is not None:
+                if not admitted:
+                    # A rejected submission burns the tenant's error
+                    # budget exactly like an SLO violation — the burn
+                    # rules need it as a windowed series, not just an
+                    # end-of-run count.
+                    self.recorder.add(
+                        f"serve.tenant.{spec.name}.rejections", submit_us
+                    )
                 self.recorder.sample(
                     f"serve.tenant.{spec.name}.sq_depth",
                     submit_us,
@@ -282,6 +307,7 @@ class ServeResult:
     source: QueuePairSource
     sim: DesSimulationResult
     tracer: Tracer
+    monitor: HealthMonitor | None = None
 
     fleet_hist: Histogram = field(init=False)
 
@@ -383,7 +409,12 @@ class ServeEngine:
         admission_rate_per_s: float | None = None,
         registry: MetricsRegistry | None = None,
         recorder: WindowedRecorder | None = None,
+        monitor_config: MonitorConfig | None = None,
     ):
+        if monitor_config is not None and recorder is None:
+            raise ConfigurationError(
+                "online monitoring requires a windowed recorder"
+            )
         if window is None:
             window = 2 * n_channels
         self.system = system
@@ -395,6 +426,7 @@ class ServeEngine:
         self.admission_rate_per_s = admission_rate_per_s
         self.registry = registry
         self.recorder = recorder
+        self.monitor_config = monitor_config
         logical_pages = system.config.footprint_pages or _DEFAULT_LOGICAL_PAGES
         self.streams = spawn_streams(specs, seed, logical_pages)
 
@@ -409,6 +441,15 @@ class ServeEngine:
         # Retain every request so per-tenant blame tables are complete
         # (fractions then sum to exactly 1.0 per band, per tenant).
         tracer = Tracer(sample_every=1, keep_slowest=0)
+        monitor = None
+        if self.monitor_config is not None:
+            monitor = HealthMonitor(
+                self.recorder,
+                registry=self.registry,
+                tracer=tracer,
+                tenants=[spec.name for spec in self.specs],
+                config=self.monitor_config,
+            ).attach()
         engine = DesSimulationEngine(
             self.system,
             warmup_fraction=0.0,
@@ -428,6 +469,7 @@ class ServeEngine:
             source=source,
             sim=sim,
             tracer=tracer,
+            monitor=monitor,
         )
         if self.registry is not None:
             self._publish_metrics(result)

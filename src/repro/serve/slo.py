@@ -21,6 +21,7 @@ import json
 from typing import Any
 
 from repro.obs.attribution import CAUSES, AttributionReport
+from repro.obs.monitor import monitor_fingerprint
 from repro.obs.tracing import Span
 from repro.serve.server import ServeResult
 
@@ -62,7 +63,7 @@ def build_artifact(
                 include_requests=include_requests
             )
         tenants[spec.name] = summary
-    return {
+    artifact = {
         "schema": SCHEMA,
         "config": {
             "scheduler": result.scheduler,
@@ -75,6 +76,11 @@ def build_artifact(
         "fleet": result.fleet_summary(),
         "tenants": tenants,
     }
+    if result.monitor is not None:
+        body = result.monitor.to_dict()
+        body["fingerprint"] = monitor_fingerprint(body)
+        artifact["monitor"] = body
+    return artifact
 
 
 def dump_artifact(artifact: dict[str, Any]) -> str:
@@ -105,6 +111,16 @@ def render_markdown(artifact: dict[str, Any]) -> str:
         "|---|---|---|---|---|---|---|---|---|",
     ]
     for name, row in artifact["tenants"].items():
+        if not row["completed"]:
+            # 100% rejected under overload: there are no latency
+            # samples to report, but the tenant must still appear —
+            # zeroed latency columns would read as a healthy tenant.
+            lines.append(
+                f"| {name} | {row['workload']} | {row['rate_x']:g}x "
+                f"| 0 | {row['rejected']} "
+                f"| — | — | — | rejected-only |"
+            )
+            continue
         top = ""
         attribution = row.get("attribution")
         if attribution:
@@ -120,5 +136,15 @@ def render_markdown(artifact: dict[str, Any]) -> str:
             f"| {row['slo_violation_rate']:.1%} "
             f"| {row['p50_response_us']:.1f} | {row['p99_response_us']:.1f} "
             f"| {top} |"
+        )
+    alerts = artifact.get("monitor", {}).get("n_alerts")
+    if alerts is not None:
+        lines.extend(
+            [
+                "",
+                f"- monitor: {alerts} alert(s) over "
+                f"{artifact['monitor']['windows_closed']} windows "
+                f"(fingerprint `{artifact['monitor']['fingerprint']}`)",
+            ]
         )
     return "\n".join(lines) + "\n"

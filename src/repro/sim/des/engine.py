@@ -220,6 +220,15 @@ class DesSimulationEngine:
             event = heap.pop()
             if profiler is not None:
                 profiler.begin(_EVENT_KEYS[event.kind], iter_t0)
+            if recorder is not None:
+                # Virtual time is monotone over popped events, and no
+                # observation is ever recorded before the current event
+                # time — windows behind this event are final, so online
+                # consumers (the health monitor) may close them now.
+                # The source flushes its between-poll observations
+                # (queue-pair submissions stamped at submit time) first.
+                source.advance_to(event.time_us)
+                recorder.advance(event.time_us)
             if event.kind is EventKind.ARRIVAL:
                 index = event.request_index
                 if recorder is not None:
@@ -251,6 +260,9 @@ class DesSimulationEngine:
                         event.time_us,
                         float(self.system.ssd.read_only),
                     )
+                    recorder.sample(
+                        "sim.response_us", event.time_us, event.value_us
+                    )
                 done = pending.pop(event.request_index)
                 if event.request_index >= warmup_count:
                     result.record(done.record.is_write, event.value_us)
@@ -267,6 +279,8 @@ class DesSimulationEngine:
             if profiler is not None:
                 profiler.end()
         loop_s = perf_counter() - loop_t0
+        if recorder is not None:
+            recorder.flush()
 
         self._check_conservation(
             source.emitted, requests_completed, ops_dispatched, ops_completed, scheduler

@@ -90,6 +90,17 @@ class RequestSource:
     ) -> None:
         """One emitted request finished (default: ignore)."""
 
+    def advance_to(self, now_us: float) -> None:
+        """Virtual time reached ``now_us`` (default: ignore).
+
+        The engine calls this before closing telemetry windows behind
+        ``now_us``, so a source that records observations *between*
+        polls (e.g. queue-pair submission arrivals stamped at their
+        submit time) can flush everything due by ``now_us`` first.
+        The call must be behaviourally neutral — same decisions, same
+        timestamps — whether or not it ever happens.
+        """
+
     @property
     def emitted(self) -> int:
         """How many requests ``next_request`` has handed out so far."""

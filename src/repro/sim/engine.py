@@ -142,6 +142,12 @@ class SimulationEngine:
             if profiler is not None:
                 profiler.begin("event.request")
             arrival = record.timestamp_us
+            if recorder is not None:
+                # Records are processed in arrival order and every
+                # observation lands at or after the record's arrival,
+                # so windows behind this arrival are final — close
+                # them for online consumers (the health monitor).
+                recorder.advance(arrival)
             # Background work drains into the idle gap before this arrival.
             idle = max(0.0, arrival - device_free_at)
             drained = min(backlog_us, idle)
@@ -193,6 +199,9 @@ class SimulationEngine:
                     completion,
                     float(self.system.ssd.read_only),
                 )
+                recorder.sample(
+                    "sim.response_us", completion, completion - arrival
+                )
             if index >= warmup_count:
                 result.record(record.is_write, completion - record.timestamp_us)
                 if self.tracer is not None:
@@ -208,6 +217,8 @@ class SimulationEngine:
             if profiler is not None:
                 profiler.end()
         loop_s = perf_counter() - loop_t0
+        if recorder is not None:
+            recorder.flush()
         # One "event" per trace record: the single-queue loop has no
         # heap, so its iteration count is its event count.
         result.wall_loop_s = loop_s

@@ -84,6 +84,140 @@ class TestRecorderBasics:
         json.dumps(out)  # no inf/nan leaks into populated windows
 
 
+class TestCloseHooks:
+    def hooked(self, window_us=10.0, origin_us=0.0):
+        recorder = WindowedRecorder(window_us=window_us, origin_us=origin_us)
+        closed: list[tuple[int, float, float]] = []
+        recorder.add_close_hook(
+            lambda index, start, end: closed.append((index, start, end))
+        )
+        return recorder, closed
+
+    def test_advance_closes_strictly_before_now(self):
+        recorder, closed = self.hooked()
+        recorder.add("sim.x", 5.0)
+        recorder.advance(9.9)  # still inside window 0
+        assert closed == []
+        recorder.advance(10.0)  # window 0 is now behind us
+        assert closed == [(0, 0.0, 10.0)]
+        assert recorder.closed_through == 1
+
+    def test_empty_gap_windows_fire_in_order(self):
+        recorder, closed = self.hooked()
+        recorder.add("sim.x", 5.0)
+        recorder.add("sim.x", 35.0)  # windows 1-2 never populated
+        recorder.advance(35.0)
+        assert [index for index, _, _ in closed] == [0, 1, 2]
+        assert recorder.cell("sim.x", 1) is None
+
+    def test_flush_closes_final_partial_window(self):
+        recorder, closed = self.hooked()
+        recorder.add("sim.x", 5.0)
+        recorder.advance(25.0)  # closes 0 and 1; window 2 still open
+        recorder.add("sim.x", 25.0)
+        recorder.flush()
+        assert [index for index, _, _ in closed] == [0, 1, 2]
+        recorder.flush()  # idempotent
+        assert len(closed) == 3
+
+    def test_flush_without_observations_is_a_noop(self):
+        recorder, closed = self.hooked()
+        recorder.flush()
+        assert closed == []
+        assert recorder.closed_through == 0
+
+    def test_late_write_into_closed_window_fails_loudly(self):
+        recorder, _ = self.hooked()
+        recorder.add("sim.x", 25.0)
+        recorder.advance(25.0)
+        with pytest.raises(ConfigurationError):
+            recorder.add("sim.x", 5.0)
+        # Without hooks there are no online consumers, so the legacy
+        # out-of-order tolerance stands.
+        bare = WindowedRecorder(window_us=10.0)
+        bare.add("sim.x", 25.0)
+        bare.advance(25.0)
+        bare.add("sim.x", 5.0)
+
+    def test_origin_offsets_hook_edges(self):
+        recorder, closed = self.hooked(window_us=100.0, origin_us=50.0)
+        recorder.add("sim.x", 60.0)
+        recorder.advance(260.0)
+        assert closed == [(0, 50.0, 150.0), (1, 150.0, 250.0)]
+
+    def test_hooks_attached_late_miss_closed_windows(self):
+        recorder, closed = self.hooked()
+        recorder.add("sim.x", 5.0)
+        recorder.advance(20.0)
+        late: list[int] = []
+        recorder.add_close_hook(lambda index, start, end: late.append(index))
+        recorder.add("sim.x", 25.0)
+        recorder.flush()
+        assert [index for index, _, _ in closed] == [0, 1, 2]
+        assert late == [2]
+
+    def test_cross_engine_close_sequences_are_deterministic(
+        self, shared_policy
+    ):
+        from repro.obs import MetricsRegistry
+        from repro.sim import SimulationEngine
+
+        def run_queue():
+            system = tiny_system("flexlevel", shared_policy)
+            recorder = WindowedRecorder(window_us=500.0)
+            closed: list[tuple[int, float, float]] = []
+            recorder.add_close_hook(
+                lambda index, start, end: closed.append((index, start, end))
+            )
+            engine = SimulationEngine(
+                system,
+                warmup_fraction=0.1,
+                n_channels=1,
+                registry=MetricsRegistry(),
+                recorder=recorder,
+            )
+            engine.run(mixed_trace(300), "t")
+            return closed
+
+        def run_des_hooked():
+            closed: list[tuple[int, float, float]] = []
+
+            def attach(recorder):
+                recorder.add_close_hook(
+                    lambda index, start, end: closed.append(
+                        (index, start, end)
+                    )
+                )
+
+            _run_des_with_hook(shared_policy, attach)
+            return closed
+
+        for runner in (run_queue, run_des_hooked):
+            first, second = runner(), runner()
+            assert first == second
+            indices = [index for index, _, _ in first]
+            # Contiguous from 0: no window skipped, none repeated.
+            assert indices == list(range(len(indices)))
+            assert indices  # the run closed at least one window
+
+
+def _run_des_with_hook(shared_policy, attach, n=300):
+    from repro.sim import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
+
+    system = tiny_system("flexlevel", shared_policy)
+    recorder = WindowedRecorder(window_us=500.0)
+    attach(recorder)
+    engine = DesSimulationEngine(
+        system,
+        warmup_fraction=0.1,
+        n_channels=4,
+        retry_model=ReadRetryModel(ReadRetryConfig(seed=11)),
+        recorder=recorder,
+    )
+    engine.run(mixed_trace(n), "t")
+    return recorder
+
+
 def run_des(shared_policy, n=300):
     from repro.sim import DesSimulationEngine, ReadRetryConfig, ReadRetryModel
 

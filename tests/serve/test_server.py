@@ -124,6 +124,118 @@ class TestSloAttribution:
         assert "| t1 |" in markdown
 
 
+class TestMarkdownEdgeCases:
+    def test_zero_completed_tenant_renders_rejected_only_row(self):
+        artifact = {
+            "schema": "repro.serve/1",
+            "config": {
+                "system": "flexlevel",
+                "scheduler": "fifo",
+                "seed": 1,
+                "window": 8,
+                "n_channels": 4,
+            },
+            "fleet": {
+                "n_tenants": 2,
+                "completed": 60,
+                "rejected": 60,
+                "slo_violations": 0,
+                "slo_violation_rate": 0.0,
+                "p50_response_us": 200.0,
+                "p95_response_us": 400.0,
+                "p99_response_us": 500.0,
+            },
+            "tenants": {
+                "t0": {
+                    "workload": "fin-2",
+                    "rate_x": 1.0,
+                    "completed": 60,
+                    "rejected": 0,
+                    "slo_violation_rate": 0.0,
+                    "p50_response_us": 200.0,
+                    "p99_response_us": 500.0,
+                },
+                "t1": {
+                    "workload": "fin-2",
+                    "rate_x": 500.0,
+                    "completed": 0,
+                    "rejected": 60,
+                },
+            },
+        }
+        markdown = render_markdown(artifact)
+        assert "| t1 | fin-2 | 500x | 0 | 60 | — | — | — | rejected-only |" in (
+            markdown
+        )
+        assert "| t0 | fin-2 | 1x | 60 | 0 |" in markdown
+
+
+class TestHealthMonitorIntegration:
+    OVERLOAD = "fin-2:1,fin-2:1:200"
+
+    def run_monitored(self, make_system, monitored=True, **kw):
+        from repro.obs.monitor import MonitorConfig
+
+        specs = parse_mix(
+            self.OVERLOAD, n_requests=120, slo_us=2000.0, sq_depth=4
+        )
+        engine = ServeEngine(
+            make_system(),
+            specs,
+            seed=3,
+            scheduler="fifo",
+            n_channels=4,
+            recorder=WindowedRecorder(window_us=1000.0),
+            monitor_config=MonitorConfig() if monitored else None,
+            **kw,
+        )
+        return engine.run()
+
+    def test_monitor_requires_recorder(self, make_system):
+        from repro.errors import ConfigurationError
+        from repro.obs.monitor import MonitorConfig
+
+        specs = parse_mix("fin-2:1", n_requests=10, slo_us=2000.0,
+                          sq_depth=8)
+        with pytest.raises(ConfigurationError):
+            ServeEngine(
+                make_system(), specs, monitor_config=MonitorConfig()
+            )
+
+    def test_overload_fires_tenant_burn_alerts(self, make_system):
+        result = self.run_monitored(make_system)
+        monitor = result.monitor
+        assert monitor is not None
+        burn = [a for a in monitor.alerts if a.kind == "burn_rate"]
+        assert burn
+        # The noisy neighbor (t1) burns its budget; rule names carry
+        # the tenant identity and the firing pair.
+        assert all(a.rule.startswith("burn.t1.") for a in burn)
+        assert all(
+            a.blame is not None and a.blame["basis"] != "none" for a in burn
+        )
+
+    def test_attaching_monitor_leaves_artifact_identical(self, make_system):
+        plain = self.run_monitored(make_system, monitored=False)
+        monitored = self.run_monitored(make_system, monitored=True)
+        plain_art = build_artifact(plain, per_tenant_reports(plain.tracer.spans))
+        mon_art = build_artifact(
+            monitored, per_tenant_reports(monitored.tracer.spans)
+        )
+        assert "monitor" not in plain_art
+        mon_art.pop("monitor")
+        assert dump_artifact(plain_art) == dump_artifact(mon_art)
+
+    def test_monitor_section_is_deterministic(self, make_system):
+        first = self.run_monitored(make_system)
+        second = self.run_monitored(make_system)
+        art1 = build_artifact(first)
+        art2 = build_artifact(second)
+        assert art1["monitor"] == art2["monitor"]
+        assert art1["monitor"]["fingerprint"] == art2["monitor"]["fingerprint"]
+        assert art1["monitor"]["schema"] == "repro.monitor/1"
+
+
 class TestQosIsolation:
     """The noisy-neighbor story: WFQ isolates the victim, FIFO does not."""
 

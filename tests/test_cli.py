@@ -310,6 +310,204 @@ class TestServeCommand:
         assert main(["serve", "--mix", "fin-2:0", "--requests", "10"]) == 2
 
 
+class TestMonitorCommand:
+    def run_monitor(self, tmp_path, *extra, faults=True):
+        out = tmp_path / "monitor.json"
+        argv = [
+            "monitor",
+            "fin-2",
+            "--requests",
+            "800",
+            "--blocks",
+            "64",
+            "--pe",
+            "16000",
+            "--seed",
+            "42",
+            "--out",
+            str(out),
+        ]
+        if faults:
+            argv += ["--faults", "--fault-scale", "200"]
+        code = main(argv + list(extra))
+        return code, out
+
+    def test_fault_run_alerts_with_artifacts(self, tmp_path, capsys):
+        jsonl = tmp_path / "alerts.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code, out = self.run_monitor(
+            tmp_path, "--jsonl", str(jsonl), "--prom", str(prom)
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "alerts:" in printed
+        artifact = json.loads(out.read_text())
+        body = artifact["monitor"]
+        assert body["schema"] == "repro.monitor/1"
+        assert body["n_alerts"] >= 1
+        assert body["fingerprint"]
+        for alert in body["alerts"]:
+            blame = alert["blame"]
+            assert blame is not None
+            if blame["basis"] != "none":
+                assert sum(blame["blame_fraction"].values()) == pytest.approx(
+                    1.0, rel=1e-9
+                )
+        lines = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert lines[0]["event"] == "header"
+        assert lines[-1]["event"] == "summary"
+        assert lines[-1]["fingerprint"] == body["fingerprint"]
+        text = prom.read_text()
+        assert "# TYPE repro_ecc_ldpc_decode_rounds counter" in text
+        assert "# TYPE repro_sim_write_response_us summary" in text
+        assert "# TYPE repro_monitor_windows counter" in text
+        manifest = json.loads(
+            (tmp_path / "monitor_manifest.json").read_text()
+        )
+        assert manifest["extra"]["alerts"] == body["n_alerts"]
+        assert str(jsonl) in manifest["extra"]["artifacts"]
+
+    def test_fail_on_alert_gates_exit_code(self, tmp_path, capsys):
+        code, _ = self.run_monitor(tmp_path, "--fail-on-alert")
+        assert code == 1
+        code, out = self.run_monitor(
+            tmp_path, "--fail-on-alert", "--pe", "0", faults=False
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["monitor"]["n_alerts"] == 0
+
+    def test_artifact_is_deterministic(self, tmp_path):
+        _, first = self.run_monitor(tmp_path)
+        first_bytes = first.read_bytes()
+        _, second = self.run_monitor(tmp_path)
+        assert second.read_bytes() == first_bytes
+
+    def test_custom_rule_replaces_stock_set(self, tmp_path, capsys):
+        code, out = self.run_monitor(
+            tmp_path,
+            "--rule",
+            "uncorr=cusum(sim.uncorrectable.reads,sum,k=0.25,h=4)",
+            "--json",
+        )
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        rules = artifact["monitor"]["rules"]
+        assert [rule["name"] for rule in rules] == ["uncorr"]
+
+    def test_rejects_unknown_names_and_bad_rules(self, capsys):
+        assert main(["monitor", "nope", "--requests", "10"]) == 2
+        assert (
+            main(["monitor", "fin-2", "--system", "nope", "--requests", "10"])
+            == 2
+        )
+        assert (
+            main(
+                [
+                    "monitor",
+                    "fin-2",
+                    "--requests",
+                    "200",
+                    "--blocks",
+                    "64",
+                    "--rule",
+                    "broken",
+                ]
+            )
+            == 2
+        )
+
+
+class TestMetricsCommand:
+    ARGS = ["metrics", "ls", "fin-2", "--requests", "400", "--blocks", "64"]
+
+    def test_ls_dumps_typed_namespace(self, capsys):
+        assert main(self.ARGS) == 0
+        printed = capsys.readouterr().out
+        assert "# registry instruments" in printed
+        assert "# windowed series" in printed
+        assert "counter" in printed
+        assert "gauge" in printed
+        assert "histogram" in printed
+        lines = printed.splitlines()
+        windowed = [
+            line.split()[0]
+            for line in lines
+            if line.endswith("windowed")
+        ]
+        assert "sim.response_us" in windowed
+        assert "monitor.windows" in printed
+
+    def test_ls_json(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        kinds = {row["kind"] for row in listing["metrics"]}
+        assert kinds >= {"counter", "gauge"}
+        names = [row["name"] for row in listing["windowed_series"]]
+        assert names == sorted(names)
+
+    def test_rejects_unknown_workload(self, capsys):
+        assert main(["metrics", "ls", "nope", "--requests", "10"]) == 2
+
+
+class TestServeMonitorFlag:
+    def test_monitor_section_and_sidecars(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        jsonl = tmp_path / "serve_alerts.jsonl"
+        prom = tmp_path / "serve_metrics.prom"
+        code = main(
+            [
+                "serve",
+                "--mix",
+                "fin-2:1,fin-2:1:200",
+                "--requests",
+                "120",
+                "--blocks",
+                "64",
+                "--sq-depth",
+                "4",
+                "--seed",
+                "3",
+                "--monitor-jsonl",  # implies --monitor
+                str(jsonl),
+                "--monitor-prom",
+                str(prom),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "- monitor:" in printed
+        artifact = json.loads(out.read_text())
+        body = artifact["monitor"]
+        assert body["schema"] == "repro.monitor/1"
+        assert any(
+            rule["name"].startswith("burn.t") for rule in body["burn_rules"]
+        )
+        assert jsonl.read_text().splitlines()
+        assert "repro_serve_tenant_t0_completed" in prom.read_text()
+
+    def test_unmonitored_serve_has_no_monitor_section(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--mix",
+                "fin-2:1",
+                "--requests",
+                "40",
+                "--blocks",
+                "64",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "monitor" not in json.loads(out.read_text())
+
+
 class TestProfileWorkload:
     def run_profile(self, tmp_path, *extra):
         out = tmp_path / "profile.json"
