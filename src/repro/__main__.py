@@ -12,7 +12,15 @@ bench
 simulate
     Run the four storage systems on one paper workload and print the
     comparison table (``--json`` for machine-readable rows plus a run
-    manifest).
+    manifest).  ``--spo-rate`` adds seeded sudden-power-off injection:
+    each system crash/recovers/resumes through the same SPO schedule.
+crash
+    Sudden-power-off drill on one system: cut the run at ``--at-us``
+    (or at seeded ``--spo-rate`` arrivals), remount from the on-medium
+    state (checkpoint + journal, OOB-scan cross-check), replay the
+    power-loss-protection log, and resume the trace suffix.  Exports a
+    deterministic ``repro/crash-run/v1`` artifact with per-cycle
+    recovery breakdowns; see docs/RECOVERY.md.
 trace
     Run one system through the DES engine with per-request tracing and
     export the sampled span trees (Chrome trace JSON and/or JSONL)
@@ -126,8 +134,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ssd_config, workload, trace, n_channels = _simulation_inputs(args)
     policy = LevelAdjustPolicy()
     fault_config = _fault_config(args)
+    power = None
+    if args.spo_rate > 0.0:
+        from repro.faults import PowerConfig
+
+        power = PowerConfig(
+            enabled=True, seed=args.spo_seed, rate_per_s=args.spo_rate
+        )
+    run_config = _run_config(args, n_channels)
+    if power is not None:
+        run_config["spo"] = power.to_dict()
     builder = ManifestBuilder.begin(
-        "repro simulate", _run_config(args, n_channels), seed=args.seed
+        "repro simulate", run_config, seed=args.seed
     )
     if fault_config is not None:
         builder.set_fault_config(fault_config.to_dict())
@@ -150,26 +168,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             from repro.faults import FaultInjector
 
             injector = FaultInjector(fault_config)
-        system = build_system(
-            name, config, level_adjust=policy, fault_injector=injector
-        )
         registry = MetricsRegistry() if args.json else None
-        if args.engine == "des":
-            engine = DesSimulationEngine(
-                system,
+        crash_run = None
+        if power is not None:
+            from repro.sim import run_with_crashes
+
+            crash_run = run_with_crashes(
+                name,
+                config,
+                trace,
+                power,
+                engine=args.engine,
+                fault_config=fault_config,
                 warmup_fraction=0.25,
                 n_channels=n_channels,
-                retry_model=None if args.no_retry else ReadRetryModel(),
+                workload_name=args.workload,
                 registry=registry,
             )
+            system = crash_run.final_system
+            result = crash_run.final
         else:
-            engine = SimulationEngine(
-                system,
-                warmup_fraction=0.25,
-                n_channels=n_channels,
-                registry=registry,
+            system = build_system(
+                name, config, level_adjust=policy, fault_injector=injector
             )
-        result = engine.run(trace, args.workload)
+            if args.engine == "des":
+                engine = DesSimulationEngine(
+                    system,
+                    warmup_fraction=0.25,
+                    n_channels=n_channels,
+                    retry_model=None if args.no_retry else ReadRetryModel(),
+                    registry=registry,
+                )
+            else:
+                engine = SimulationEngine(
+                    system,
+                    warmup_fraction=0.25,
+                    n_channels=n_channels,
+                    registry=registry,
+                )
+            result = engine.run(trace, args.workload)
         row = [
             name,
             result.mean_response_us(),
@@ -177,6 +214,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             result.stats["write_amplification"],
             int(result.stats["erase_blocks"]),
         ]
+        if crash_run is not None:
+            row += [
+                crash_run.crashes,
+                sum(r.recovery_time_us for r in crash_run.reports),
+            ]
         if args.engine == "des":
             percentiles = result.percentiles()
             utilization = result.channel_utilization()
@@ -194,7 +236,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ]
         rows.append(tuple(row))
         if args.json:
-            json_rows.append({"system": name, "summary": result.summary()})
+            json_row = {"system": name, "summary": result.summary()}
+            if crash_run is not None:
+                crash_body = crash_run.to_dict()
+                json_row["crash"] = {
+                    "crashes": crash_run.crashes,
+                    "recovery_time_us": sum(
+                        r.recovery_time_us for r in crash_run.reports
+                    ),
+                    "fingerprint": crash_body["fingerprint"],
+                }
+            json_rows.append(json_row)
             manifest_metrics.update(
                 {f"{name}.{k}": v for k, v in registry.snapshot().items()}
             )
@@ -223,9 +275,125 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.engine == "des":
         headers += ["p50", "p95", "p99", "mean util"]
     headers += ["extra levels", "WA", "erases"]
+    if power is not None:
+        headers += ["crashes", "recovery us"]
     if fault_config is not None:
         headers += ["uncorr", "retired", "read-only"]
     print(format_table(headers, rows))
+    return 0
+
+
+def _crash_text(body: dict) -> str:
+    """Human-readable summary of one ``repro/crash-run/v1`` artifact."""
+    lines = [
+        f"crash drill: {body['workload']} on {body['system']} "
+        f"({body['engine']} engine), {body['crashes']} crash(es), "
+        f"fingerprint {body['fingerprint']}"
+    ]
+    for i, cycle in enumerate(body["cycles"]):
+        if not cycle["crashed"]:
+            lines.append(
+                f"  leg {i}: ran to completion "
+                f"({cycle['n_requests']} requests)"
+            )
+            continue
+        rec = cycle["recovery"]
+        report = rec["report"]
+        lines.append(
+            f"  leg {i}: power cut at {cycle['crash_us'] / 1000.0:.1f} ms "
+            f"({cycle['aborted_requests']} in-flight aborted)"
+        )
+        lines.append(
+            f"    remount[{report['strategy']}]: "
+            f"{report['recovery_time_us'] / 1000.0:.1f} ms — "
+            f"{report['journal_replayed']} journal entries, "
+            f"{report['scan_pages_read']} OOB pages, "
+            f"{report['torn_pages']} torn, {report['plp_pages']} PLP "
+            f"replays, {report['reerased_blocks']} re-erases; "
+            f"{rec['live_pages']} live pages, mapping {rec['mapping_digest']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, system_names
+    from repro.faults import PowerConfig
+    from repro.ftl import RecoveryConfig
+    from repro.obs import ManifestBuilder, MetricsRegistry
+    from repro.sim import run_with_crashes
+    from repro.traces import workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    if args.system not in system_names():
+        print(f"unknown system {args.system!r}; choose from {system_names()}")
+        return 2
+    if args.at_us is None and args.spo_rate <= 0.0:
+        print("error: need --at-us or --spo-rate to schedule a power cut",
+              file=sys.stderr)
+        return 2
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
+    power = PowerConfig(
+        enabled=True,
+        seed=args.spo_seed,
+        at_us=args.at_us,
+        rate_per_s=args.spo_rate,
+        max_crashes=args.max_crashes,
+    )
+    recovery = RecoveryConfig(
+        checkpoint_interval_us=args.checkpoint_interval_us
+    )
+    fault_config = _fault_config(args)
+    config = SystemConfig(
+        ssd=ssd_config,
+        footprint_pages=workload.footprint_pages,
+        buffer_pages=512,
+        hotness_window=max(64, min(4096, args.requests // 8)),
+    )
+    run_config = _run_config(args, n_channels)
+    run_config.update(
+        {
+            "system": args.system,
+            "spo": power.to_dict(),
+            "resume": args.resume,
+            "checkpoint_interval_us": args.checkpoint_interval_us,
+        }
+    )
+    builder = ManifestBuilder.begin("repro crash", run_config, seed=args.seed)
+    if fault_config is not None:
+        builder.set_fault_config(fault_config.to_dict())
+    registry = MetricsRegistry()
+    run = run_with_crashes(
+        args.system,
+        config,
+        trace,
+        power,
+        recovery=recovery,
+        engine=args.engine,
+        fault_config=fault_config,
+        resume=args.resume,
+        n_channels=n_channels,
+        workload_name=args.workload,
+        registry=registry,
+    )
+    body = run.to_dict()
+    out = Path(args.out or f"crash_{args.workload}_{args.system}.json")
+    text = json.dumps(body, indent=2, sort_keys=True)
+    out.write_text(text + "\n")
+    manifest = builder.finish(
+        metrics=registry.snapshot(),
+        artifacts=[str(out)],
+        crashes=run.crashes,
+        fingerprint=body["fingerprint"],
+    )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    if args.json:
+        print(text)
+    else:
+        print(_crash_text(body))
+    print(f"artifact written to {out}", file=sys.stderr)
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
     return 0
 
 
@@ -562,9 +730,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "sq_depth": args.sq_depth,
         "window_us": args.window_us,
         "monitor": monitored,
+        "crash_us": args.crash_us,
     }
     builder = ManifestBuilder.begin("repro serve", run_config, seed=args.seed)
-    result = engine.run()
+    result = engine.run(crash_us=args.crash_us)
     reports = per_tenant_reports(result.tracer.spans)
     # The artifact is virtual-time-only: a fixed (seed, mix, scheduler)
     # reproduces it byte for byte.  Wall-clock provenance goes into the
@@ -1087,7 +1256,88 @@ def main(argv: list[str] | None = None) -> int:
         default=".",
         help="directory the --json run manifest is written to",
     )
+    simulate.add_argument(
+        "--spo-rate",
+        type=float,
+        default=0.0,
+        help="seeded sudden-power-off arrival rate (crashes per "
+        "simulated second); each system crash/recovers/resumes through "
+        "the same schedule — see docs/RECOVERY.md",
+    )
+    simulate.add_argument(
+        "--spo-seed",
+        type=int,
+        default=2029,
+        help="SPO schedule RNG seed (independent of --seed)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    crash = commands.add_parser(
+        "crash",
+        help="sudden-power-off drill: cut, remount, verify, resume",
+    )
+    _add_run_arguments(crash)
+    crash.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to crash (default: flexlevel)",
+    )
+    crash.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="queue",
+        help="simulation engine driving each leg (default: queue)",
+    )
+    crash.add_argument(
+        "--at-us",
+        type=float,
+        default=None,
+        help="deterministic power cut at this virtual time "
+        "(microseconds); combine with or replace --spo-rate",
+    )
+    crash.add_argument(
+        "--spo-rate",
+        type=float,
+        default=0.0,
+        help="seeded SPO arrival rate in crashes per simulated second",
+    )
+    crash.add_argument(
+        "--spo-seed",
+        type=int,
+        default=2029,
+        help="SPO schedule RNG seed (independent of --seed)",
+    )
+    crash.add_argument(
+        "--max-crashes",
+        type=int,
+        default=8,
+        help="stop injecting after this many cuts (rate mode)",
+    )
+    crash.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="replay the trace suffix on the recovered system "
+        "(--no-resume stops after the first recovery)",
+    )
+    crash.add_argument(
+        "--checkpoint-interval-us",
+        type=float,
+        default=500_000.0,
+        help="virtual-time gap between mapping checkpoints (smaller = "
+        "shorter journal replay at remount)",
+    )
+    crash.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full repro/crash-run/v1 artifact JSON to stdout",
+    )
+    crash.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default: crash_<workload>_<system>.json)",
+    )
+    crash.set_defaults(handler=_cmd_crash)
 
     trace = commands.add_parser(
         "trace", help="record and export sampled per-request traces"
@@ -1306,6 +1556,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write a Prometheus text-format metrics snapshot here "
         "(implies --monitor)",
+    )
+    serve.add_argument(
+        "--crash-us",
+        type=float,
+        default=None,
+        help="cut the run with a sudden power-off at this virtual time; "
+        "queued and in-flight requests land in the per-tenant 'aborted' "
+        "bucket and conservation is checked in crashed mode",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -169,17 +169,26 @@ class StorageSystem(ABC):
         latency_model: ReadLatencyModel | None = None,
         reduced_prefix_pages: int = 0,
         fault_injector: "FaultInjector | None" = None,
+        recovery=None,
+        ssd: Ssd | None = None,
     ):
         self.config = config
         self.level_adjust = level_adjust or LevelAdjustPolicy()
         self.latency = latency_model or ReadLatencyModel()
-        self.ssd = Ssd(
-            config.ssd,
-            prefill_pages=config.ssd.logical_pages,
-            reduced_prefix_pages=reduced_prefix_pages,
-            initial_age_hours=config.initial_ages(),
-            fault_injector=fault_injector,
-        )
+        if ssd is not None:
+            # A pre-built (recovered) SSD: crash recovery rebuilds the
+            # device from the durable medium and re-wraps it in a fresh
+            # system — see repro.sim.crash.
+            self.ssd = ssd
+        else:
+            self.ssd = Ssd(
+                config.ssd,
+                prefill_pages=config.ssd.logical_pages,
+                reduced_prefix_pages=reduced_prefix_pages,
+                initial_age_hours=config.initial_ages(),
+                fault_injector=fault_injector,
+                recovery=recovery,
+            )
         self.buffer = WriteBuffer(config.buffer_pages)
         self._pending_background_us = 0.0
         self._retry_tails: dict[int, tuple[float, ...]] = {}
@@ -249,6 +258,10 @@ class StorageSystem(ABC):
         requests but not this one — write-back semantics, which is why
         the paper adds the buffer to FlashSim.
         """
+        if self.ssd.recovery is not None:
+            # Durable-medium bookkeeping: the host's data version is
+            # assigned at dispatch (buffer insertion = acknowledgement).
+            self.ssd.recovery.note_host_write(lpn, now_us)
         evicted = self.buffer.write(lpn)
         service = self.config.ssd.timing.buffer_hit_us
         if evicted is not None:
@@ -468,6 +481,8 @@ def build_system(
     level_adjust: LevelAdjustPolicy | None = None,
     latency_model: ReadLatencyModel | None = None,
     fault_injector: FaultInjector | None = None,
+    recovery=None,
+    ssd: Ssd | None = None,
 ) -> StorageSystem:
     """Instantiate a system by its paper name."""
     if name not in _SYSTEMS:
@@ -479,4 +494,6 @@ def build_system(
         level_adjust=level_adjust,
         latency_model=latency_model,
         fault_injector=fault_injector,
+        recovery=recovery,
+        ssd=ssd,
     )

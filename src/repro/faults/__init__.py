@@ -16,15 +16,22 @@ supplies the missing half:
 
 The FTL-side handling (rewrite-and-retire, read scrub, degraded mode)
 lives in :mod:`repro.ftl.ssd`; the uncorrectable-read terminal outcome
-in :mod:`repro.sim.des`.  See docs/FAULTS.md.
+in :mod:`repro.sim.des`.  Sudden-power-off injection
+(:class:`PowerConfig`, :class:`SpoSchedule`) cuts a run at a seeded
+virtual time; the crash-consistency machinery that remounts from the
+cut lives in :mod:`repro.ftl.recovery`.  See docs/FAULTS.md and
+docs/RECOVERY.md.
 """
 
 from repro.faults.bbt import BadBlockTable
 from repro.faults.config import FaultConfig
 from repro.faults.injector import FaultInjector
+from repro.faults.power import PowerConfig, SpoSchedule
 
 __all__ = [
     "BadBlockTable",
     "FaultConfig",
     "FaultInjector",
+    "PowerConfig",
+    "SpoSchedule",
 ]

@@ -1,0 +1,141 @@
+"""Seeded sudden-power-off (SPO) injection.
+
+A sudden power-off cuts the simulation at an arbitrary *virtual-time*
+point — including mid-program (a torn page) and mid-erase (an
+incompletely erased block).  This module only decides **when** power is
+lost; what a cut means for the medium lives in
+:mod:`repro.ftl.recovery`, and the end-to-end crash → recover → resume
+pipeline in :mod:`repro.sim.crash`.
+
+Two scheduling modes, mirroring the CLI surface
+(``repro crash --at-us`` / ``--spo-rate``):
+
+* a **fixed cut** at ``at_us`` — one deterministic crash point;
+* a **seeded Poisson process** at ``rate_per_s`` expected cuts per
+  simulated second — exponential inter-crash gaps drawn from a spawned
+  ``numpy.random.SeedSequence`` stream, independent of the fault
+  injector's and the workload's RNG streams.
+
+``enabled`` is the master switch and defaults to False: a default
+:class:`PowerConfig` never cuts power, so crash-free code paths are
+byte-identical to a build without the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Knobs of the seeded sudden-power-off injector.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; when False no SPO is ever scheduled.
+    seed:
+        Seed of the SPO RNG stream (only used in rate mode).
+    at_us:
+        Fixed virtual-time crash point; takes precedence over
+        ``rate_per_s`` when set.
+    rate_per_s:
+        Expected SPO count per simulated second (Poisson process with
+        exponential inter-crash gaps).  Ignored when ``at_us`` is set.
+    max_crashes:
+        Upper bound on cuts per run in rate mode (keeps repeated
+        crash/recover cycles finite on long traces).
+    """
+
+    enabled: bool = False
+    seed: int = 2029
+    at_us: float | None = None
+    rate_per_s: float = 0.0
+    max_crashes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.at_us is not None and self.at_us <= 0:
+            raise ConfigurationError(f"non-positive SPO at_us: {self.at_us}")
+        if self.rate_per_s < 0:
+            raise ConfigurationError(
+                f"negative SPO rate_per_s: {self.rate_per_s}"
+            )
+        if self.max_crashes < 1:
+            raise ConfigurationError(
+                f"max_crashes must be >= 1: {self.max_crashes}"
+            )
+        if self.enabled and self.at_us is None and self.rate_per_s == 0.0:
+            raise ConfigurationError(
+                "enabled PowerConfig needs at_us or rate_per_s"
+            )
+
+    def scaled(self, factor: float) -> "PowerConfig":
+        """This config with its SPO rate multiplied (pressure sweeps)."""
+        if factor < 0:
+            raise ConfigurationError(f"negative SPO scale: {factor}")
+        return replace(self, rate_per_s=self.rate_per_s * factor)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable view (for manifests and artifacts)."""
+        return {
+            "enabled": self.enabled,
+            "seed": self.seed,
+            "at_us": self.at_us,
+            "rate_per_s": self.rate_per_s,
+            "max_crashes": self.max_crashes,
+        }
+
+
+class SpoSchedule:
+    """The seeded sequence of crash points of one run.
+
+    Deterministic given ``(config, cycle origin times)``: a fixed
+    ``at_us`` yields exactly one cut; rate mode draws exponential gaps
+    from a dedicated spawned stream, so the schedule never perturbs the
+    fault injector or the workload generator.
+    """
+
+    def __init__(self, config: PowerConfig):
+        self.config = config
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(config.seed).spawn(1)[0]
+        )
+        self._fired = 0
+
+    def next_crash_after(self, origin_us: float) -> float | None:
+        """The next cut strictly after ``origin_us``, or None.
+
+        Each call consumes one schedule slot, so repeated
+        crash/recover cycles walk the same seeded sequence of gaps.
+        """
+        if not self.config.enabled:
+            return None
+        if self._fired >= self.config.max_crashes:
+            return None
+        if self.config.at_us is not None:
+            if self._fired > 0 or self.config.at_us <= origin_us:
+                return None
+            self._fired += 1
+            return float(self.config.at_us)
+        if self.config.rate_per_s == 0.0:
+            return None
+        gap_us = float(
+            self._rng.exponential(1e6 / self.config.rate_per_s)
+        )
+        self._fired += 1
+        return origin_us + gap_us
+
+    def points(self, horizon_us: float) -> Iterator[float]:
+        """All cuts up to ``horizon_us`` (fresh walk of the schedule)."""
+        t = 0.0
+        while True:
+            nxt = self.next_crash_after(t)
+            if nxt is None or nxt > horizon_us:
+                return
+            yield nxt
+            t = nxt

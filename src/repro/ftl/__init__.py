@@ -12,6 +12,13 @@ from repro.ftl.ssd import Ssd, PageReadInfo
 from repro.ftl.write_buffer import WriteBuffer
 from repro.ftl.stats import SsdStats
 from repro.ftl.lifetime import lifetime_ratio
+from repro.ftl.recovery import (
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryReport,
+    rebuild_ssd,
+    recovery_fingerprint,
+)
 from repro.ftl.wear_leveling import WearLeveler, erase_spread
 
 __all__ = [
@@ -22,6 +29,11 @@ __all__ = [
     "WriteBuffer",
     "SsdStats",
     "lifetime_ratio",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryReport",
+    "rebuild_ssd",
+    "recovery_fingerprint",
     "WearLeveler",
     "erase_spread",
 ]

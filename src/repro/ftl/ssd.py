@@ -86,6 +86,12 @@ class Ssd:
         unless its config is enabled; when active, manufacture-bad
         blocks are mapped out before prefill and program/erase faults
         are sampled during operation.
+    recovery:
+        Optional :class:`~repro.ftl.recovery.RecoveryManager` modelling
+        the durable medium (per-page OOB metadata, mapping journal).
+        Every mutation records itself, so a sudden power-off at any
+        virtual-time point can be remounted — see docs/RECOVERY.md.
+        None (the default) changes nothing.
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class Ssd:
         initial_age_hours: np.ndarray | float = 0.0,
         wear_leveler: WearLeveler | None = None,
         fault_injector: FaultInjector | None = None,
+        recovery=None,
     ):
         if not 0 <= prefill_pages <= config.logical_pages:
             raise ConfigurationError(
@@ -148,6 +155,7 @@ class Ssd:
         if fault_injector is not None and not fault_injector.config.enabled:
             fault_injector = None
         self.fault_injector = fault_injector
+        self.recovery = recovery
         self.read_only = False
         self.bad_block_table: BadBlockTable | None = None
         if fault_injector is not None:
@@ -313,6 +321,8 @@ class Ssd:
         """
         self._check_lpn(lpn)
         self.window_tick(now_us)
+        if self.recovery is not None:
+            self.recovery.begin_op(now_us)
         if self.read_only:
             self.stats.rejected_writes += 1
             return 0.0, 0.0
@@ -334,6 +344,8 @@ class Ssd:
         self._write_time_hours[lpn] = np.nan
         self._initial_age_hours[lpn] = 0.0
         self.stats.trimmed_pages += 1
+        if self.recovery is not None:
+            self.recovery.record_trim(lpn)
         return True
 
     def migrate(self, lpn: int, target_mode: CellMode, now_us: float) -> tuple[float, float]:
@@ -346,6 +358,8 @@ class Ssd:
         """
         self._check_lpn(lpn)
         self.window_tick(now_us)
+        if self.recovery is not None:
+            self.recovery.begin_op(now_us)
         if self._l2p[lpn] == _FREE:
             raise FtlError(f"cannot migrate unmapped page {lpn}")
         if self.read_only:
@@ -360,6 +374,8 @@ class Ssd:
         foreground += program
         # Restore the age: migrated data is old data in a new location.
         self._write_time_hours[lpn] = us_to_hours(now_us) - age_before
+        if self.recovery is not None:
+            self.recovery.patch_write_time(lpn, float(self._write_time_hours[lpn]))
         return foreground, background
 
     def refresh(self, lpn: int, now_us: float) -> float:
@@ -373,6 +389,8 @@ class Ssd:
         """
         self._check_lpn(lpn)
         self.window_tick(now_us)
+        if self.recovery is not None:
+            self.recovery.begin_op(now_us)
         if self._l2p[lpn] == _FREE:
             return 0.0
         if self.read_only:
@@ -415,9 +433,21 @@ class Ssd:
             self._p2l[ppn] = lpn
             self._page_valid[ppn] = True
             self._block_valid[block] += 1
+            if self.recovery is not None:
+                self.recovery.record_prefill(
+                    lpn,
+                    ppn,
+                    _MODE_TO_INT[mode],
+                    float(self._initial_age_hours[lpn]),
+                )
         # Prefill is history, not simulated work: reset the counters the
         # allocation path may have touched.
         self.stats = SsdStats()
+        if self.recovery is not None:
+            # Mount checkpoint: without it a crash before the first
+            # flash program/erase would leave replay_at with no base
+            # and force a full-medium scan on remount.
+            self.recovery.take_checkpoint(0.0)
 
     def _write_page(
         self, lpn: int, mode: CellMode, now_us: float, kind: str
@@ -454,6 +484,15 @@ class Ssd:
         self._page_valid[ppn] = True
         self._block_valid[block] += 1
         self._write_time_hours[lpn] = us_to_hours(now_us)
+        if self.recovery is not None:
+            self.recovery.record_program(
+                lpn,
+                ppn,
+                _MODE_TO_INT[mode],
+                kind,
+                write_time_hours=us_to_hours(now_us),
+                initial_age_hours=float(self._initial_age_hours[lpn]),
+            )
         service += self.config.timing.program_us
         if kind == "host":
             self.stats.flash_program_pages += 1
@@ -595,6 +634,8 @@ class Ssd:
             service += self.config.timing.erase_us
             self._block_write_ptr[victim] = 0
             self._block_mode[victim] = _BAD
+            if self.recovery is not None:
+                self.recovery.record_retire(victim)
             bbt = self.bad_block_table
             if bbt.exhausted:
                 self.stats.retirements_skipped += 1
@@ -610,6 +651,8 @@ class Ssd:
         self._block_erase[victim] += 1
         self.stats.erase_blocks += 1
         service += self.config.timing.erase_us
+        if self.recovery is not None:
+            self.recovery.record_erase(victim)
         return service
 
     def _relocate_valid_pages(self, victim: int, slot: str = "host") -> float:
@@ -635,6 +678,15 @@ class Ssd:
             self._block_valid[block] += 1
             # Relocation copies old data: preserve its age bookkeeping.
             self._write_time_hours[lpn] = age_hours
+            if self.recovery is not None:
+                self.recovery.record_program(
+                    lpn,
+                    new_ppn,
+                    _MODE_TO_INT[mode],
+                    "gc",
+                    write_time_hours=float(age_hours),
+                    initial_age_hours=float(self._initial_age_hours[lpn]),
+                )
             service += self.config.timing.program_us
             self.stats.gc_program_pages += 1
         if self._block_valid[victim] != 0:
@@ -663,6 +715,8 @@ class Ssd:
         service = self._relocate_valid_pages(victim)
         self._block_mode[victim] = _BAD
         self._block_write_ptr[victim] = 0
+        if self.recovery is not None:
+            self.recovery.record_retire(victim)
         bbt.retire(victim)
         self.stats.blocks_retired += 1
         self._window_add("ftl.bbt.retired")

@@ -51,6 +51,14 @@ class WriteBuffer:
             return True
         return False
 
+    def residents(self) -> list[int]:
+        """Buffered dirty pages, LRU first, without draining them.
+
+        Crash recovery uses this as the power-loss-protection capture:
+        the buffer is the acknowledged-but-not-yet-programmed set.
+        """
+        return list(self._dirty)
+
     def drain(self) -> list[int]:
         """Flush everything (end of simulation), LRU first."""
         pages = list(self._dirty)

@@ -347,6 +347,15 @@ class MetricsRegistry:
         instrument.name = name
         self._instruments[name] = instrument
 
+    def deregister(self, name: str) -> None:
+        """Drop an instrument binding (missing names are a no-op).
+
+        Exists for crash/resume runs: each simulation leg registers
+        fresh response histograms under the same names, and the resumed
+        leg's registration must supersede the crashed one's.
+        """
+        self._instruments.pop(name, None)
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 

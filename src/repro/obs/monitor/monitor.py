@@ -52,6 +52,12 @@ SCHEMA = "repro.monitor/1"
 #: artifact unbounded).
 MAX_ALERTS = 512
 
+#: Series whose nonzero observation marks read-only degraded mode.
+#: ``ftl.degraded.read_only`` is sampled 1.0 at the degradation
+#: instant; ``sim.degraded.read_only`` is the engines' per-completion
+#: gauge of the same flag.
+DEGRADED_SERIES = ("ftl.degraded.read_only", "sim.degraded.read_only")
+
 
 @dataclass(frozen=True)
 class MonitorConfig:
@@ -181,6 +187,7 @@ class HealthMonitor:
         self.windows_closed = 0
         self.last_window: tuple[int, float, float] | None = None
         self._attached = False
+        self._terminal_emitted = False
         self._observers: list[Callable[["HealthMonitor"], None]] = []
 
     def _burn_rule(self, name: str) -> BurnRateRule:
@@ -194,9 +201,10 @@ class HealthMonitor:
     # --- wiring -----------------------------------------------------------------
 
     def attach(self) -> "HealthMonitor":
-        """Register the recorder close hook (idempotent)."""
+        """Register the recorder close and flush hooks (idempotent)."""
         if not self._attached:
             self.recorder.add_close_hook(self._window_closed)
+            self.recorder.add_flush_hook(self._run_flushed)
             self._attached = True
         return self
 
@@ -249,6 +257,58 @@ class HealthMonitor:
             self.registry.gauge("monitor.alerts.total").set(self.n_alerts)
         for observer in self._observers:
             observer(self)
+
+    def _degraded_onset(self) -> tuple[str, int] | None:
+        """Earliest window where a degraded-mode series went nonzero."""
+        best: tuple[str, int] | None = None
+        for series in DEGRADED_SERIES:
+            for row in self.recorder.rows(series):
+                if row["max"] > 0.0:
+                    if best is None or row["window"] < best[1]:
+                        best = (series, int(row["window"]))
+                    break
+        return best
+
+    def _run_flushed(self) -> None:
+        """End-of-run verdict: terminal ``degraded`` alert.
+
+        The change-point ``degraded`` rule only sees *closed* windows
+        and needs its detector to accumulate past warmup — a drive that
+        drops to read-only in the trailing partial window (or right at
+        a crash cut) could end the run without a single alert saying
+        so.  The flush hook fires after every window, partial ones
+        included, has closed: if any degraded-mode series ever went
+        nonzero, exactly one terminal alert is emitted with a blame
+        snapshot of the final window (falling back to the trailing
+        lookback when the partial window retained no spans).
+        """
+        if self._terminal_emitted:
+            return
+        onset = self._degraded_onset()
+        if onset is None:
+            return
+        self._terminal_emitted = True
+        series, first_window = onset
+        index = max(self.recorder.closed_through - 1, first_window)
+        start_us = self.recorder.origin_us + index * self.recorder.window_us
+        end_us = start_us + self.recorder.window_us
+        self._record(
+            kind="degraded",
+            rule="terminal.degraded",
+            index=index,
+            start_us=start_us,
+            end_us=end_us,
+            severity="page",
+            evidence={
+                "series": series,
+                "first_degraded_window": first_window,
+                "first_degraded_us": (
+                    self.recorder.origin_us
+                    + first_window * self.recorder.window_us
+                ),
+                "windows_closed": self.windows_closed,
+            },
+        )
 
     @staticmethod
     def _severity(score: float, threshold: float) -> str:

@@ -278,4 +278,9 @@ def default_rules(warmup: int = 8) -> list[ChangePointRule]:
             k=0.1,
             h=2.0,
         ),
+        # Sudden-power-off recoveries: run_with_crashes stamps one
+        # ftl.recovery.events observation at each cut, so a single
+        # recovery trips the rule (crash-free runs never populate the
+        # series and the zero-fed CUSUM stays silent).
+        cusum("recovery", "ftl.recovery.events", "count", k=0.25, h=0.5),
     ]

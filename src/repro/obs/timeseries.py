@@ -96,8 +96,10 @@ class WindowedRecorder:
         # closed (hooks fired); _max_seen_index tracks the rightmost
         # populated window so flush() can close the final partial one.
         self._close_hooks: list[Callable[[int, float, float], None]] = []
+        self._flush_hooks: list[Callable[[], None]] = []
         self._closed_through = 0
         self._max_seen_index = -1
+        self._flushed = False
 
     def window_index(self, time_us: float) -> int:
         """The window an instant falls into (left-closed intervals)."""
@@ -151,6 +153,17 @@ class WindowedRecorder:
         """
         self._close_hooks.append(hook)
 
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook()`` for the end-of-run :meth:`flush`.
+
+        Flush hooks fire exactly once, after every remaining window —
+        including the trailing partial one — has closed.  They exist
+        for *terminal* consumers: verdicts that must be delivered even
+        when the final window never filled (a crashed or truncated run),
+        e.g. the health monitor's terminal degraded-mode alert.
+        """
+        self._flush_hooks.append(hook)
+
     @property
     def closed_through(self) -> int:
         """Exclusive upper bound of the closed window indices."""
@@ -175,12 +188,15 @@ class WindowedRecorder:
 
         The final partial window — populated but never passed by
         ``advance`` — closes here, so consumers see the complete
-        timeline.  Idempotent; a no-op without hooks.
+        timeline; registered flush hooks then fire exactly once.
+        Idempotent; a no-op without hooks.
         """
-        if not self._close_hooks:
-            return
-        if self._max_seen_index + 1 > self._closed_through:
+        if self._close_hooks and self._max_seen_index + 1 > self._closed_through:
             self._close_to(self._max_seen_index + 1)
+        if not self._flushed:
+            self._flushed = True
+            for hook in self._flush_hooks:
+                hook()
 
     def _close_to(self, target: int) -> None:
         while self._closed_through < target:

@@ -66,6 +66,7 @@ class SubmissionQueue:
     submitted: int = 0
     rejected: int = 0
     popped: int = 0
+    aborted: int = 0
     depth_high_water: int = 0
 
     def __len__(self) -> int:
@@ -94,6 +95,19 @@ class SubmissionQueue:
             )
         self.popped += 1
         return self.entries.popleft()
+
+    def drain_aborted(self) -> int:
+        """Discard every queued entry into the ``aborted`` bucket.
+
+        Called once on sudden power-off: entries still sitting in the SQ
+        at the cut were admitted but never dispatched, and counting them
+        (rather than dropping them) is what keeps the conservation
+        identity closed on a crashed run.
+        """
+        n = len(self.entries)
+        self.aborted += n
+        self.entries.clear()
+        return n
 
 
 @dataclass

@@ -169,6 +169,22 @@ class QueuePairSource(RequestSource):
                 (completion_us + think, tenant_id, request.seq + 1),
             )
 
+    def on_abort(self, index: int) -> None:
+        """A dispatched request died in flight (sudden power-off).
+
+        The engine calls this instead of ``on_complete`` for every
+        pending request when the run is cut: no CQ posting, no response
+        sample, no closed-loop follow-up — the request moves to the
+        tenant's ``aborted`` bucket so conservation still closes.
+        """
+        request = self._inflight.pop(index)
+        self._outstanding -= 1
+        self.pairs[request.tenant_id].sq.aborted += 1
+
+    def abort_queued(self) -> int:
+        """Drain every still-queued SQ entry into ``aborted`` buckets."""
+        return sum(pair.sq.drain_aborted() for pair in self.pairs)
+
     @property
     def emitted(self) -> int:
         return self._emitted
@@ -265,8 +281,16 @@ class QueuePairSource(RequestSource):
             },
         )
 
-    def check_conservation(self) -> None:
-        """Every submission is accounted for once the run has drained."""
+    def check_conservation(self, crashed: bool = False) -> None:
+        """Every submission is accounted for once the run has drained.
+
+        On a clean run every admitted submission must have completed
+        and the ``aborted`` buckets must be empty.  On a crashed run
+        (``crashed=True``, after :meth:`abort_queued`) the identity
+        relaxes to ``submitted == rejected + completed + aborted`` —
+        nothing is ever silently lost, it just lands in a different
+        terminal bucket.
+        """
         if self._outstanding or self._inflight:
             raise SimulationError(
                 f"{self._outstanding} requests still in flight at teardown"
@@ -277,15 +301,16 @@ class QueuePairSource(RequestSource):
                 raise SimulationError(
                     f"tenant {pair.spec.name} left {len(sq)} entries queued"
                 )
-            if sq.submitted != sq.rejected + sq.popped:
+            if not crashed and sq.aborted:
+                raise SimulationError(
+                    f"tenant {pair.spec.name} aborted {sq.aborted} "
+                    "requests without a crash"
+                )
+            if sq.submitted != sq.rejected + cq.completed + sq.aborted:
                 raise SimulationError(
                     f"tenant {pair.spec.name} lost submissions: "
-                    f"{sq.submitted} != {sq.rejected} + {sq.popped}"
-                )
-            if sq.popped != cq.completed:
-                raise SimulationError(
-                    f"tenant {pair.spec.name} dispatched {sq.popped} but "
-                    f"completed {cq.completed}"
+                    f"{sq.submitted} != {sq.rejected} + {cq.completed} "
+                    f"+ {sq.aborted}"
                 )
 
 
@@ -338,6 +363,7 @@ class ServeResult:
             "submitted": pair.sq.submitted,
             "rejected": pair.sq.rejected,
             "completed": completed,
+            "aborted": pair.sq.aborted,
             "sq_depth_high_water": pair.sq.depth_high_water,
             "slo_violations": pair.cq.slo_violations,
             "slo_violation_rate": (
@@ -355,13 +381,16 @@ class ServeResult:
         submitted = sum(p.sq.submitted for p in self.source.pairs)
         rejected = sum(p.sq.rejected for p in self.source.pairs)
         completed = sum(p.cq.completed for p in self.source.pairs)
+        aborted = sum(p.sq.aborted for p in self.source.pairs)
         violations = sum(p.cq.slo_violations for p in self.source.pairs)
         return {
             "n_tenants": len(self.specs),
             "scheduler": self.scheduler,
+            "crashed": self.sim.crashed,
             "submitted": submitted,
             "rejected": rejected,
             "completed": completed,
+            "aborted": aborted,
             "slo_violations": violations,
             "slo_violation_rate": violations / completed if completed else 0.0,
             "makespan_us": self.sim.makespan_us,
@@ -430,7 +459,7 @@ class ServeEngine:
         logical_pages = system.config.footprint_pages or _DEFAULT_LOGICAL_PAGES
         self.streams = spawn_streams(specs, seed, logical_pages)
 
-    def run(self) -> ServeResult:
+    def run(self, crash_us: float | None = None) -> ServeResult:
         source = QueuePairSource(
             self.streams,
             make_scheduler(self.scheduler_name, self.specs),
@@ -458,8 +487,16 @@ class ServeEngine:
             tracer=tracer,
             recorder=self.recorder,
         )
-        sim = engine.run_source(source, workload_name="multi_tenant")
-        source.check_conservation()
+        sim = engine.run_source(
+            source, workload_name="multi_tenant", crash_us=crash_us
+        )
+        if sim.crashed:
+            # Graceful drain after the cut: everything still queued in
+            # an SQ moves to the aborted bucket so the crashed-mode
+            # conservation identity (submitted == rejected + completed
+            # + aborted) closes exactly.
+            source.abort_queued()
+        source.check_conservation(crashed=sim.crashed)
         result = ServeResult(
             scheduler=self.scheduler_name,
             seed=self.seed,

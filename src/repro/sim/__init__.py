@@ -20,6 +20,13 @@ from repro.sim.des import (
     ReadRetryModel,
     RetryOutcome,
 )
+from repro.sim.crash import (
+    CrashCycle,
+    CrashRunResult,
+    RecoveryOutcome,
+    recover,
+    run_with_crashes,
+)
 
 __all__ = [
     "DEFAULT_SAMPLE_CAP",
@@ -30,4 +37,9 @@ __all__ = [
     "ReadRetryConfig",
     "ReadRetryModel",
     "RetryOutcome",
+    "CrashCycle",
+    "CrashRunResult",
+    "RecoveryOutcome",
+    "recover",
+    "run_with_crashes",
 ]

@@ -155,7 +155,10 @@ class DesSimulationEngine:
         self._fault_injector = system.ssd.fault_injector
 
     def run(
-        self, records: Iterable[TraceRecord], workload_name: str = "unnamed"
+        self,
+        records: Iterable[TraceRecord],
+        workload_name: str = "unnamed",
+        crash_us: float | None = None,
     ) -> DesSimulationResult:
         """Replay a trace and return the extended DES results."""
         records = list(records)
@@ -168,7 +171,10 @@ class DesSimulationEngine:
                 f"{len(records)} requests — nothing would be recorded"
             )
         return self.run_source(
-            TraceSource(records), workload_name, warmup_count=warmup_count
+            TraceSource(records),
+            workload_name,
+            warmup_count=warmup_count,
+            crash_us=crash_us,
         )
 
     def run_source(
@@ -176,6 +182,7 @@ class DesSimulationEngine:
         source: RequestSource,
         workload_name: str = "unnamed",
         warmup_count: int = 0,
+        crash_us: float | None = None,
     ) -> DesSimulationResult:
         """Drive the event loop from a live request source.
 
@@ -186,6 +193,13 @@ class DesSimulationEngine:
         QoS-gated source releases follow-up work at exactly the virtual
         time that unblocked it.  ``warmup_count`` leading requests (by
         emission index) run without being recorded.
+
+        ``crash_us`` models a sudden power-off: the event loop stops
+        cold before processing any event at or past the cut.  Requests
+        dispatched before the cut have mutated the FTL (that is the
+        crash-consistency problem recovery solves); every in-flight
+        request is reported to the source via ``on_abort`` and counted
+        in ``result.aborted_requests`` instead of completing.
         """
         if warmup_count < 0:
             raise ConfigurationError(f"negative warmup count: {warmup_count}")
@@ -213,11 +227,16 @@ class DesSimulationEngine:
         origin_us = first.record.timestamp_us
         last_completion_us = origin_us
         profiler = self.profiler
+        crashed = False
         loop_t0 = perf_counter()
         while len(heap):
             if profiler is not None:
                 iter_t0 = profiler.clock()
             event = heap.pop()
+            if crash_us is not None and event.time_us >= crash_us:
+                # Sudden power-off: nothing at or after the cut happens.
+                crashed = True
+                break
             if profiler is not None:
                 profiler.begin(_EVENT_KEYS[event.kind], iter_t0)
             if recorder is not None:
@@ -282,9 +301,26 @@ class DesSimulationEngine:
         if recorder is not None:
             recorder.flush()
 
-        self._check_conservation(
-            source.emitted, requests_completed, ops_dispatched, ops_completed, scheduler
-        )
+        if crashed:
+            # Crash-specific conservation: every emitted request either
+            # completed before the cut or is accounted as aborted.
+            for index in sorted(pending):
+                source.on_abort(index)
+            aborted = len(pending)
+            pending.clear()
+            if requests_completed + aborted != source.emitted:
+                raise SimulationError(
+                    f"crash accounting leak: {source.emitted} emitted != "
+                    f"{requests_completed} completed + {aborted} aborted"
+                )
+            result.crashed = True
+            result.crash_us = crash_us
+            result.aborted_requests = aborted
+        else:
+            self._check_conservation(
+                source.emitted, requests_completed, ops_dispatched,
+                ops_completed, scheduler,
+            )
         result.channel_busy_us = scheduler.busy_times_us()
         result.makespan_us = max(last_completion_us - origin_us, 0.0)
         # Wall-clock accounting rides on result *attributes* only —
@@ -301,6 +337,11 @@ class DesSimulationEngine:
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
         result.stats["residual_backlog_us"] = scheduler.residual_backlog_us
         result.stats["mean_retry_rounds"] = result.mean_retry_rounds()
+        if result.crashed:
+            # Gated on an actual crash: crash-free stats snapshots stay
+            # byte-identical to pre-SPO builds.
+            result.stats["crashed"] = 1.0
+            result.stats["aborted_requests"] = float(result.aborted_requests)
         if self._fault_injector is not None:
             # Fault-gated keys: absent on fault-free runs so their
             # stats snapshots stay byte-identical to pre-fault builds.

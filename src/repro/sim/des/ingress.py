@@ -90,6 +90,13 @@ class RequestSource:
     ) -> None:
         """One emitted request finished (default: ignore)."""
 
+    def on_abort(self, index: int) -> None:
+        """One emitted request was cut off by a sudden power-off before
+        completing (default: ignore).  Fired once per in-flight request
+        when the engine stops at a crash point; sources that track
+        outstanding work (queue pairs) move the request into their
+        ``aborted`` bucket so conservation still closes."""
+
     def advance_to(self, now_us: float) -> None:
         """Virtual time reached ``now_us`` (default: ignore).
 

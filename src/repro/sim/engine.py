@@ -108,9 +108,20 @@ class SimulationEngine:
         self.profiler = profiler
 
     def run(
-        self, records: Iterable[TraceRecord], workload_name: str = "unnamed"
+        self,
+        records: Iterable[TraceRecord],
+        workload_name: str = "unnamed",
+        crash_us: float | None = None,
     ) -> SimulationResult:
-        """Replay a trace and return aggregated results."""
+        """Replay a trace and return aggregated results.
+
+        ``crash_us`` models a sudden power-off at that virtual time:
+        requests whose service would start at or after the cut are
+        never dispatched, requests in flight at the cut never complete
+        (counted in ``result.aborted_requests``), and the device state
+        is whatever the dispatched prefix mutated — exactly what
+        :mod:`repro.ftl.recovery` has to remount from.
+        """
         records = list(records)
         if not records:
             raise ConfigurationError("empty trace")
@@ -137,8 +148,15 @@ class SimulationEngine:
         last_completion = records[0].timestamp_us
         footprint = self.system.config.footprint_pages
         profiler = self.profiler
+        crashed = False
+        aborted = 0
         loop_t0 = perf_counter()
         for index, record in enumerate(records):
+            if crash_us is not None and record.timestamp_us >= crash_us:
+                # Power was lost before this request arrived; the
+                # remainder of the trace belongs to a resumed run.
+                crashed = True
+                break
             if profiler is not None:
                 profiler.begin("event.request")
             arrival = record.timestamp_us
@@ -160,6 +178,17 @@ class SimulationEngine:
                 stall = min(backlog_us, self.gc_granule_us)
                 backlog_us -= stall
                 start += stall
+            if crash_us is not None and start >= crash_us:
+                # Queued at the cut but never serviced: no FTL state
+                # was mutated for it — a pure abort.  The device never
+                # frees up again (power is off), so later arrivals
+                # cannot overtake this one in the FIFO queue.
+                device_free_at = float("inf")
+                crashed = True
+                aborted += 1
+                if profiler is not None:
+                    profiler.end()
+                continue
             service = 0.0
             for lpn in record.pages():
                 if footprint:
@@ -183,6 +212,15 @@ class SimulationEngine:
             backlog_us += self.system.take_background_us()
             if profiler is not None:
                 profiler.end()
+            if crash_us is not None and completion >= crash_us:
+                # Serviced past the cut: the FTL mutations stand (the
+                # crash-consistency problem) but the host never saw the
+                # acknowledgement.
+                crashed = True
+                aborted += 1
+                if profiler is not None:
+                    profiler.end()
+                continue
             busy_us_total += drained + stall + service
             last_completion = max(last_completion, completion)
             if recorder is not None:
@@ -231,6 +269,14 @@ class SimulationEngine:
         result.stats["reduced_logical_pages"] = self.system.ssd.reduced_logical_pages()
         result.stats["max_pe_cycles"] = self.system.ssd.max_pe_cycles()
         result.stats["residual_backlog_us"] = backlog_us
+        if crashed:
+            result.crashed = True
+            result.crash_us = crash_us
+            result.aborted_requests = aborted
+            # Gated on an actual crash: crash-free stats snapshots stay
+            # byte-identical to pre-SPO builds.
+            result.stats["crashed"] = 1.0
+            result.stats["aborted_requests"] = float(aborted)
         if self.registry is not None:
             self.system.publish_metrics(self.registry)
             self.registry.register("sim.read.response_us", result.read_hist)

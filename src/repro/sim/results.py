@@ -57,6 +57,13 @@ class SimulationResult:
     wall_loop_s: float = 0.0
     wall_events: int = 0
     wall_requests: int = 0
+    # Sudden-power-off outcome (repro.faults.power): set by the engines
+    # when a crash point cut the run short.  The matching stats keys
+    # ("crashed", "aborted_requests") are gated on an actual crash so
+    # crash-free summaries stay byte-identical to pre-SPO builds.
+    crashed: bool = False
+    crash_us: float | None = None
+    aborted_requests: int = 0
 
     def record(self, is_write: bool, response_us: float) -> None:
         """Record one request's response time."""

@@ -477,3 +477,102 @@ class TestPrometheusExport:
         assert metric_kind(registry.counter("a")) == "counter"
         assert metric_kind(registry.gauge("b")) == "gauge"
         assert metric_kind(registry.histogram("c")) == "histogram"
+
+
+class TestTerminalDegradedAlert:
+    """The flush-time degraded verdict: delivered even when the run was
+    cut before the final window closed (crashes, truncation)."""
+
+    def test_degraded_run_emits_exactly_one_terminal_alert(self):
+        recorder, _, monitor = synthetic_monitor()
+        for i in range(5):
+            recorder.sample("ftl.degraded.read_only", i * 10.0 + 5.0, 0.0)
+        # The drive goes read-only mid-window; the run is cut before
+        # another window would have closed.
+        recorder.sample("ftl.degraded.read_only", 55.0, 1.0)
+        recorder.flush()
+        terminal = [a for a in monitor.alerts if a.kind == "degraded"]
+        assert len(terminal) == 1
+        alert = terminal[0]
+        assert alert.rule == "terminal.degraded"
+        assert alert.severity == "page"
+        assert alert.evidence["series"] == "ftl.degraded.read_only"
+        assert alert.evidence["first_degraded_window"] == 5
+
+    def test_flush_is_idempotent(self):
+        recorder, _, monitor = synthetic_monitor()
+        recorder.sample("sim.degraded.read_only", 5.0, 1.0)
+        recorder.flush()
+        recorder.flush()
+        assert (
+            sum(1 for a in monitor.alerts if a.kind == "degraded") == 1
+        )
+
+    def test_healthy_run_stays_silent(self):
+        recorder, _, monitor = synthetic_monitor()
+        for i in range(10):
+            recorder.sample("ftl.degraded.read_only", i * 10.0 + 5.0, 0.0)
+        recorder.flush()
+        assert not [a for a in monitor.alerts if a.kind == "degraded"]
+
+    def test_end_to_end_read_only_device_flags_at_flush(self):
+        """An accelerated program-fail recipe exhausts spares and trips
+        read-only; the terminal alert must surface it even if the
+        change-point rules missed the final partial window."""
+        from repro.faults import FaultConfig, FaultInjector
+        from repro.sim import DesSimulationEngine
+
+        ssd = SsdConfig(
+            n_blocks=64, pages_per_block=16, gc_free_block_threshold=2
+        )
+        config = SystemConfig(
+            ssd=ssd,
+            footprint_pages=int(ssd.logical_pages * 0.4),
+            buffer_pages=16,
+        )
+        injector = FaultInjector(
+            FaultConfig(
+                enabled=True,
+                program_fail_base=0.05,
+                spare_block_fraction=0.02,
+                initial_bad_block_rate=0.0,
+                scrub_enabled=False,
+            )
+        )
+        system = build_system("flexlevel", config, fault_injector=injector)
+        recorder = WindowedRecorder(window_us=500.0)
+        monitor = HealthMonitor(
+            recorder, config=MonitorConfig(warmup_windows=4)
+        ).attach()
+        trace = [
+            TraceRecord(i * 200.0, (i * 13) % 100, 1, True) for i in range(600)
+        ]
+        engine = DesSimulationEngine(
+            system, warmup_fraction=0.0, n_channels=4, recorder=recorder
+        )
+        engine.run(trace, "t")
+        recorder.flush()
+        assert system.ssd.read_only
+        terminal = [a for a in monitor.alerts if a.kind == "degraded"]
+        assert len(terminal) == 1
+
+
+class TestRecoveryRule:
+    def test_single_recovery_event_trips_the_stock_rule(self):
+        recorder = WindowedRecorder(window_us=10.0)
+        monitor = HealthMonitor(
+            recorder, rules=default_rules(), config=MonitorConfig()
+        ).attach()
+        recorder.add("ftl.recovery.events", 105.0)
+        recorder.flush()
+        assert any(a.rule == "recovery" for a in monitor.alerts)
+
+    def test_crash_free_run_never_trips_recovery(self):
+        recorder = WindowedRecorder(window_us=10.0)
+        monitor = HealthMonitor(
+            recorder, rules=default_rules(), config=MonitorConfig()
+        ).attach()
+        for i in range(30):
+            recorder.add("sim.arrivals", i * 10.0 + 5.0)
+        recorder.flush()
+        assert not any(a.rule == "recovery" for a in monitor.alerts)

@@ -300,3 +300,44 @@ class TestKnobs:
         assert "serve.tenant.t0.completions" in series
         assert "serve.tenant.t1.sq_depth" in series
         assert result.fleet_summary()["completed"] == 120
+
+
+class TestCrashConservation:
+    def test_clean_run_has_empty_aborted_bucket(self, make_system):
+        result = run_serve(make_system, "fin-2:2,web-1:1:5")
+        fleet = result.fleet_summary()
+        assert fleet["crashed"] is False
+        assert fleet["aborted"] == 0
+
+    def test_crashed_run_conserves_with_aborted_bucket(self, make_system):
+        """A power cut mid-run aborts in-flight and queued requests —
+        they land in an explicit ``aborted`` bucket and the conservation
+        identity extends to submitted == rejected + completed + aborted."""
+        specs = parse_mix(
+            "fin-2:1:40,prj-1:1:40", n_requests=200, slo_us=2000.0,
+            sq_depth=256,
+        )
+        engine = ServeEngine(make_system(), specs, seed=11, n_channels=4)
+        result = engine.run(crash_us=2_000.0)
+        fleet = result.fleet_summary()
+        assert fleet["crashed"] is True
+        assert fleet["aborted"] > 0
+        assert (
+            fleet["submitted"]
+            == fleet["rejected"] + fleet["completed"] + fleet["aborted"]
+        )
+        for spec in result.specs:
+            row = result.tenant_summary(spec.tenant_id)
+            assert (
+                row["submitted"]
+                == row["rejected"] + row["completed"] + row["aborted"]
+            )
+
+    def test_crash_flows_into_artifact(self, make_system):
+        specs = parse_mix("fin-2:1:40", n_requests=120, slo_us=2000.0,
+                          sq_depth=256)
+        engine = ServeEngine(make_system(), specs, seed=11, n_channels=4)
+        result = engine.run(crash_us=2_000.0)
+        artifact = build_artifact(result)
+        assert artifact["fleet"]["crashed"] is True
+        assert artifact["fleet"]["aborted"] > 0
