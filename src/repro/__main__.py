@@ -661,6 +661,226 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _channel_heatmap_lines(
+    payload: dict, metric: str, width: int
+) -> list[str]:
+    """ASCII block heatmap rows for one channel-artifact payload."""
+    import numpy as np
+
+    from repro.obs import render_block_heatmap
+
+    values = np.zeros(payload["config"]["n_blocks"])
+    for entry in payload["blocks"]:
+        values[entry["block"]] = entry[metric]
+    return render_block_heatmap(values, width=width)
+
+
+def _channel_markdown(artifact: dict) -> str:
+    """Markdown tables for a ``repro channel`` artifact."""
+    payload = artifact["channel"]
+    totals = payload["totals"]
+    lines = [
+        f"# read-channel telemetry: {artifact['system']} "
+        f"on {artifact['workload']}",
+        "",
+        f"- engine: {artifact['engine']} "
+        f"({artifact['n_channels']} channels)",
+        f"- fingerprint: `{payload['fingerprint']}`",
+        f"- flash reads: {totals['reads']}  "
+        f"sensing escalations: {totals['sensing_escalations']}  "
+        f"uncorrectable: {totals['uncorrectable']}  "
+        f"erases: {totals['erases']}  "
+        f"retired blocks: {totals['retired_blocks']}",
+        "",
+        "| mode | reads | observed BER | analytic BER | rel. err | "
+        "retry rounds | uncorrectable |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for mode, row in payload["modes"].items():
+        lines.append(
+            f"| {mode} | {row['reads']} | {row['observed_ber']:.3e} | "
+            f"{row['analytic_ber']:.3e} | {row['relative_error']:.2%} | "
+            f"{row['retry_rounds']} | {row['uncorrectable']} |"
+        )
+    lines += [
+        "",
+        "| mode | provisioned levels | reads | mean raw BER |",
+        "|---|---|---|---|",
+    ]
+    for cfg in payload["sensing_configs"]:
+        lines.append(
+            f"| {cfg['mode']} | {cfg['provisioned_levels']} | "
+            f"{cfg['reads']} | {cfg['mean_raw_ber']:.3e} |"
+        )
+    if "vs" in artifact:
+        diff = artifact["vs"]["diff"]
+        lines += [
+            "",
+            f"## vs {artifact['vs']['system']}: sensing-level shares",
+            "",
+            "| levels | " + artifact["system"] + " | "
+            + artifact["vs"]["system"] + " | delta |",
+            "|---|---|---|---|",
+        ]
+        for levels, row in diff["sensing_level_shares"].items():
+            lines.append(
+                f"| {levels} | {row['left_share']:.1%} | "
+                f"{row['right_share']:.1%} | {row['delta']:+.1%} |"
+            )
+    return "\n".join(lines)
+
+
+def _channel_text(artifact: dict, metric: str, width: int) -> str:
+    """Default TTY view: summary plus the per-block heatmap."""
+    payload = artifact["channel"]
+    totals = payload["totals"]
+    lines = [
+        f"read-channel telemetry: {artifact['system']} on "
+        f"{artifact['workload']} ({artifact['engine']}, "
+        f"{artifact['n_channels']} channels)",
+        f"fingerprint {payload['fingerprint']}  reads {totals['reads']}  "
+        f"escalations {totals['sensing_escalations']}  "
+        f"uncorrectable {totals['uncorrectable']}  "
+        f"erases {totals['erases']}",
+    ]
+    for mode, row in payload["modes"].items():
+        lines.append(
+            f"  {mode:<8} reads {row['reads']:>8}  observed "
+            f"{row['observed_ber']:.3e}  analytic {row['analytic_ber']:.3e}"
+            f"  rel.err {row['relative_error']:.2%}"
+        )
+    lines.append(f"per-block {metric} heatmap ({width} blocks/row):")
+    lines.extend(_channel_heatmap_lines(payload, metric, width))
+    if "vs" in artifact:
+        diff = artifact["vs"]["diff"]
+        lines.append(
+            f"vs {artifact['vs']['system']}: sensing-level share deltas"
+        )
+        for levels, row in diff["sensing_level_shares"].items():
+            lines.append(
+                f"  levels {levels}: {row['left_share']:.1%} -> "
+                f"{row['right_share']:.1%} ({row['delta']:+.1%})"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_channel(args: argparse.Namespace) -> int:
+    from repro.baselines import SystemConfig, build_system, system_names
+    from repro.core.level_adjust import LevelAdjustPolicy
+    from repro.obs import (
+        ChannelTelemetry,
+        ManifestBuilder,
+        MetricsRegistry,
+        WindowedRecorder,
+        diff_channel_artifacts,
+    )
+    from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
+    from repro.traces import workload_names
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; choose from {workload_names()}")
+        return 2
+    for name in [args.system] + ([args.vs] if args.vs else []):
+        if name not in system_names():
+            print(f"unknown system {name!r}; choose from {system_names()}")
+            return 2
+    if args.vs == args.system:
+        print(f"--vs {args.vs!r} must name a different system")
+        return 2
+    ssd_config, workload, trace, n_channels = _simulation_inputs(args)
+    fault_config = _fault_config(args)
+
+    def run_one(system_name: str):
+        config = SystemConfig(
+            ssd=ssd_config,
+            footprint_pages=workload.footprint_pages,
+            buffer_pages=512,
+            hotness_window=max(64, min(4096, args.requests // 8)),
+        )
+        injector = None
+        if fault_config is not None:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(fault_config)
+        system = build_system(
+            system_name,
+            config,
+            level_adjust=LevelAdjustPolicy(),
+            fault_injector=injector,
+        )
+        registry = MetricsRegistry()
+        recorder = WindowedRecorder(window_us=args.window_us)
+        telemetry = ChannelTelemetry(
+            ssd_config.n_blocks,
+            page_bits=ssd_config.page_size_bytes * 8,
+            seed=args.seed,
+            trajectory_cap=args.trajectories,
+        )
+        if args.engine == "des":
+            engine = DesSimulationEngine(
+                system,
+                warmup_fraction=0.25,
+                n_channels=n_channels,
+                retry_model=None if args.no_retry else ReadRetryModel(),
+                registry=registry,
+                recorder=recorder,
+                channel_telemetry=telemetry,
+            )
+        else:
+            engine = SimulationEngine(
+                system,
+                warmup_fraction=0.25,
+                n_channels=n_channels,
+                registry=registry,
+                recorder=recorder,
+                channel_telemetry=telemetry,
+            )
+        engine.run(trace, args.workload)
+        return telemetry, registry
+
+    run_config = _run_config(args, n_channels)
+    run_config.update({"system": args.system, "vs": args.vs})
+    builder = ManifestBuilder.begin("repro channel", run_config, seed=args.seed)
+    if fault_config is not None:
+        builder.set_fault_config(fault_config.to_dict())
+    telemetry, registry = run_one(args.system)
+    payload = telemetry.to_dict()
+    # Wall-free: every field derives from seeded virtual-time state, so
+    # a fixed seed and config reproduce the artifact byte for byte.
+    artifact = {
+        "workload": args.workload,
+        "system": args.system,
+        "engine": args.engine,
+        "n_channels": n_channels,
+        "fingerprint": payload["fingerprint"],
+        "channel": payload,
+    }
+    if args.vs:
+        vs_telemetry, _ = run_one(args.vs)
+        vs_payload = vs_telemetry.to_dict()
+        artifact["vs"] = {
+            "system": args.vs,
+            "channel": vs_payload,
+            "diff": diff_channel_artifacts(payload, vs_payload),
+        }
+    out = Path(args.out or f"channel_{args.workload}_{args.system}.json")
+    text = json.dumps(artifact, indent=2, sort_keys=True)
+    out.write_text(text + "\n")
+    manifest = builder.finish(
+        metrics=registry.snapshot(), artifacts=[str(out)]
+    )
+    manifest_path = manifest.write(out.with_name(out.stem + "_manifest.json"))
+    if args.json:
+        print(text)
+    elif args.markdown:
+        print(_channel_markdown(artifact))
+    else:
+        print(_channel_text(artifact, args.heatmap_metric, args.heatmap_width))
+    print(f"channel artifact written to {out}", file=sys.stderr)
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.baselines import SystemConfig, build_system, system_names
     from repro.ftl import SsdConfig
@@ -949,7 +1169,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 def _cmd_metrics_ls(args: argparse.Namespace) -> int:
     from repro.baselines import SystemConfig, build_system, system_names
     from repro.core.level_adjust import LevelAdjustPolicy
-    from repro.obs import MetricsRegistry, WindowedRecorder
+    from repro.obs import ChannelTelemetry, MetricsRegistry, WindowedRecorder
     from repro.obs.monitor import HealthMonitor, metric_kind
     from repro.sim import DesSimulationEngine, ReadRetryModel, SimulationEngine
     from repro.traces import workload_names
@@ -983,8 +1203,14 @@ def _cmd_metrics_ls(args: argparse.Namespace) -> int:
     recorder = WindowedRecorder(window_us=args.window_us)
     # Attaching the monitor makes its own monitor.* instruments part of
     # the dump, so the listing covers the full namespace a monitored
-    # run would export.
+    # run would export; likewise attaching media telemetry makes the
+    # channel.* series and instruments part of the listing.
     HealthMonitor(recorder, registry=registry).attach()
+    telemetry = ChannelTelemetry(
+        ssd_config.n_blocks,
+        page_bits=ssd_config.page_size_bytes * 8,
+        seed=args.seed,
+    )
     if args.engine == "des":
         engine = DesSimulationEngine(
             system,
@@ -993,6 +1219,7 @@ def _cmd_metrics_ls(args: argparse.Namespace) -> int:
             retry_model=None if args.no_retry else ReadRetryModel(),
             registry=registry,
             recorder=recorder,
+            channel_telemetry=telemetry,
         )
     else:
         engine = SimulationEngine(
@@ -1001,6 +1228,7 @@ def _cmd_metrics_ls(args: argparse.Namespace) -> int:
             n_channels=n_channels,
             registry=registry,
             recorder=recorder,
+            channel_telemetry=telemetry,
         )
     engine.run(trace, args.workload)
     instruments = [
@@ -1449,6 +1677,81 @@ def main(argv: list[str] | None = None) -> int:
         help="report artifact path (default: explain_<workload>_<system>.json)",
     )
     explain.set_defaults(handler=_cmd_explain)
+
+    channel = commands.add_parser(
+        "channel",
+        help="media telemetry: per-block BER/wear heatmaps, retry-ladder "
+        "and LDPC-convergence statistics",
+    )
+    _add_run_arguments(channel)
+    channel.add_argument(
+        "--system",
+        default="flexlevel",
+        help="storage system to instrument (default: flexlevel)",
+    )
+    channel.add_argument(
+        "--engine",
+        choices=("queue", "des"),
+        default="des",
+        help="des exercises the retry ladder per channel; queue has no "
+        "retry model (single channel, zero escalations)",
+    )
+    channel.add_argument(
+        "--vs",
+        default=None,
+        metavar="SYSTEM",
+        help="also run SYSTEM on the same trace and diff sensing-level "
+        "usage and per-mode BER (the Fig. 6 mechanism made visible)",
+    )
+    channel.add_argument(
+        "--window-us",
+        type=float,
+        default=1000.0,
+        help="telemetry window width in simulated microseconds "
+        "(default 1000 = 1 ms)",
+    )
+    channel.add_argument(
+        "--trajectories",
+        type=int,
+        default=256,
+        help="decode-trajectory sample cap in the artifact (default 256)",
+    )
+    channel.add_argument(
+        "--heatmap-metric",
+        choices=(
+            "observed_ber",
+            "analytic_ber",
+            "reads",
+            "retry_rounds",
+            "erases",
+        ),
+        default="observed_ber",
+        help="per-block metric the TTY heatmap renders "
+        "(default observed_ber)",
+    )
+    channel.add_argument(
+        "--heatmap-width",
+        type=int,
+        default=32,
+        help="heatmap blocks per row (default 32)",
+    )
+    channel_format = channel.add_mutually_exclusive_group()
+    channel_format.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full channel artifact JSON to stdout",
+    )
+    channel_format.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print markdown mode/sensing tables",
+    )
+    channel.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default: channel_<workload>_<system>.json)",
+    )
+    channel.set_defaults(handler=_cmd_channel)
 
     serve = commands.add_parser(
         "serve",

@@ -139,6 +139,13 @@ class ReadServiceBreakdown:
     raw_ber:
         The page's raw BER — what a retry model turns into a
         round-failure probability.
+    block:
+        Physical block the page was sensed from (-1 on buffer hits and
+        unmapped reads) — the media-telemetry aggregation key.
+    pe_cycles:
+        P/E wear of that block at read time (0 on buffer hits).
+    age_hours:
+        Data age of the page at read time (0 on buffer hits).
     """
 
     lpn: int
@@ -150,6 +157,9 @@ class ReadServiceBreakdown:
     retry_rounds_us: tuple[float, ...]
     post_read_us: float
     raw_ber: float
+    block: int = -1
+    pe_cycles: float = 0.0
+    age_hours: float = 0.0
 
     @property
     def service_us(self) -> float:
@@ -247,6 +257,9 @@ class StorageSystem(ABC):
             retry_rounds_us=self._retry_tail(provisioned),
             post_read_us=post_read,
             raw_ber=ber,
+            block=info.block,
+            pe_cycles=info.pe_cycles,
+            age_hours=info.age_hours,
         )
 
     def serve_write_page(self, lpn: int, now_us: float) -> float:

@@ -37,6 +37,14 @@ class BchCode:
         stripped after decoding.
     """
 
+    #: Optional :class:`repro.obs.channel.ChannelTelemetry` sink; when
+    #: bound, every decode reports its outcome and the real number of
+    #: corrected bits under the ``bch`` decoder family.
+    telemetry = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+
     def __init__(self, m: int, t: int, shortened_k: int | None = None):
         if t <= 0:
             raise ConfigurationError(f"non-positive correction capability t={t}")
@@ -87,10 +95,34 @@ class BchCode:
             If the error pattern exceeds the code's capability (when
             detectable).
         """
+        try:
+            message, corrected_bits = self._decode_counted(received)
+        except DecodingFailure:
+            if self.telemetry is not None:
+                self.telemetry.on_decode(
+                    "bch",
+                    iterations=1,
+                    converged=False,
+                    corrected_bits=0,
+                    codeword_bits=self.codeword_length,
+                )
+            raise
+        if self.telemetry is not None:
+            self.telemetry.on_decode(
+                "bch",
+                iterations=1,
+                converged=True,
+                corrected_bits=corrected_bits,
+                codeword_bits=self.codeword_length,
+            )
+        return message
+
+    def _decode_counted(self, received: np.ndarray) -> tuple[np.ndarray, int]:
+        """Decode and also return the number of bits corrected."""
         received = self._as_bits(received, self.codeword_length, "received word")
         syndromes = self._syndromes(received)
         if all(s == 0 for s in syndromes):
-            return received[: self.message_length].copy()
+            return received[: self.message_length].copy(), 0
         locator = self._berlekamp_massey(syndromes)
         error_positions = self._chien_search(locator)
         if len(error_positions) != len(locator) - 1:
@@ -108,7 +140,7 @@ class BchCode:
             corrected[position] ^= 1
         if any(s != 0 for s in self._syndromes(corrected)):
             raise DecodingFailure("residual syndrome after correction")
-        return corrected[: self.message_length]
+        return corrected[: self.message_length], len(error_positions)
 
     def detect_errors(self, received: np.ndarray) -> bool:
         """True if the received word has a non-zero syndrome."""

@@ -28,25 +28,48 @@ class DecodeResult:
 
 
 class _InstrumentedDecoder:
-    """Optional ``ecc.ldpc.*`` metric reporting shared by both decoders.
+    """Optional ``ecc.ldpc.*`` metric reporting shared by the decoders.
 
     Bit-accurate decodes are rare enough (tests, calibration sweeps)
-    that per-decode counter updates are free; with no registry bound
-    the hook is a no-op.
+    that per-decode instrument updates are free; with neither a
+    registry nor a media-telemetry sink bound the hook is a no-op.
+    ``ecc.ldpc.iterations`` is a streaming histogram (its ``.sum``
+    preserves the old counter total while exposing p50/p95/p99).
     """
 
     registry: MetricsRegistry | None = None
+    #: Optional :class:`repro.obs.channel.ChannelTelemetry` sink; these
+    #: bit-accurate paths report *real* corrected-bit counts into it.
+    telemetry = None
+    #: Decoder family label in the telemetry artifact.
+    family = "ldpc"
 
     def bind_registry(self, registry: MetricsRegistry | None) -> None:
         self.registry = registry
 
-    def _record_decode(self, iterations: int, converged: bool) -> None:
-        if self.registry is None:
-            return
-        self.registry.counter("ecc.ldpc.decodes").inc()
-        self.registry.counter("ecc.ldpc.iterations").inc(iterations)
-        if not converged:
-            self.registry.counter("ecc.ldpc.failures").inc()
+    def bind_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def _record_decode(
+        self,
+        iterations: int,
+        converged: bool,
+        corrected_bits: int = 0,
+        codeword_bits: int = 0,
+    ) -> None:
+        if self.registry is not None:
+            self.registry.counter("ecc.ldpc.decodes").inc()
+            self.registry.histogram("ecc.ldpc.iterations").observe(iterations)
+            if not converged:
+                self.registry.counter("ecc.ldpc.failures").inc()
+        if self.telemetry is not None:
+            self.telemetry.on_decode(
+                self.family,
+                iterations=iterations,
+                converged=converged,
+                corrected_bits=corrected_bits,
+                codeword_bits=codeword_bits,
+            )
 
 
 class BitFlipDecoder(_InstrumentedDecoder):
@@ -57,6 +80,8 @@ class BitFlipDecoder(_InstrumentedDecoder):
     offenders (rather than every majority-unsatisfied bit) avoids the
     oscillation that parallel flipping suffers on column-weight-3 codes.
     """
+
+    family = "ldpc.bitflip"
 
     def __init__(
         self,
@@ -75,19 +100,30 @@ class BitFlipDecoder(_InstrumentedDecoder):
         word = np.asarray(hard_bits, dtype=np.uint8).copy()
         if word.shape != (self.code.n,):
             raise ConfigurationError(f"expected {self.code.n} bits")
+        received = word.copy() if self.telemetry is not None else None
+
+        def corrected(decoded: np.ndarray) -> int:
+            if received is None:
+                return 0
+            return int(np.count_nonzero(received != decoded))
+
         h = self.code.h
         for iteration in range(self.max_iterations):
             syndrome = (h @ word) % 2
             if not syndrome.any():
-                self._record_decode(iteration, True)
+                self._record_decode(
+                    iteration, True, corrected(word), self.code.n
+                )
                 return DecodeResult(word, iteration, True)
             unsatisfied = h.T @ syndrome  # per-variable count of failing checks
             word[unsatisfied == unsatisfied.max()] ^= 1
         syndrome = (h @ word) % 2
         if not syndrome.any():
-            self._record_decode(self.max_iterations, True)
+            self._record_decode(
+                self.max_iterations, True, corrected(word), self.code.n
+            )
             return DecodeResult(word, self.max_iterations, True)
-        self._record_decode(self.max_iterations, False)
+        self._record_decode(self.max_iterations, False, 0, self.code.n)
         raise DecodingFailure(
             "bit-flip decoder did not converge", iterations=self.max_iterations
         )
@@ -100,6 +136,8 @@ class MinSumDecoder(_InstrumentedDecoder):
     0.75) recovers most of the sum-product performance at a fraction of
     the cost, matching common NAND controller implementations.
     """
+
+    family = "ldpc.minsum"
 
     def __init__(
         self,
@@ -129,6 +167,7 @@ class MinSumDecoder(_InstrumentedDecoder):
         llrs = np.asarray(llrs, dtype=float)
         if llrs.shape != (self.code.n,):
             raise ConfigurationError(f"expected {self.code.n} LLRs")
+        hard = (llrs < 0) if self.telemetry is not None else None
         check_msgs = np.zeros(self._n_edges)
         var_msgs = llrs[self._edge_var].copy()
         for iteration in range(self.max_iterations):
@@ -158,10 +197,15 @@ class MinSumDecoder(_InstrumentedDecoder):
             )
             word = (totals < 0).astype(np.uint8)
             if self.code.is_codeword(word):
-                self._record_decode(iteration + 1, True)
+                flipped = (
+                    0
+                    if hard is None
+                    else int(np.count_nonzero(hard != (word != 0)))
+                )
+                self._record_decode(iteration + 1, True, flipped, self.code.n)
                 return DecodeResult(word, iteration + 1, True)
             var_msgs = totals[self._edge_var] - check_msgs
-        self._record_decode(self.max_iterations, False)
+        self._record_decode(self.max_iterations, False, 0, self.code.n)
         raise DecodingFailure(
             "min-sum decoder did not converge", iterations=self.max_iterations
         )

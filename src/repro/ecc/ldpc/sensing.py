@@ -77,21 +77,28 @@ class SensingLevelPolicy:
         n_frames: int = 40,
         target_success: float = 0.95,
         max_extra_levels: int = 7,
+        telemetry=None,
     ) -> int:
         """Smallest level count at which min-sum decoding succeeds.
 
         Runs real encode/transmit/decode rounds per candidate level
         count; intended as a methodology cross-check on small codes, not
         as the production policy (frame counts reachable in tests cannot
-        certify 1e-15 UBER).
+        certify 1e-15 UBER).  An optional
+        :class:`repro.obs.channel.ChannelTelemetry` sink receives every
+        probe decode (real corrected-bit counts) plus the chosen level
+        count as a calibration record.
         """
         if n_frames <= 0:
             raise ConfigurationError("n_frames must be positive")
         if not 0 < target_success <= 1:
             raise ConfigurationError("target_success outside (0, 1]")
+        chosen = max_extra_levels
         for extra in range(max_extra_levels + 1):
             channel = NandReadChannel(raw_ber, extra_levels=extra)
             decoder = MinSumDecoder(code)
+            if telemetry is not None:
+                decoder.bind_telemetry(telemetry)
             successes = 0
             for _ in range(n_frames):
                 message = rng.integers(0, 2, code.k).astype(np.uint8)
@@ -104,5 +111,8 @@ class SensingLevelPolicy:
                 if np.array_equal(result.codeword, codeword):
                     successes += 1
             if successes / n_frames >= target_success:
-                return extra
-        return max_extra_levels
+                chosen = extra
+                break
+        if telemetry is not None:
+            telemetry.note_required_levels(raw_ber, chosen)
+        return chosen

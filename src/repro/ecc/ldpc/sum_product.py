@@ -12,21 +12,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ecc.ldpc.code import LdpcCode
-from repro.ecc.ldpc.decoder import DecodeResult
+from repro.ecc.ldpc.decoder import DecodeResult, _InstrumentedDecoder
 from repro.errors import ConfigurationError, DecodingFailure
+from repro.obs.metrics import MetricsRegistry
 
 #: Clamp on intermediate tanh-domain magnitudes to avoid atanh(1).
 _TANH_CLIP = 1.0 - 1e-12
 
 
-class SumProductDecoder:
+class SumProductDecoder(_InstrumentedDecoder):
     """Exact belief propagation on LLR input (positive LLR = bit 0)."""
 
-    def __init__(self, code: LdpcCode, max_iterations: int = 30):
+    family = "ldpc.sumproduct"
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        max_iterations: int = 30,
+        registry: MetricsRegistry | None = None,
+    ):
         if max_iterations <= 0:
             raise ConfigurationError("max_iterations must be positive")
         self.code = code
         self.max_iterations = max_iterations
+        self.bind_registry(registry)
         checks, variables = np.nonzero(code.h)
         self._edge_check = checks
         self._edge_var = variables
@@ -38,6 +47,7 @@ class SumProductDecoder:
         llrs = np.asarray(llrs, dtype=float)
         if llrs.shape != (self.code.n,):
             raise ConfigurationError(f"expected {self.code.n} LLRs")
+        hard = (llrs < 0) if self.telemetry is not None else None
         check_msgs = np.zeros(self._n_edges)
         var_msgs = llrs[self._edge_var].copy()
         for iteration in range(self.max_iterations):
@@ -63,8 +73,15 @@ class SumProductDecoder:
             )
             word = (totals < 0).astype(np.uint8)
             if self.code.is_codeword(word):
+                flipped = (
+                    0
+                    if hard is None
+                    else int(np.count_nonzero(hard != (word != 0)))
+                )
+                self._record_decode(iteration + 1, True, flipped, self.code.n)
                 return DecodeResult(word, iteration + 1, True)
             var_msgs = totals[self._edge_var] - check_msgs
+        self._record_decode(self.max_iterations, False, 0, self.code.n)
         raise DecodingFailure(
             "sum-product decoder did not converge", iterations=self.max_iterations
         )

@@ -56,6 +56,8 @@ class PageReadInfo:
     mode: CellMode
     age_hours: float
     pe_cycles: float
+    #: Physical block backing the page; -1 when unmapped (no medium).
+    block: int = -1
 
 
 class Ssd:
@@ -121,6 +123,10 @@ class Ssd:
         # stamp themselves at the last ticked time.
         self.window_recorder = None
         self._window_now_us = 0.0
+        # Media telemetry (repro.obs.channel): the engines attach a
+        # ChannelTelemetry; erases and retirements report themselves so
+        # the per-block wear context stays current.  None disables.
+        self.channel_telemetry = None
         n_logical = config.logical_pages
         n_physical = config.physical_pages
         self._l2p = np.full(n_logical, _FREE, dtype=np.int64)
@@ -307,7 +313,7 @@ class Ssd:
         mode = self._mode_of_block(block)
         age = self._age_hours(lpn, now_us)
         self.stats.flash_read_pages += 1
-        return PageReadInfo(lpn, mode, age, self._current_pe(block))
+        return PageReadInfo(lpn, mode, age, self._current_pe(block), block)
 
     def host_write(self, lpn: int, mode: CellMode, now_us: float) -> tuple[float, float]:
         """Write a logical page in the given mode.
@@ -644,12 +650,16 @@ class Ssd:
                 bbt.retire(victim)
                 self.stats.blocks_retired += 1
                 self._window_add("ftl.bbt.retired")
+                if self.channel_telemetry is not None:
+                    self.channel_telemetry.on_retire(victim, "erase_fail")
             return service
         self._block_mode[victim] = _FREE
         self._block_write_ptr[victim] = 0
         self._free_blocks.append(victim)
         self._block_erase[victim] += 1
         self.stats.erase_blocks += 1
+        if self.channel_telemetry is not None:
+            self.channel_telemetry.on_erase(victim, self._current_pe(victim))
         service += self.config.timing.erase_us
         if self.recovery is not None:
             self.recovery.record_erase(victim)
@@ -720,6 +730,8 @@ class Ssd:
         bbt.retire(victim)
         self.stats.blocks_retired += 1
         self._window_add("ftl.bbt.retired")
+        if self.channel_telemetry is not None:
+            self.channel_telemetry.on_retire(victim, "program_fail")
         return service
 
     def _enter_read_only(self) -> None:

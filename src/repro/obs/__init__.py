@@ -52,6 +52,13 @@ from repro.obs.attribution import (
     attribute_request,
     diff_reports,
 )
+from repro.obs.channel import (
+    CHANNEL_SCHEMA,
+    ChannelTelemetry,
+    channel_fingerprint,
+    diff_channel_artifacts,
+    render_block_heatmap,
+)
 from repro.obs.manifest import ManifestBuilder, RunManifest, config_hash, git_sha
 from repro.obs.profile import (
     PROFILE_MODES,
@@ -102,7 +109,9 @@ __all__ = [
     "BenchModeMismatch",
     "BenchResult",
     "BenchSchemaError",
+    "CHANNEL_SCHEMA",
     "ChangePointRule",
+    "ChannelTelemetry",
     "Counter",
     "CusumDetector",
     "EventLoopProfiler",
@@ -123,10 +132,12 @@ __all__ = [
     "allocation_profile",
     "bench_mode",
     "bench_seed",
+    "channel_fingerprint",
     "compare_metrics",
     "compare_results",
     "config_hash",
     "default_rules",
+    "diff_channel_artifacts",
     "git_sha",
     "merged_quantile",
     "monitor_fingerprint",
@@ -138,6 +149,7 @@ __all__ = [
     "profile_workload",
     "quick_mode",
     "record_loop",
+    "render_block_heatmap",
     "validate_bench_dict",
     "wall_snapshot",
 ]

@@ -283,4 +283,15 @@ def default_rules(warmup: int = 8) -> list[ChangePointRule]:
         # recovery trips the rule (crash-free runs never populate the
         # series and the zero-fed CUSUM stays silent).
         cusum("recovery", "ftl.recovery.events", "count", k=0.25, h=0.5),
+        # Media telemetry (repro.obs.channel): populated only when a
+        # ChannelTelemetry is attached, so telemetry-less runs feed the
+        # zero-fed CUSUMs nothing and alert counts stay pinned.
+        cusum("ber_drift", "channel.observed_errors", "mean", k=1.0, h=16.0),
+        cusum(
+            "sensing_escalation",
+            "channel.sensing.escalations",
+            "rate",
+            k=1.0,
+            h=12.0,
+        ),
     ]

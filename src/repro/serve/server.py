@@ -425,6 +425,11 @@ class ServeEngine:
     registry / recorder:
         Optional observability sinks, passed through to the DES engine;
         the serve layer adds per-tenant counters to the registry.
+    channel_telemetry:
+        Optional :class:`repro.obs.channel.ChannelTelemetry`, passed
+        through to the DES engine.  Requests carry their tenant name,
+        so the artifact's per-tenant flash-channel mix shows which
+        tenants land on which channels.
     """
 
     def __init__(
@@ -439,6 +444,7 @@ class ServeEngine:
         registry: MetricsRegistry | None = None,
         recorder: WindowedRecorder | None = None,
         monitor_config: MonitorConfig | None = None,
+        channel_telemetry=None,
     ):
         if monitor_config is not None and recorder is None:
             raise ConfigurationError(
@@ -456,6 +462,7 @@ class ServeEngine:
         self.registry = registry
         self.recorder = recorder
         self.monitor_config = monitor_config
+        self.channel_telemetry = channel_telemetry
         logical_pages = system.config.footprint_pages or _DEFAULT_LOGICAL_PAGES
         self.streams = spawn_streams(specs, seed, logical_pages)
 
@@ -486,6 +493,7 @@ class ServeEngine:
             registry=self.registry,
             tracer=tracer,
             recorder=self.recorder,
+            channel_telemetry=self.channel_telemetry,
         )
         sim = engine.run_source(
             source, workload_name="multi_tenant", crash_us=crash_us

@@ -42,6 +42,7 @@ from typing import Iterable
 
 from repro.baselines.systems import ReadServiceBreakdown, StorageSystem
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.channel import ChannelTelemetry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import EventLoopProfiler, record_loop
 from repro.obs.timeseries import WindowedRecorder
@@ -111,6 +112,15 @@ class DesSimulationEngine:
         trace) are accounted inside it.  Wall-clock only — the
         simulated-time outputs are byte-identical with or without a
         profiler, and with ``None`` the only cost is the guard checks.
+    channel_telemetry:
+        Optional :class:`repro.obs.channel.ChannelTelemetry`; when set,
+        every flash read reports its block, sensing configuration,
+        retry rounds and wear context into the media-telemetry
+        accumulator, ``channel.*`` windowed series and registry
+        counters are emitted, and the SSD routes erase/retire events
+        into the same sink.  Uses its own seeded generator for the
+        observed-error estimate, so the simulated-time outputs are
+        byte-identical with or without telemetry attached.
     """
 
     def __init__(
@@ -125,6 +135,7 @@ class DesSimulationEngine:
         recorder: WindowedRecorder | None = None,
         sample_cap: int | None = None,
         profiler: EventLoopProfiler | None = None,
+        channel_telemetry: ChannelTelemetry | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction outside [0, 1)")
@@ -148,6 +159,7 @@ class DesSimulationEngine:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
         self.profiler = profiler
+        self.channel_telemetry = channel_telemetry
         # With a fault injector on the SSD, ladder exhaustion gains its
         # terminal branch: the final round's residual failure probability
         # is sampled into uncorrectable reads.  Without one, exhaustion
@@ -219,6 +231,8 @@ class DesSimulationEngine:
         recorder = self.recorder
         if recorder is not None:
             self.system.ssd.window_recorder = recorder
+        if self.channel_telemetry is not None:
+            self.system.ssd.channel_telemetry = self.channel_telemetry
 
         ops_dispatched = 0
         ops_completed = 0
@@ -475,6 +489,53 @@ class DesSimulationEngine:
                             )
                         if uncorrectable:
                             recorder.add("sim.uncorrectable.reads", op_start)
+                telemetry = self.channel_telemetry
+                if (
+                    telemetry is not None
+                    and breakdown is not None
+                    and not breakdown.buffer_hit
+                ):
+                    # The modeled per-round iteration trail only feeds
+                    # the sampled trajectories; once the cap is full,
+                    # skip computing it on every remaining read.
+                    if len(telemetry.trajectories) < telemetry.trajectory_cap:
+                        decode_iterations = (
+                            self.system.latency.decode_iterations
+                        )
+                        iteration_trail = tuple(
+                            decode_iterations(breakdown.provisioned_levels + r)
+                            for r in range(rounds + 1)
+                        )
+                    else:
+                        iteration_trail = ()
+                    observed = telemetry.on_breakdown(
+                        breakdown,
+                        channel=channel,
+                        rounds=rounds,
+                        uncorrectable=uncorrectable,
+                        iterations=iteration_trail,
+                        tenant=pending.attrs.get("tenant"),
+                    )
+                    if recorder is not None:
+                        recorder.add(
+                            "channel.observed_errors", op_start, observed
+                        )
+                        recorder.sample(
+                            "channel.sensing.levels",
+                            op_start,
+                            breakdown.provisioned_levels,
+                        )
+                        if rounds:
+                            recorder.add(
+                                "channel.sensing.escalations", op_start, rounds
+                            )
+                        if uncorrectable:
+                            recorder.add("channel.uncorrectable", op_start)
+                    if self.registry is not None:
+                        self.registry.counter("channel.reads").inc()
+                        self.registry.counter("channel.observed_errors").inc(
+                            observed
+                        )
                 if trace is not None:
                     if profiler is not None:
                         profiler.begin("phase.trace")
@@ -572,12 +633,16 @@ class DesSimulationEngine:
             if profiler is not None:
                 profiler.begin("phase.decode")
             decode_iterations = self.system.latency.decode_iterations
-            iterations = sum(
-                decode_iterations(breakdown.provisioned_levels + r)
-                for r in range(rounds + 1)
-            )
+            # One histogram sample per decode round: the sum matches
+            # the old counter total while the distribution exposes
+            # decode-iteration p50/p95/p99 (ladder escalation visible
+            # as the upper tail).
+            iterations_hist = self.registry.histogram("ecc.ldpc.iterations")
+            for r in range(rounds + 1):
+                iterations_hist.observe(
+                    decode_iterations(breakdown.provisioned_levels + r)
+                )
             self.registry.counter("ecc.ldpc.decode_rounds").inc(1 + rounds)
-            self.registry.counter("ecc.ldpc.iterations").inc(iterations)
             self.registry.counter("sim.read.retry_rounds").inc(rounds)
             if uncorrectable:
                 self.registry.counter("sim.uncorrectable.reads").inc()

@@ -23,6 +23,7 @@ from typing import Iterable
 
 from repro.baselines.systems import StorageSystem
 from repro.errors import ConfigurationError
+from repro.obs.channel import ChannelTelemetry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import EventLoopProfiler, record_loop
 from repro.obs.timeseries import WindowedRecorder
@@ -73,6 +74,12 @@ class SimulationEngine:
         record; the per-request phases (sense/transfer/GC/trace) are
         accounted inside it.  Wall-clock only; simulated outputs are
         byte-identical with or without a profiler.
+    channel_telemetry:
+        Optional :class:`repro.obs.channel.ChannelTelemetry`; flash
+        reads report their block/sensing/wear context into it (the
+        single queue has no retry model, so rounds are always 0 and
+        everything lands on channel 0).  Simulated outputs are
+        byte-identical with or without telemetry attached.
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class SimulationEngine:
         recorder: WindowedRecorder | None = None,
         sample_cap: int | None = None,
         profiler: EventLoopProfiler | None = None,
+        channel_telemetry: ChannelTelemetry | None = None,
     ):
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigurationError("warmup fraction outside [0, 1)")
@@ -106,6 +114,7 @@ class SimulationEngine:
             raise ConfigurationError("negative sample cap")
         self.sample_cap = sample_cap
         self.profiler = profiler
+        self.channel_telemetry = channel_telemetry
 
     def run(
         self,
@@ -142,6 +151,9 @@ class SimulationEngine:
         recorder = self.recorder
         if recorder is not None:
             self.system.ssd.window_recorder = recorder
+        telemetry = self.channel_telemetry
+        if telemetry is not None:
+            self.system.ssd.channel_telemetry = telemetry
         device_free_at = 0.0
         backlog_us = 0.0
         busy_us_total = 0.0
@@ -200,7 +212,42 @@ class SimulationEngine:
                 if record.is_write:
                     service += self.system.serve_write_page(lpn, start)
                 else:
-                    service += self.system.serve_read_page(lpn, start)
+                    # Same scalar serve_read_page returns (its
+                    # implementation is this breakdown's service_us);
+                    # the breakdown additionally feeds media telemetry.
+                    breakdown = self.system.read_page_breakdown(lpn, start)
+                    service += breakdown.service_us
+                    if telemetry is not None and not breakdown.buffer_hit:
+                        # Iteration trail feeds only the sampled
+                        # trajectories; skip it once the cap is full.
+                        if (
+                            len(telemetry.trajectories)
+                            < telemetry.trajectory_cap
+                        ):
+                            trail = (
+                                self.system.latency.decode_iterations(
+                                    breakdown.provisioned_levels
+                                ),
+                            )
+                        else:
+                            trail = ()
+                        observed = telemetry.on_breakdown(
+                            breakdown, iterations=trail
+                        )
+                        if recorder is not None:
+                            recorder.add(
+                                "channel.observed_errors", start, observed
+                            )
+                            recorder.sample(
+                                "channel.sensing.levels",
+                                start,
+                                breakdown.provisioned_levels,
+                            )
+                        if self.registry is not None:
+                            self.registry.counter("channel.reads").inc()
+                            self.registry.counter(
+                                "channel.observed_errors"
+                            ).inc(observed)
                 if profiler is not None:
                     profiler.end()
             effective_channels = min(self.n_channels, record.n_pages)

@@ -595,3 +595,85 @@ class TestProfileWorkload:
 
     def test_rejects_unknown_workload(self, capsys):
         assert main(["profile", "nope", "--requests", "10"]) == 2
+
+
+class TestChannelCommand:
+    def run_channel(self, tmp_path, *extra, capsys=None):
+        out = tmp_path / "channel.json"
+        argv = [
+            "channel", "fin-2", "--requests", "600", "--blocks", "64",
+            "--out", str(out),
+        ]
+        code = main(argv + list(extra))
+        return code, out
+
+    def test_artifact_schema_and_fingerprint(self, tmp_path, capsys):
+        code, out = self.run_channel(tmp_path, "--json")
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["channel"]["schema"] == "repro.channel/1"
+        assert artifact["fingerprint"] == artifact["channel"]["fingerprint"]
+        assert artifact["channel"]["totals"]["reads"] > 0
+        assert artifact["channel"]["modes"]
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["fingerprint"] == artifact["fingerprint"]
+        manifest = json.loads(
+            (tmp_path / "channel_manifest.json").read_text()
+        )
+        assert manifest["command"] == "repro channel"
+
+    def test_artifact_bytes_deterministic(self, tmp_path, capsys):
+        _, first = self.run_channel(tmp_path)
+        first_bytes = first.read_text()
+        _, second = self.run_channel(tmp_path)
+        assert second.read_text() == first_bytes
+
+    def test_text_report_has_heatmap_and_modes(self, tmp_path, capsys):
+        code, _ = self.run_channel(tmp_path)
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "read-channel telemetry" in printed
+        assert "analytic" in printed
+        assert "heatmap" in printed
+
+    def test_vs_mode_embeds_diff(self, tmp_path, capsys):
+        code, out = self.run_channel(tmp_path, "--vs", "baseline", "--markdown")
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["vs"]["system"] == "baseline"
+        assert artifact["vs"]["diff"]["schema"] == "repro.channel-diff/1"
+        assert "sensing" in capsys.readouterr().out.lower()
+
+    def test_rejects_unknown_names_and_self_vs(self, capsys):
+        assert main(["channel", "nope", "--requests", "10"]) == 2
+        assert (
+            main(["channel", "fin-2", "--system", "nope", "--requests", "10"])
+            == 2
+        )
+        assert (
+            main(
+                [
+                    "channel", "fin-2", "--system", "flexlevel",
+                    "--vs", "flexlevel", "--requests", "10",
+                ]
+            )
+            == 2
+        )
+
+
+class TestMetricsListsChannelSeries:
+    def test_channel_series_and_instruments_listed(self, capsys):
+        assert (
+            main(["metrics", "ls", "fin-2", "--requests", "400", "--blocks", "64"])
+            == 0
+        )
+        printed = capsys.readouterr().out
+        lines = printed.splitlines()
+        windowed = [
+            line.split()[0] for line in lines if line.endswith("windowed")
+        ]
+        assert "channel.observed_errors" in windowed
+        assert "channel.sensing.levels" in windowed
+        assert "channel.sensing.escalations" in windowed
+        instruments = [line.split()[0] for line in lines]
+        assert "channel.reads" in instruments
